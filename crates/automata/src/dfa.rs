@@ -1,0 +1,216 @@
+//! Subset-construction DFA.
+//!
+//! Determinization of an [`Nfa`] with an explicit state budget (the subset
+//! construction is exponential in the worst case). The evaluator can run
+//! the product traversal over a DFA instead of an NFA, which trades
+//! construction cost for a single current-state per traversal branch; the
+//! `automata_ablation` bench measures that trade-off.
+
+use crate::nfa::Nfa;
+use rustc_hash::FxHashMap;
+
+/// Default maximum number of DFA states before construction bails.
+pub const DEFAULT_DFA_STATE_LIMIT: usize = 4096;
+
+/// A deterministic finite automaton over the same local alphabet as its NFA.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    alphabet: Vec<String>,
+    /// `transition[state * alphabet_len + symbol]` → target, or `DEAD`.
+    transition: Vec<u32>,
+    accepting: Vec<bool>,
+}
+
+/// Sentinel for "no transition".
+pub const DEAD: u32 = u32::MAX;
+
+impl Dfa {
+    /// Determinizes `nfa` with the default state budget.
+    pub fn from_nfa(nfa: &Nfa) -> Option<Dfa> {
+        Self::from_nfa_with_limit(nfa, DEFAULT_DFA_STATE_LIMIT)
+    }
+
+    /// Determinizes `nfa`; returns `None` if more than `limit` states arise.
+    pub fn from_nfa_with_limit(nfa: &Nfa, limit: usize) -> Option<Dfa> {
+        let k = nfa.alphabet().len();
+        let mut subset_index: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        let mut subsets: Vec<Vec<u32>> = Vec::new();
+        let mut transition: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let initial = vec![0u32];
+        subset_index.insert(initial.clone(), 0);
+        subsets.push(initial);
+        let mut work = 0usize;
+
+        while work < subsets.len() {
+            if subsets.len() > limit {
+                return None;
+            }
+            let subset = subsets[work].clone();
+            accepting.push(subset.iter().any(|&s| nfa.is_accepting(s)));
+            let row_base = transition.len();
+            transition.resize(row_base + k, DEAD);
+            for sym in 0..k as u32 {
+                let mut next: Vec<u32> = Vec::new();
+                for &s in &subset {
+                    next.extend(nfa.targets(s, sym));
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    continue;
+                }
+                let id = match subset_index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = subsets.len() as u32;
+                        subset_index.insert(next.clone(), id);
+                        subsets.push(next);
+                        id
+                    }
+                };
+                transition[row_base + sym as usize] = id;
+            }
+            work += 1;
+        }
+
+        Some(Dfa {
+            alphabet: nfa.alphabet().to_vec(),
+            transition,
+            accepting,
+        })
+    }
+
+    /// Assembles a DFA from raw tables (used by minimization).
+    pub(crate) fn from_raw_parts(
+        alphabet: Vec<String>,
+        transition: Vec<u32>,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        debug_assert_eq!(transition.len(), accepting.len() * alphabet.len());
+        Dfa {
+            alphabet,
+            transition,
+            accepting,
+        }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The local alphabet.
+    pub fn alphabet(&self) -> &[String] {
+        &self.alphabet
+    }
+
+    /// Transition function; `DEAD` means no transition.
+    #[inline]
+    pub fn next(&self, state: u32, symbol: u32) -> u32 {
+        self.transition[state as usize * self.alphabet.len() + symbol as usize]
+    }
+
+    /// Whether `state` accepts.
+    #[inline]
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// Runs the DFA over a sequence of local symbols.
+    pub fn matches_symbols(&self, symbols: &[u32]) -> bool {
+        let mut state = 0u32;
+        for &sym in symbols {
+            state = self.next(state, sym);
+            if state == DEAD {
+                return false;
+            }
+        }
+        self.is_accepting(state)
+    }
+
+    /// Runs the DFA over label names; unknown labels reject.
+    pub fn matches(&self, labels: &[&str]) -> bool {
+        let mut symbols = Vec::with_capacity(labels.len());
+        for l in labels {
+            match self.alphabet.iter().position(|a| a == l) {
+                Some(s) => symbols.push(s as u32),
+                None => return false,
+            }
+        }
+        self.matches_symbols(&symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::build_glushkov;
+    use rpq_regex::Regex;
+
+    fn dfa(src: &str) -> Dfa {
+        Dfa::from_nfa(&build_glushkov(&Regex::parse(src).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn simple_queries() {
+        let d = dfa("a.b");
+        assert!(d.matches(&["a", "b"]));
+        assert!(!d.matches(&["a"]));
+        assert!(!d.matches(&["a", "b", "b"]));
+        assert!(!d.matches(&["z"]));
+    }
+
+    #[test]
+    fn closure_queries() {
+        let d = dfa("d.(b.c)+.c");
+        assert!(d.matches(&["d", "b", "c", "c"]));
+        assert!(d.matches(&["d", "b", "c", "b", "c", "c"]));
+        assert!(!d.matches(&["d", "b", "c"]));
+    }
+
+    #[test]
+    fn agrees_with_nfa() {
+        for q in ["a", "a|b", "(a|b).c", "(b.c)+", "a*.b*", "(a.b+.c)+", "a?.b"] {
+            let nfa = build_glushkov(&Regex::parse(q).unwrap());
+            let d = Dfa::from_nfa(&nfa).unwrap();
+            let words: Vec<Vec<&str>> = vec![
+                vec![],
+                vec!["a"],
+                vec!["b"],
+                vec!["a", "b"],
+                vec!["b", "c"],
+                vec!["a", "b", "c"],
+                vec!["a", "b", "b", "c"],
+                vec!["b", "c", "b", "c"],
+            ];
+            for w in &words {
+                assert_eq!(nfa.matches(w), d.matches(w), "query {q} word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_state_semantics() {
+        let d = dfa("a");
+        let a = 0u32;
+        let s1 = d.next(0, a);
+        assert_ne!(s1, DEAD);
+        assert_eq!(d.next(s1, a), DEAD);
+    }
+
+    #[test]
+    fn state_limit_respected() {
+        let nfa = build_glushkov(&Regex::parse("(a|b).(a|b).(a|b)").unwrap());
+        assert!(Dfa::from_nfa_with_limit(&nfa, 1).is_none());
+        assert!(Dfa::from_nfa_with_limit(&nfa, 64).is_some());
+    }
+
+    #[test]
+    fn deterministic_state_count_is_reasonable() {
+        let d = dfa("(b.c)+");
+        // Subset construction of the 3-state Glushkov NFA stays tiny.
+        assert!(d.state_count() <= 4);
+    }
+}

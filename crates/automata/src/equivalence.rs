@@ -1,0 +1,188 @@
+//! Exact language-equivalence checking via derivative bisimulation.
+//!
+//! Two expressions are language-equivalent iff the pair graph of their
+//! Brzozowski derivatives never reaches a pair with disagreeing
+//! nullability (Hopcroft–Karp style bisimulation, here with plain memoized
+//! pairs — the state spaces are tiny after ACI normalization). This is a
+//! *decision procedure*, not a sampler: the DNF and normalization tests
+//! use it to check semantic preservation exactly.
+
+use crate::derivative::{aci_normalize, derivative};
+use rpq_regex::Regex;
+use rustc_hash::FxHashSet;
+
+/// Decides whether `a` and `b` accept exactly the same label sequences.
+///
+/// Terminates because both derivative spaces are finite modulo the ACI
+/// normalization applied at every step.
+pub fn language_equivalent(a: &Regex, b: &Regex) -> bool {
+    let a0 = aci_normalize(a);
+    let b0 = aci_normalize(b);
+    let mut seen: FxHashSet<(String, String)> = FxHashSet::default();
+    let mut stack = vec![(a0, b0)];
+    while let Some((x, y)) = stack.pop() {
+        if x.nullable() != y.nullable() {
+            return false;
+        }
+        let key = (x.canonical_key(), y.canonical_key());
+        if !seen.insert(key) {
+            continue;
+        }
+        // The joint first-symbol alphabet: symbols outside it derive both
+        // sides to ∅, which are trivially equivalent.
+        let mut symbols: Vec<&str> = x.labels();
+        for l in y.labels() {
+            if !symbols.contains(&l) {
+                symbols.push(l);
+            }
+        }
+        let pairs: Vec<(Regex, Regex)> = symbols
+            .into_iter()
+            .map(|sym| {
+                (
+                    aci_normalize(&derivative(&x, sym)),
+                    aci_normalize(&derivative(&y, sym)),
+                )
+            })
+            .collect();
+        stack.extend(pairs);
+    }
+    true
+}
+
+/// Decides whether `L(a) ⊆ L(b)`.
+///
+/// Implemented as bisimulation with a one-sided acceptance check: a
+/// reachable pair where `a` accepts but `b` does not is a counterexample.
+pub fn language_subset(a: &Regex, b: &Regex) -> bool {
+    let a0 = aci_normalize(a);
+    let b0 = aci_normalize(b);
+    let mut seen: FxHashSet<(String, String)> = FxHashSet::default();
+    let mut stack = vec![(a0, b0)];
+    while let Some((x, y)) = stack.pop() {
+        if x.nullable() && !y.nullable() {
+            return false;
+        }
+        if x.is_empty_language() {
+            continue; // nothing left to check on this branch
+        }
+        let key = (x.canonical_key(), y.canonical_key());
+        if !seen.insert(key) {
+            continue;
+        }
+        for sym in x.labels() {
+            let dx = aci_normalize(&derivative(&x, sym));
+            let dy = aci_normalize(&derivative(&y, sym));
+            stack.push((dx, dy));
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(a: &str, b: &str) -> bool {
+        language_equivalent(&Regex::parse(a).unwrap(), &Regex::parse(b).unwrap())
+    }
+
+    fn subset(a: &str, b: &str) -> bool {
+        language_subset(&Regex::parse(a).unwrap(), &Regex::parse(b).unwrap())
+    }
+
+    #[test]
+    fn reflexivity_and_trivial_differences() {
+        assert!(eq("a", "a"));
+        assert!(!eq("a", "b"));
+        assert!(!eq("a", "a.a"));
+        assert!(!eq("a", "a?"));
+    }
+
+    #[test]
+    fn classic_identities() {
+        // (a|b)* = (a*.b*)*
+        assert!(eq("(a|b)*", "(a*.b*)*"));
+        // a.(b.a)* = (a.b)*.a
+        assert!(eq("a.(b.a)*", "(a.b)*.a"));
+        // a+ = a.a*
+        assert!(eq("a+", "a.a*"));
+        // a* = ε|a+
+        assert!(eq("a*", "()|a+"));
+        // (a|b).c = a.c|b.c (the DNF distribution law)
+        assert!(eq("(a|b).c", "a.c|b.c"));
+        // r?? = r?
+        assert!(eq("a??", "a?"));
+    }
+
+    #[test]
+    fn near_misses_are_distinguished() {
+        assert!(!eq("(a.b)+", "a+.b+"));
+        assert!(!eq("(a|b)+", "a+|b+"));
+        assert!(!eq("a.(b.c)+", "(a.b.c)+"));
+        assert!(!eq("(a.b)*", "(b.a)*"));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(eq("∅", "∅"));
+        assert!(eq("()", "()"));
+        assert!(!eq("∅", "()"));
+        assert!(eq("∅|a", "a"));
+        assert!(eq("().a", "a"));
+        // ∅* = ε
+        assert!(language_equivalent(
+            &Regex::star(Regex::Empty),
+            &Regex::Epsilon
+        ));
+    }
+
+    #[test]
+    fn subset_relations() {
+        assert!(subset("a", "a|b"));
+        assert!(!subset("a|b", "a"));
+        assert!(subset("a+", "a*"));
+        assert!(!subset("a*", "a+"));
+        assert!(subset("a.b", "(a|b)+"));
+        assert!(subset("∅", "a"));
+        assert!(subset("(a.b)+", "(a.b)*"));
+        // Equivalence = mutual subset.
+        assert!(subset("(a|b)*", "(a*.b*)*") && subset("(a*.b*)*", "(a|b)*"));
+    }
+
+    #[test]
+    fn dnf_is_exactly_equivalent() {
+        use rpq_regex::to_dnf;
+        for src in [
+            "a.(b|c).d?",
+            "(a|b).(c|d)+",
+            "d.(b.c)+.c",
+            "(a.b)*.b+.(a.b+.c)+",
+            "a?.b?.c?",
+            "(a|b.c)*.d",
+        ] {
+            let q = Regex::parse(src).unwrap();
+            let clauses = to_dnf(&q).unwrap();
+            let rebuilt = Regex::alt(clauses.iter().map(|c| c.to_regex()).collect());
+            assert!(
+                language_equivalent(&q, &rebuilt),
+                "DNF changed the language of {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn smart_constructor_rewrites_are_sound() {
+        // Each constructor rewrite claims a language identity; verify the
+        // underlying identities with raw (un-normalized) variants.
+        let a = || Regex::Label("a".into());
+        let raw_plus_of_star = Regex::Plus(Box::new(Regex::Star(Box::new(a()))));
+        assert!(language_equivalent(&raw_plus_of_star, &Regex::star(a())));
+        let raw_star_of_plus = Regex::Star(Box::new(Regex::Plus(Box::new(a()))));
+        assert!(language_equivalent(&raw_star_of_plus, &Regex::star(a())));
+        let raw_opt_of_plus = Regex::Optional(Box::new(Regex::Plus(Box::new(a()))));
+        assert!(language_equivalent(&raw_opt_of_plus, &Regex::star(a())));
+        let raw_plus_of_opt = Regex::Plus(Box::new(Regex::Optional(Box::new(a()))));
+        assert!(language_equivalent(&raw_plus_of_opt, &Regex::star(a())));
+    }
+}

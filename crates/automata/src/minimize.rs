@@ -1,0 +1,188 @@
+//! DFA minimization by Moore partition refinement.
+//!
+//! Repeatedly splits state classes on `(acceptance, per-symbol successor
+//! class)` signatures until a fixpoint, then collapses each class to one
+//! state. A behaviorally-dead class (non-accepting, all transitions
+//! self/dead) is removed entirely, its transitions becoming explicit
+//! [`DEAD`] entries — so the minimized DFA is also trim.
+
+use crate::dfa::{Dfa, DEAD};
+use rustc_hash::FxHashMap;
+
+impl Dfa {
+    /// Returns the minimal DFA accepting the same language.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.state_count();
+        let k = self.alphabet().len();
+        if n == 0 {
+            return self.clone();
+        }
+
+        // Classes: start from acceptance; DEAD is the implicit class u32::MAX.
+        let mut class: Vec<u32> = (0..n).map(|s| u32::from(self.is_accepting(s as u32))).collect();
+        let mut class_count = 2u32;
+        loop {
+            let mut signature_ids: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+            let mut next_class = vec![0u32; n];
+            for s in 0..n {
+                let sig_row: Vec<u32> = (0..k as u32)
+                    .map(|sym| {
+                        let t = self.next(s as u32, sym);
+                        if t == DEAD {
+                            u32::MAX
+                        } else {
+                            class[t as usize]
+                        }
+                    })
+                    .collect();
+                let key = (class[s], sig_row);
+                let next_id = signature_ids.len() as u32;
+                let id = *signature_ids.entry(key).or_insert(next_id);
+                next_class[s] = id;
+            }
+            let new_count = signature_ids.len() as u32;
+            if new_count == class_count || new_count as usize == n {
+                class = next_class;
+                break;
+            }
+            class = next_class;
+            class_count = new_count;
+        }
+
+        // Identify the behaviorally-dead class (non-accepting, closed on
+        // itself/DEAD): replace it with DEAD transitions.
+        let num_classes = class.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut representative = vec![usize::MAX; num_classes];
+        for (s, &c) in class.iter().enumerate() {
+            if representative[c as usize] == usize::MAX {
+                representative[c as usize] = s;
+            }
+        }
+        let is_dead_class = |c: usize| -> bool {
+            let rep = representative[c];
+            if self.is_accepting(rep as u32) {
+                return false;
+            }
+            (0..k as u32).all(|sym| {
+                let t = self.next(rep as u32, sym);
+                t == DEAD || class[t as usize] as usize == c
+            })
+        };
+        let dead_class: Option<usize> = (0..num_classes).find(|&c| is_dead_class(c));
+        // Never remove the initial state's class, even if it is dead
+        // (the empty-language DFA needs one state).
+        let dead_class = dead_class.filter(|&c| c != class[0] as usize);
+
+        // Renumber surviving classes, initial class first.
+        let mut order: Vec<usize> = Vec::with_capacity(num_classes);
+        order.push(class[0] as usize);
+        for c in 0..num_classes {
+            if Some(c) != dead_class && c != class[0] as usize {
+                order.push(c);
+            }
+        }
+        let mut new_id = vec![u32::MAX; num_classes]; // dead stays MAX
+        for (i, &c) in order.iter().enumerate() {
+            new_id[c] = i as u32;
+        }
+
+        let mut transition = vec![DEAD; order.len() * k];
+        let mut accepting = vec![false; order.len()];
+        for (i, &c) in order.iter().enumerate() {
+            let rep = representative[c] as u32;
+            accepting[i] = self.is_accepting(rep);
+            for sym in 0..k as u32 {
+                let t = self.next(rep, sym);
+                if t != DEAD {
+                    let tc = class[t as usize] as usize;
+                    if Some(tc) != dead_class {
+                        transition[i * k + sym as usize] = new_id[tc];
+                    }
+                }
+            }
+        }
+        Dfa::from_raw_parts(self.alphabet().to_vec(), transition, accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::build_glushkov;
+    use rpq_regex::Regex;
+
+    fn min_dfa(src: &str) -> Dfa {
+        Dfa::from_nfa(&build_glushkov(&Regex::parse(src).unwrap()))
+            .unwrap()
+            .minimize()
+    }
+
+    #[test]
+    fn equivalent_expressions_minimize_to_same_size() {
+        // (a|b)* and (a*.b*)* denote the same language: their minimal DFAs
+        // must have the same state count (1 accepting state over {a,b}).
+        let m1 = min_dfa("(a|b)*");
+        let m2 = min_dfa("(a*.b*)*");
+        assert_eq!(m1.state_count(), m2.state_count());
+        assert_eq!(m1.state_count(), 1);
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        for src in ["a", "a.b", "(b.c)+", "d.(b.c)+.c", "a*.b*", "(a|b).c?", "(a.b+.c)+"] {
+            let full = Dfa::from_nfa(&build_glushkov(&Regex::parse(src).unwrap())).unwrap();
+            let min = full.minimize();
+            assert!(min.state_count() <= full.state_count());
+            let words: Vec<Vec<&str>> = vec![
+                vec![],
+                vec!["a"],
+                vec!["b"],
+                vec!["a", "b"],
+                vec!["b", "c"],
+                vec!["d", "b", "c", "c"],
+                vec!["a", "b", "b", "c"],
+                vec!["b", "c", "b", "c"],
+                vec!["a", "b", "c"],
+            ];
+            for w in &words {
+                assert_eq!(full.matches(w), min.matches(w), "query {src}, word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        for src in ["(b.c)+", "d.(b.c)+.c", "(a|b)*.c"] {
+            let m = min_dfa(src);
+            let mm = m.minimize();
+            assert_eq!(m.state_count(), mm.state_count(), "query {src}");
+        }
+    }
+
+    #[test]
+    fn dead_states_are_removed() {
+        // The subset DFA of a.b over alphabet {a, b} has a dead trap state
+        // reachable on 'b' from the start; minimization trims it.
+        let full = Dfa::from_nfa(&build_glushkov(&Regex::parse("a.b").unwrap())).unwrap();
+        let min = full.minimize();
+        // States: init, after-a, accept — 3, with no explicit trap.
+        assert_eq!(min.state_count(), 3);
+        assert!(!min.matches(&["b"]));
+        assert!(min.matches(&["a", "b"]));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_single_state() {
+        let full = Dfa::from_nfa(&build_glushkov(&Regex::Empty)).unwrap();
+        let min = full.minimize();
+        assert_eq!(min.state_count(), 1);
+        assert!(!min.matches(&[]));
+    }
+
+    #[test]
+    fn kleene_plus_vs_star_sizes_differ() {
+        // a+ needs 2 states; a* needs 1.
+        assert_eq!(min_dfa("a+").state_count(), 2);
+        assert_eq!(min_dfa("a*").state_count(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Thompson construction with ε-elimination.
+//!
+//! The classical inductive construction produces an automaton with
+//! ε-transitions; [`build_thompson`] then eliminates them, yielding an
+//! ε-free [`Nfa`] equivalent to the Glushkov automaton. The two
+//! constructions share no code, which makes them useful cross-checks — an
+//! integration test verifies they accept the same language on randomized
+//! expressions.
+
+use crate::nfa::Nfa;
+use rpq_regex::Regex;
+use rustc_hash::FxHashMap;
+
+/// A fragment of the ε-NFA under construction: entry and exit state.
+#[derive(Clone, Copy)]
+struct Frag {
+    start: u32,
+    end: u32,
+}
+
+#[derive(Default)]
+struct EpsNfa {
+    /// Per-state labeled transitions `(symbol, target)`.
+    labeled: Vec<Vec<(u32, u32)>>,
+    /// Per-state ε-transitions.
+    eps: Vec<Vec<u32>>,
+    alphabet: Vec<String>,
+    symbol_index: FxHashMap<String, u32>,
+}
+
+impl EpsNfa {
+    fn new_state(&mut self) -> u32 {
+        self.labeled.push(Vec::new());
+        self.eps.push(Vec::new());
+        (self.labeled.len() - 1) as u32
+    }
+
+    fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&s) = self.symbol_index.get(label) {
+            return s;
+        }
+        let s = self.alphabet.len() as u32;
+        self.alphabet.push(label.to_owned());
+        self.symbol_index.insert(label.to_owned(), s);
+        s
+    }
+
+    fn build(&mut self, r: &Regex) -> Frag {
+        match r {
+            Regex::Empty => {
+                let start = self.new_state();
+                let end = self.new_state();
+                Frag { start, end }
+            }
+            Regex::Epsilon => {
+                let start = self.new_state();
+                let end = self.new_state();
+                self.eps[start as usize].push(end);
+                Frag { start, end }
+            }
+            Regex::Label(l) => {
+                let sym = self.intern(l);
+                let start = self.new_state();
+                let end = self.new_state();
+                self.labeled[start as usize].push((sym, end));
+                Frag { start, end }
+            }
+            Regex::Concat(parts) => {
+                let frags: Vec<Frag> = parts.iter().map(|p| self.build(p)).collect();
+                for w in frags.windows(2) {
+                    self.eps[w[0].end as usize].push(w[1].start);
+                }
+                Frag {
+                    start: frags.first().expect("concat nonempty").start,
+                    end: frags.last().expect("concat nonempty").end,
+                }
+            }
+            Regex::Alt(parts) => {
+                let start = self.new_state();
+                let end = self.new_state();
+                for p in parts {
+                    let f = self.build(p);
+                    self.eps[start as usize].push(f.start);
+                    self.eps[f.end as usize].push(end);
+                }
+                Frag { start, end }
+            }
+            Regex::Plus(inner) => {
+                let f = self.build(inner);
+                let start = self.new_state();
+                let end = self.new_state();
+                self.eps[start as usize].push(f.start);
+                self.eps[f.end as usize].push(end);
+                self.eps[f.end as usize].push(f.start);
+                Frag { start, end }
+            }
+            Regex::Star(inner) => {
+                let f = self.build(inner);
+                let start = self.new_state();
+                let end = self.new_state();
+                self.eps[start as usize].push(f.start);
+                self.eps[f.end as usize].push(end);
+                self.eps[f.end as usize].push(f.start);
+                self.eps[start as usize].push(end);
+                Frag { start, end }
+            }
+            Regex::Optional(inner) => {
+                let f = self.build(inner);
+                let start = self.new_state();
+                let end = self.new_state();
+                self.eps[start as usize].push(f.start);
+                self.eps[f.end as usize].push(end);
+                self.eps[start as usize].push(end);
+                Frag { start, end }
+            }
+        }
+    }
+
+    /// ε-closure of a single state (including itself), as a sorted list.
+    fn eps_closure(&self, state: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.labeled.len()];
+        let mut stack = vec![state];
+        seen[state as usize] = true;
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Builds an ε-free NFA for `r` via Thompson construction + ε-elimination.
+///
+/// ε-elimination: state `s` of the result has transition `(a, t)` iff some
+/// state in `εclosure(s)` has a labeled transition `(a, t)` in the Thompson
+/// automaton, and accepts iff `εclosure(s)` contains the Thompson accept
+/// state. Unreachable states are pruned and ids renumbered (initial = 0).
+pub fn build_thompson(r: &Regex) -> Nfa {
+    let mut eps = EpsNfa::default();
+    let frag = eps.build(r);
+
+    let n = eps.labeled.len();
+    let mut accepting_raw = vec![false; n];
+    let mut rows_raw: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for s in 0..n as u32 {
+        for c in eps.eps_closure(s) {
+            if c == frag.end {
+                accepting_raw[s as usize] = true;
+            }
+            rows_raw[s as usize].extend(eps.labeled[c as usize].iter().copied());
+        }
+    }
+
+    // Prune unreachable states, renumbering so the initial state is 0.
+    let mut order: Vec<u32> = Vec::new();
+    let mut index_of = vec![u32::MAX; n];
+    let mut stack = vec![frag.start];
+    index_of[frag.start as usize] = 0;
+    order.push(frag.start);
+    while let Some(s) = stack.pop() {
+        for &(_, t) in &rows_raw[s as usize] {
+            if index_of[t as usize] == u32::MAX {
+                index_of[t as usize] = order.len() as u32;
+                order.push(t);
+                stack.push(t);
+            }
+        }
+    }
+
+    let rows: Vec<Vec<(u32, u32)>> = order
+        .iter()
+        .map(|&s| {
+            rows_raw[s as usize]
+                .iter()
+                .map(|&(sym, t)| (sym, index_of[t as usize]))
+                .collect()
+        })
+        .collect();
+    let accepting: Vec<bool> = order.iter().map(|&s| accepting_raw[s as usize]).collect();
+
+    Nfa::from_parts(eps.alphabet, rows, accepting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::build_glushkov;
+
+    fn both(src: &str) -> (Nfa, Nfa) {
+        let r = Regex::parse(src).unwrap();
+        (build_thompson(&r), build_glushkov(&r))
+    }
+
+    #[test]
+    fn basic_acceptance() {
+        let n = build_thompson(&Regex::parse("a.b").unwrap());
+        assert!(n.matches(&["a", "b"]));
+        assert!(!n.matches(&["a"]));
+        assert!(!n.matches(&["b", "a"]));
+    }
+
+    #[test]
+    fn closure_acceptance() {
+        let n = build_thompson(&Regex::parse("(b.c)+").unwrap());
+        assert!(n.matches(&["b", "c"]));
+        assert!(n.matches(&["b", "c", "b", "c", "b", "c"]));
+        assert!(!n.matches(&[]));
+        let n = build_thompson(&Regex::parse("(b.c)*").unwrap());
+        assert!(n.matches(&[]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let empty = build_thompson(&Regex::Empty);
+        assert!(!empty.matches(&[]));
+        let eps = build_thompson(&Regex::Epsilon);
+        assert!(eps.matches(&[]));
+        assert!(!eps.matches(&["a"]));
+    }
+
+    #[test]
+    fn agrees_with_glushkov_on_sample_words() {
+        let queries = [
+            "a",
+            "a.b.c",
+            "a|b",
+            "(a|b).c",
+            "(b.c)+",
+            "(b.c)*",
+            "a?.b",
+            "d.(b.c)+.c",
+            "(a.b+.c)+",
+            "(a.b)*.b+.(a.b+.c)+",
+            "a*.b*",
+            "(a|b)*",
+        ];
+        let words: Vec<Vec<&str>> = vec![
+            vec![],
+            vec!["a"],
+            vec!["b"],
+            vec!["c"],
+            vec!["a", "b"],
+            vec!["b", "c"],
+            vec!["a", "b", "c"],
+            vec!["b", "c", "b", "c"],
+            vec!["d", "b", "c", "c"],
+            vec!["d", "b", "c", "b", "c", "c"],
+            vec!["a", "b", "b", "c"],
+            vec!["a", "a", "b"],
+            vec!["a", "b", "a", "b", "b"],
+        ];
+        for q in queries {
+            let (t, g) = both(q);
+            for w in &words {
+                assert_eq!(
+                    t.matches(w),
+                    g.matches(w),
+                    "thompson vs glushkov disagree on query {q}, word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_is_zero_after_renumbering() {
+        let (t, _) = both("a|b.c");
+        // Must be runnable from state 0 with no panics and accept "a".
+        assert!(t.matches(&["a"]));
+        assert!(t.state_count() >= 2);
+    }
+
+    #[test]
+    fn unreachable_states_are_pruned() {
+        // Thompson for `a|b` creates 8 raw states; after ε-elimination and
+        // pruning, far fewer remain reachable.
+        let (t, _) = both("a|b");
+        assert!(t.state_count() <= 4, "got {} states", t.state_count());
+    }
+}

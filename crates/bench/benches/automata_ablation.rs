@@ -1,0 +1,52 @@
+//! Automata-backend ablation: Glushkov vs Thompson(+ε-elimination) vs
+//! subset-construction DFA — construction cost and word-matching cost for
+//! the paper's query shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::{build_glushkov, build_thompson, Dfa};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+fn bench_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_ablation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let queries = [
+        ("simple", "d.(b.c)+.c"),
+        ("nested", "(a.b)*.b+.(a.b+.c)+"),
+        ("alt_heavy", "(a|b|c).(a|b)+.(b|c)*"),
+    ];
+    for (name, src) in queries {
+        let r = Regex::parse(src).unwrap();
+        group.bench_with_input(BenchmarkId::new("glushkov_build", name), &r, |b, r| {
+            b.iter(|| build_glushkov(r))
+        });
+        group.bench_with_input(BenchmarkId::new("thompson_build", name), &r, |b, r| {
+            b.iter(|| build_thompson(r))
+        });
+        group.bench_with_input(BenchmarkId::new("dfa_build", name), &r, |b, r| {
+            b.iter(|| Dfa::from_nfa(&build_glushkov(r)).unwrap())
+        });
+
+        // Matching a long accepted-prefix word.
+        let word: Vec<&str> = std::iter::once("d")
+            .chain(std::iter::repeat_n(["b", "c"], 64).flatten())
+            .chain(std::iter::once("c"))
+            .collect();
+        let nfa = build_glushkov(&r);
+        let dfa = Dfa::from_nfa(&nfa).unwrap();
+        group.bench_with_input(BenchmarkId::new("nfa_match", name), &word, |b, w| {
+            b.iter(|| nfa.matches(w))
+        });
+        group.bench_with_input(BenchmarkId::new("dfa_match", name), &word, |b, w| {
+            b.iter(|| dfa.matches(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

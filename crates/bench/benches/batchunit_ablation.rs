@@ -1,0 +1,48 @@
+//! Batch-unit ablation: Algorithm 2 with the useless/redundant-operation
+//! eliminations (RTC) vs the FullSharing-style join that pays a duplicate
+//! check per successor insert. Shared structures are prebuilt so the bench
+//! isolates the `Pre_G ⋈ R⁺_G ⋈ Post` stage (the paper's Fig. 11 delta).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::{eval_batch_unit_full, eval_batch_unit_rtc, EliminationStats, PreRelation};
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_eval::ProductEvaluator;
+use rpq_reduction::{FullTc, Rtc};
+use rpq_regex::{ClosureKind, Regex};
+use std::time::Duration;
+
+fn bench_batchunit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batchunit_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [2u32, 4] {
+        let graph = rmat_n_scaled(n, 10, 11);
+        let pre_g = ProductEvaluator::new(&graph, &Regex::parse("l2").unwrap()).evaluate();
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let rtc = Rtc::from_pairs(&r_g);
+        let full = FullTc::from_pairs(&r_g);
+        let pre = PreRelation::from(pre_g);
+        let post = vec!["l3".to_string()];
+        let label = format!("RMAT_{n}");
+
+        group.bench_with_input(BenchmarkId::new("rtc_alg2", &label), &pre, |b, pre| {
+            b.iter(|| {
+                let mut stats = EliminationStats::default();
+                eval_batch_unit_rtc(&graph, pre, &rtc, ClosureKind::Plus, &post, &mut stats)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_join", &label), &pre, |b, pre| {
+            b.iter(|| {
+                let mut stats = EliminationStats::default();
+                eval_batch_unit_full(&graph, pre, &full, ClosureKind::Plus, &post, &mut stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batchunit);
+criterion_main!(benches);

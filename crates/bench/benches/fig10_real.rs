@@ -1,0 +1,45 @@
+//! Fig. 10(b): multiple-RPQ response time on real-dataset surrogates
+//! (Robots and Youtube, the sparse and dense ends of the real sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::Strategy;
+use rpq_datasets::surrogate::{robots_like, youtube_like_scaled};
+use rpq_datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+use std::time::Duration;
+
+fn bench_fig10_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_real");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let datasets = [("Robots", robots_like()), ("Youtube(1/4)", youtube_like_scaled(4))];
+    for (name, graph) in &datasets {
+        let sets = generate_workload(
+            &alphabet_of(graph),
+            &WorkloadConfig {
+                rs_per_length: 1,
+                queries_per_set: 4,
+                ..WorkloadConfig::default()
+            },
+        );
+        let queries: Vec<_> = sets[0].queries[..4].to_vec();
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), name),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut engine = rpq_core::Engine::with_strategy(graph, strategy);
+                        engine.evaluate_set(queries).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10_real);
+criterion_main!(benches);

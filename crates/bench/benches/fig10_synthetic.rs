@@ -1,0 +1,49 @@
+//! Fig. 10(a): multiple-RPQ response time of No/Full/RTC on the synthetic
+//! degree sweep (Criterion variant of `experiments fig10`).
+//!
+//! Bench scale is kept small (2^9 vertices, three degree points) so the
+//! whole suite completes quickly; the `experiments` binary runs the full
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::Strategy;
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+use std::time::Duration;
+
+fn bench_fig10_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_synthetic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+
+    for n in [0u32, 2, 4] {
+        let graph = rmat_n_scaled(n, 9, 42 + n as u64);
+        let sets = generate_workload(
+            &alphabet_of(&graph),
+            &WorkloadConfig {
+                rs_per_length: 1,
+                queries_per_set: 4,
+                ..WorkloadConfig::default()
+            },
+        );
+        let queries: Vec<_> = sets[0].queries[..4].to_vec();
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), format!("RMAT_{n}")),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut engine = rpq_core::Engine::with_strategy(&graph, strategy);
+                        engine.evaluate_set(queries).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10_synthetic);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figs. 14–15: amortization with the number of RPQs per set (1, 4, 10) on
+//! an RMAT_3-shaped graph. RTC/Full costs amortize; NoSharing grows
+//! linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::Strategy;
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+use std::time::Duration;
+
+fn bench_fig14_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let graph = rmat_n_scaled(3, 9, 45);
+    let sets = generate_workload(
+        &alphabet_of(&graph),
+        &WorkloadConfig {
+            rs_per_length: 1,
+            queries_per_set: 10,
+            ..WorkloadConfig::default()
+        },
+    );
+    let set = &sets[0];
+    for k in [1usize, 4, 10] {
+        let queries: Vec<_> = set.prefix(k).to_vec();
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), format!("{k}rpqs")),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut engine = rpq_core::Engine::with_strategy(&graph, strategy);
+                        engine.evaluate_set(queries).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Join-planning ablation for closure-free clauses: left-to-right label
+//! joins vs the rare-label-first plan (Koschmieder-style \[10\]). The skewed
+//! alphabet makes the pivot choice matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_eval::{eval_label_sequence, eval_label_sequence_planned};
+use rpq_graph::{GraphBuilder, LabelId};
+use std::time::Duration;
+
+/// A graph with one rare label (64 edges) and three common ones (~20k each).
+fn skewed_graph() -> rpq_graph::LabeledMultigraph {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(4096);
+    for _ in 0..20_000 {
+        for l in ["common0", "common1", "common2"] {
+            b.add_edge(rng.gen_range(0..4096), l, rng.gen_range(0..4096));
+        }
+    }
+    for _ in 0..64 {
+        b.add_edge(rng.gen_range(0..4096), "rare", rng.gen_range(0..4096));
+    }
+    b.build()
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let g = skewed_graph();
+    let seq: Vec<LabelId> = ["common0", "common1", "rare", "common2"]
+        .iter()
+        .map(|n| g.labels().get(n).unwrap())
+        .collect();
+
+    group.bench_function(BenchmarkId::new("left_to_right", "c.c.rare.c"), |b| {
+        b.iter(|| eval_label_sequence(&g, &seq))
+    });
+    group.bench_function(BenchmarkId::new("rare_first", "c.c.rare.c"), |b| {
+        b.iter(|| eval_label_sequence_planned(&g, &seq))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! SCC-structure sensitivity: how the RTC's advantage scales with the
+//! average SCC size of `G_R`.
+//!
+//! This is the structural variable behind every result in the paper —
+//! Section V-B1 explains both the growing speedups (bigger SCCs at higher
+//! degree) and the Yago2s exception (average SCC size 1.00) with it. The
+//! cycle-cluster generator pins |V| and the workload while sweeping the
+//! cluster (= SCC) size from 1 to 32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::Strategy;
+use rpq_datasets::structured::{cycle_clusters, CycleClusterConfig};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+fn bench_scc_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc_sensitivity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    const TOTAL_VERTICES: u32 = 1024;
+    for cluster_size in [1u32, 4, 32] {
+        let graph = cycle_clusters(&CycleClusterConfig {
+            clusters: TOTAL_VERTICES / cluster_size,
+            cluster_size,
+            inter_edges: 2048,
+            labels: 3,
+            seed: 21,
+        });
+        // The paper's workload shape: Pre·R+·Post sharing R = l0.
+        let queries: Vec<Regex> = ["l1.(l0)+.l2", "l2.(l0)+.l1", "l0.(l0)+.l1", "l1.(l0)+.l1"]
+            .iter()
+            .map(|q| Regex::parse(q).unwrap())
+            .collect();
+        for strategy in [Strategy::FullSharing, Strategy::RtcSharing] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), format!("scc_size_{cluster_size}")),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut engine = rpq_core::Engine::with_strategy(&graph, strategy);
+                        engine.evaluate_set(queries).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scc_sensitivity);
+criterion_main!(benches);

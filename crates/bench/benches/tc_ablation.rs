@@ -1,0 +1,50 @@
+//! TC-algorithm ablation (TABLE III empirically): naive per-vertex BFS
+//! (`O(|V_R|·|E_R|)`, what FullSharing pays) vs Purdom-style condensation
+//! closure vs Nuutila-style one-pass, and the RTC-only variant that skips
+//! vertex-level expansion entirely (what RTCSharing pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{tarjan_scc, Condensation, MappedDigraph};
+use rpq_reduction::tc::{closure_of_condensation, nuutila_closure, tc_condensation, tc_naive};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+fn bench_tc_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // G_R for a 2-label closure body on a moderately dense RMAT graph —
+    // the regime where SCCs are large and reduction pays off.
+    for n in [2u32, 4] {
+        let graph = rmat_n_scaled(n, 10, 7);
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let gr = MappedDigraph::from_pairset(&r_g);
+        let label = format!("RMAT_{n}(|V_R|={},|E_R|={})", gr.vertex_count(), gr.edge_count());
+
+        group.bench_with_input(BenchmarkId::new("naive_bfs", &label), &gr, |b, gr| {
+            b.iter(|| tc_naive(&gr.graph))
+        });
+        group.bench_with_input(BenchmarkId::new("purdom_expand", &label), &gr, |b, gr| {
+            b.iter(|| tc_condensation(&gr.graph))
+        });
+        group.bench_with_input(BenchmarkId::new("nuutila", &label), &gr, |b, gr| {
+            b.iter(|| nuutila_closure(&gr.graph))
+        });
+        group.bench_with_input(BenchmarkId::new("rtc_only", &label), &gr, |b, gr| {
+            b.iter(|| {
+                let scc = tarjan_scc(&gr.graph);
+                let cond = Condensation::new(&gr.graph, &scc);
+                closure_of_condensation(&cond)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_ablation);
+criterion_main!(benches);

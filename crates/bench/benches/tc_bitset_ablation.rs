@@ -1,0 +1,54 @@
+//! Closure-representation ablation: sorted-list merge vs word-parallel
+//! bitset rows for the condensation closure (the RTC's core computation).
+//!
+//! Lists win when the closure is sparse (long chains, Yago2s regime);
+//! bitsets win when it is dense (few big SCCs reaching most of the DAG).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_datasets::structured::{cycle_clusters, erdos_renyi, CycleClusterConfig};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{tarjan_scc, Condensation, MappedDigraph};
+use rpq_reduction::{closure_of_condensation, closure_of_condensation_bitset};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+fn condensation_of(graph: &rpq_graph::LabeledMultigraph, query: &str) -> Condensation {
+    let r_g = ProductEvaluator::new(graph, &Regex::parse(query).unwrap()).evaluate();
+    let gr = MappedDigraph::from_pairset(&r_g);
+    let scc = tarjan_scc(&gr.graph);
+    Condensation::new(&gr.graph, &scc)
+}
+
+fn bench_tc_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_bitset_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Sparse regime: 2048 trivial SCCs in a shallow DAG.
+    let sparse = cycle_clusters(&CycleClusterConfig {
+        clusters: 2048,
+        cluster_size: 1,
+        inter_edges: 4096,
+        labels: 1,
+        seed: 31,
+    });
+    // Dense regime: uniform random graph, most SCCs collapse.
+    let dense = erdos_renyi(2048, 16384, 1, 32);
+
+    for (name, graph) in [("sparse_dag", &sparse), ("dense_random", &dense)] {
+        let cond = condensation_of(graph, "l0");
+        let label = format!("{name}(k={})", cond.vertex_count());
+        group.bench_with_input(BenchmarkId::new("lists", &label), &cond, |b, cond| {
+            b.iter(|| closure_of_condensation(cond))
+        });
+        group.bench_with_input(BenchmarkId::new("bitset", &label), &cond, |b, cond| {
+            b.iter(|| closure_of_condensation_bitset(cond))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_bitset);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Text-mode ablation experiments (the quick counterpart of the Criterion
+//! ablation benches, for inclusion in `EXPERIMENTS.md`).
+//!
+//! Three tables:
+//!
+//! 1. **TC algorithms** — naive per-vertex BFS (what FullSharing pays) vs
+//!    Purdom-style expansion vs Nuutila one-pass vs the RTC-only closure
+//!    (what RTCSharing pays) vs the bitset closure, on real `G_R`s.
+//! 2. **Batch-unit evaluation** — Algorithm 2 vs the FullSharing join,
+//!    with the elimination counters that explain the gap.
+//! 3. **SCC sensitivity** — shared sizes and times as the average SCC size
+//!    grows with everything else held fixed.
+
+use crate::profiles::Profile;
+use crate::table::{fmt_ratio, fmt_secs, Table};
+use rpq_core::{eval_batch_unit_full, eval_batch_unit_rtc, EliminationStats, PreRelation};
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::structured::{cycle_clusters, CycleClusterConfig};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{tarjan_scc, Condensation, MappedDigraph};
+use rpq_reduction::{
+    closure_of_condensation, closure_of_condensation_bitset, nuutila_closure, tc_condensation,
+    tc_naive, FullTc, Rtc,
+};
+use rpq_regex::{ClosureKind, Regex};
+use std::time::{Duration, Instant};
+
+/// Times `f` as the minimum of `reps` runs (noise-robust on busy hosts).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+/// Table 1: transitive-closure algorithm comparison on RMAT-derived `G_R`s.
+pub fn tc_algorithms_table(profile: Profile) -> Table {
+    let mut t = Table::new(
+        "Ablation: TC algorithms on G_R",
+        &[
+            "graph",
+            "|V_R|",
+            "|E_R|",
+            "naive(s)",
+            "purdom(s)",
+            "nuutila(s)",
+            "rtc_only(s)",
+            "bitset(s)",
+        ],
+    );
+    for n in [2u32, 4] {
+        let graph = rmat_n_scaled(n, profile.rmat_scale().min(11), 7);
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let gr = MappedDigraph::from_pairset(&r_g);
+        let naive = time_min(3, || tc_naive(&gr.graph));
+        let purdom = time_min(3, || tc_condensation(&gr.graph));
+        let nuutila = time_min(3, || nuutila_closure(&gr.graph));
+        let rtc_only = time_min(3, || {
+            let scc = tarjan_scc(&gr.graph);
+            let cond = Condensation::new(&gr.graph, &scc);
+            closure_of_condensation(&cond)
+        });
+        let scc = tarjan_scc(&gr.graph);
+        let cond = Condensation::new(&gr.graph, &scc);
+        let bitset = time_min(3, || closure_of_condensation_bitset(&cond));
+        t.row(vec![
+            format!("RMAT_{n}"),
+            gr.vertex_count().to_string(),
+            gr.edge_count().to_string(),
+            fmt_secs(naive),
+            fmt_secs(purdom),
+            fmt_secs(nuutila),
+            fmt_secs(rtc_only),
+            fmt_secs(bitset),
+        ]);
+    }
+    t
+}
+
+/// Table 2: Algorithm 2 vs the FullSharing join, with elimination counters.
+pub fn batch_unit_table(profile: Profile) -> Table {
+    let mut t = Table::new(
+        "Ablation: batch-unit evaluation (Pre⋈R+⋈Post)",
+        &[
+            "graph",
+            "alg2(s)",
+            "full_join(s)",
+            "speedup",
+            "redundant1",
+            "redundant2",
+            "useless1",
+            "full_dup_hits",
+        ],
+    );
+    for n in [2u32, 4] {
+        let graph = rmat_n_scaled(n, profile.rmat_scale().min(11), 11);
+        let pre_g = ProductEvaluator::new(&graph, &Regex::parse("l2").unwrap()).evaluate();
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let rtc = Rtc::from_pairs(&r_g);
+        let full = FullTc::from_pairs(&r_g);
+        let pre = PreRelation::from(pre_g);
+        let post = vec!["l3".to_string()];
+
+        let mut stats = EliminationStats::default();
+        let alg2 = time_min(3, || {
+            stats = EliminationStats::default();
+            eval_batch_unit_rtc(&graph, &pre, &rtc, ClosureKind::Plus, &post, &mut stats)
+        });
+        let mut full_stats = EliminationStats::default();
+        let full_join = time_min(3, || {
+            full_stats = EliminationStats::default();
+            eval_batch_unit_full(&graph, &pre, &full, ClosureKind::Plus, &post, &mut full_stats)
+        });
+        t.row(vec![
+            format!("RMAT_{n}"),
+            fmt_secs(alg2),
+            fmt_secs(full_join),
+            fmt_ratio(full_join.as_secs_f64(), alg2.as_secs_f64()),
+            stats.redundant1_skipped.to_string(),
+            stats.redundant2_skipped.to_string(),
+            stats.useless1_skipped.to_string(),
+            full_stats.full_duplicate_hits.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 3: SCC-size sensitivity with |V| and the workload held fixed.
+pub fn scc_sensitivity_table() -> Table {
+    let mut t = Table::new(
+        "Ablation: SCC-size sensitivity (|V|=1024, |E| fixed)",
+        &[
+            "scc_size",
+            "avg_scc",
+            "Full pairs",
+            "RTC pairs",
+            "size ratio",
+            "Full(s)",
+            "RTC(s)",
+            "time ratio",
+        ],
+    );
+    for cluster_size in [1u32, 4, 16, 64] {
+        let graph = cycle_clusters(&CycleClusterConfig {
+            clusters: 1024 / cluster_size,
+            cluster_size,
+            inter_edges: 2048,
+            labels: 3,
+            seed: 21,
+        });
+        let queries: Vec<Regex> = ["l1.(l0)+.l2", "l2.(l0)+.l1", "l0.(l0)+.l1", "l1.(l0)+.l1"]
+            .iter()
+            .map(|q| Regex::parse(q).unwrap())
+            .collect();
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0").unwrap()).evaluate();
+        let rtc = Rtc::from_pairs(&r_g);
+        let full = FullTc::from_pairs(&r_g);
+
+        let full_time = time_min(2, || {
+            let mut e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::FullSharing);
+            e.evaluate_set(&queries).unwrap()
+        });
+        let rtc_time = time_min(2, || {
+            let mut e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::RtcSharing);
+            e.evaluate_set(&queries).unwrap()
+        });
+        t.row(vec![
+            cluster_size.to_string(),
+            format!("{:.2}", rtc.average_scc_size()),
+            full.pair_count().to_string(),
+            rtc.closure_pair_count().to_string(),
+            fmt_ratio(full.pair_count() as f64, rtc.closure_pair_count().max(1) as f64),
+            fmt_secs(full_time),
+            fmt_secs(rtc_time),
+            fmt_ratio(full_time.as_secs_f64(), rtc_time.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_tables_fast_profile() {
+        let t1 = tc_algorithms_table(Profile::Fast);
+        assert_eq!(t1.len(), 2);
+        let t2 = batch_unit_table(Profile::Fast);
+        assert_eq!(t2.len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The experiment driver binary.
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! ```text
+//! cargo run -p rpq-bench --release --bin experiments -- all
+//! cargo run -p rpq-bench --release --bin experiments -- fig10 --profile paper
+//! cargo run -p rpq-bench --release --bin experiments -- table4 --csv results/
+//! ```
+//!
+//! Commands: `table4`, `fig10`, `fig11`, `fig12`, `fig13` (Experiment 1),
+//! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `all`.
+//! Flags: `--profile fast|default|paper` (scale), `--csv DIR` (also write
+//! CSV files).
+
+use rpq_bench::ablation::{batch_unit_table, scc_sensitivity_table, tc_algorithms_table};
+use rpq_bench::datasets::{real_surrogates, synthetic_sweep};
+use rpq_bench::experiments::{
+    fig10_table, fig11_table, fig12_table, fig13_table, fig14_table, fig15_table, run_experiment1,
+    run_experiment2, table4,
+};
+use rpq_bench::profiles::Profile;
+use rpq_bench::table::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    profile: Profile,
+    csv_dir: Option<PathBuf>,
+    commands: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut profile = Profile::Default;
+    let mut csv_dir = None;
+    let mut commands = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                profile = Profile::parse(&v).ok_or(format!("unknown profile '{v}'"))?;
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if commands.is_empty() {
+        commands.push("all".to_string());
+    }
+    Ok(Options {
+        profile,
+        csv_dir,
+        commands,
+    })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments [--profile fast|default|paper] [--csv DIR] \
+         [table4|fig10|fig11|fig12|fig13|fig14|fig15|exp1|exp2|ablation|all]..."
+    );
+}
+
+fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
+    println!("{}", table.render());
+    if let Some(dir) = csv_dir {
+        match table.write_csv(dir) {
+            Ok(path) => eprintln!("  [csv] {}", path.display()),
+            Err(e) => eprintln!("  [csv] write failed: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wants = |names: &[&str]| {
+        opts.commands
+            .iter()
+            .any(|c| names.contains(&c.as_str()) || c == "all")
+    };
+
+    eprintln!(
+        "# profile = {} (use --profile paper for the full-scale TABLE IV sizes)",
+        opts.profile
+    );
+
+    if wants(&["table4"]) {
+        emit(&table4(opts.profile), &opts.csv_dir);
+    }
+
+    let exp1_needed = wants(&["fig10", "fig11", "fig12", "fig13", "exp1"]);
+    if exp1_needed {
+        eprintln!("# experiment 1: degree sweep, {} RPQs per set", opts.profile.fixed_set_size());
+        let synth = synthetic_sweep(opts.profile);
+        let synth_rows = run_experiment1(&synth, opts.profile, opts.profile.fixed_set_size());
+        let real = real_surrogates(opts.profile);
+        let real_rows = run_experiment1(&real, opts.profile, opts.profile.fixed_set_size());
+
+        if wants(&["fig10", "exp1"]) {
+            emit(
+                &fig10_table("Fig 10(a): response time, synthetic", &synth_rows),
+                &opts.csv_dir,
+            );
+            emit(
+                &fig10_table("Fig 10(b): response time, real surrogates", &real_rows),
+                &opts.csv_dir,
+            );
+        }
+        if wants(&["fig11", "exp1"]) {
+            emit(
+                &fig11_table("Fig 11(a): 3-part breakdown, synthetic", &synth_rows),
+                &opts.csv_dir,
+            );
+            emit(
+                &fig11_table("Fig 11(b): 3-part breakdown, real surrogates", &real_rows),
+                &opts.csv_dir,
+            );
+        }
+        if wants(&["fig12", "exp1"]) {
+            emit(
+                &fig12_table("Fig 12(a): shared data size, synthetic", &synth_rows),
+                &opts.csv_dir,
+            );
+            emit(
+                &fig12_table("Fig 12(b): shared data size, real surrogates", &real_rows),
+                &opts.csv_dir,
+            );
+        }
+        if wants(&["fig13", "exp1"]) {
+            emit(
+                &fig13_table("Fig 13(a): number of vertices, synthetic", &synth_rows),
+                &opts.csv_dir,
+            );
+            emit(
+                &fig13_table("Fig 13(b): number of vertices, real surrogates", &real_rows),
+                &opts.csv_dir,
+            );
+        }
+    }
+
+    if wants(&["ablation"]) {
+        eprintln!("# ablations: TC algorithms, batch-unit join, SCC sensitivity");
+        emit(&tc_algorithms_table(opts.profile), &opts.csv_dir);
+        emit(&batch_unit_table(opts.profile), &opts.csv_dir);
+        emit(&scc_sensitivity_table(), &opts.csv_dir);
+    }
+
+    if wants(&["fig14", "fig15", "exp2"]) {
+        eprintln!("# experiment 2: #RPQs sweep on RMAT_3 and Advogato");
+        let rows = run_experiment2(opts.profile);
+        if wants(&["fig14", "exp2"]) {
+            emit(&fig14_table(&rows), &opts.csv_dir);
+        }
+        if wants(&["fig15", "exp2"]) {
+            emit(&fig15_table(&rows), &opts.csv_dir);
+        }
+    }
+
+    ExitCode::SUCCESS
+}

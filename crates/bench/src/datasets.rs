@@ -1,0 +1,112 @@
+//! Dataset registry for the experiments.
+
+use crate::profiles::Profile;
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::surrogate;
+use rpq_graph::{GraphStats, LabeledMultigraph};
+
+/// A named experiment dataset.
+pub struct Dataset {
+    /// Display name (TABLE IV row).
+    pub name: String,
+    /// The graph.
+    pub graph: LabeledMultigraph,
+    /// Whether this is a synthetic RMAT graph (Fig. 10a) or a real-dataset
+    /// surrogate (Fig. 10b).
+    pub synthetic: bool,
+}
+
+impl Dataset {
+    /// TABLE IV statistics for this dataset.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(&self.graph)
+    }
+}
+
+/// The synthetic RMAT_N sweep for a profile (Figs. 10a–13a).
+pub fn synthetic_sweep(profile: Profile) -> Vec<Dataset> {
+    profile
+        .rmat_ns()
+        .into_iter()
+        .map(|n| Dataset {
+            name: format!("RMAT_{n}"),
+            graph: rmat_n_scaled(n, profile.rmat_scale(), 42 + n as u64),
+            synthetic: true,
+        })
+        .collect()
+}
+
+/// The real-dataset surrogates for a profile (Figs. 10b–13b), in ascending
+/// degree order as the paper presents them.
+pub fn real_surrogates(profile: Profile) -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: format!("Yago2s(1/{})", profile.yago_denominator()),
+            graph: surrogate::yago2s_like(profile.yago_denominator()),
+            synthetic: false,
+        },
+        Dataset {
+            name: "Robots".to_string(),
+            graph: surrogate::robots_like(),
+            synthetic: false,
+        },
+        Dataset {
+            name: "Advogato".to_string(),
+            graph: surrogate::advogato_like(),
+            synthetic: false,
+        },
+        Dataset {
+            name: "Youtube".to_string(),
+            graph: surrogate::youtube_like(),
+            synthetic: false,
+        },
+    ]
+}
+
+/// The Experiment 2 datasets: RMAT_3 (median synthetic degree) and the
+/// Advogato surrogate (median real degree).
+pub fn experiment2_datasets(profile: Profile) -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "RMAT_3".to_string(),
+            graph: rmat_n_scaled(3, profile.rmat_scale(), 45),
+            synthetic: true,
+        },
+        Dataset {
+            name: format!("Advogato(1/{})", profile.advogato_denominator_exp2()),
+            graph: surrogate::advogato_like_scaled(profile.advogato_denominator_exp2()),
+            synthetic: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_sweep_shapes() {
+        let sweep = synthetic_sweep(Profile::Fast);
+        assert_eq!(sweep.len(), 3);
+        for ds in &sweep {
+            assert_eq!(ds.graph.vertex_count(), 512);
+            assert_eq!(ds.graph.label_count(), 4);
+            assert!(ds.synthetic);
+        }
+        // Degrees double with N: 2^-2, 2^0, 2^2.
+        let degrees: Vec<f64> = sweep.iter().map(|d| d.stats().degree_per_label).collect();
+        assert!((degrees[0] - 0.25).abs() < 1e-9);
+        assert!((degrees[1] - 1.0).abs() < 1e-9);
+        assert!((degrees[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surrogates_present() {
+        let real = real_surrogates(Profile::Fast);
+        assert_eq!(real.len(), 4);
+        assert!(real.iter().all(|d| !d.synthetic));
+        // Ascending degree ordering (Yago sparsest, Youtube densest).
+        let degrees: Vec<f64> = real.iter().map(|d| d.stats().degree_per_label).collect();
+        assert!(degrees.windows(2).all(|w| w[0] < w[1]), "{degrees:?}");
+    }
+}

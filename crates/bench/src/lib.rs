@@ -1,0 +1,22 @@
+//! Experiment harness regenerating the paper's evaluation (Section V).
+//!
+//! The [`profiles`] module defines three experiment scales (`fast`,
+//! `default`, `paper`); [`datasets`] builds the synthetic degree sweep and
+//! the real-dataset surrogates for a profile; [`runner`] executes a
+//! multiple-RPQ workload under each strategy and captures the metrics the
+//! figures plot; [`experiments`] assembles those metrics into the exact
+//! rows/series of TABLE IV and Figs. 10–15; [`table`] renders aligned text
+//! and CSV.
+//!
+//! The `experiments` binary (`cargo run -p rpq-bench --release --bin
+//! experiments -- all`) drives everything.
+
+pub mod ablation;
+pub mod datasets;
+pub mod experiments;
+pub mod profiles;
+pub mod runner;
+pub mod table;
+
+pub use profiles::Profile;
+pub use runner::{run_query_set, RunMetrics};

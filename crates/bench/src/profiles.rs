@@ -1,0 +1,131 @@
+//! Experiment scale profiles.
+//!
+//! The paper runs on an i7-7700 with 64 GB; this harness defaults to a
+//! scaled-down profile that finishes in minutes while preserving every
+//! per-label degree point (the x-axis of all figures). `paper` reproduces
+//! the full `2^13`-vertex RMAT family of TABLE IV.
+
+/// An experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Smoke-test scale: `2^9`-vertex synthetic graphs, tiny workloads.
+    Fast,
+    /// Default: `2^11`-vertex synthetic graphs, Yago2s at 1/2000 scale.
+    Default,
+    /// Paper scale: `2^13`-vertex RMAT_N (TABLE IV), Yago2s at 1/200.
+    Paper,
+}
+
+impl Profile {
+    /// Parses a profile name.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "fast" => Some(Profile::Fast),
+            "default" => Some(Profile::Default),
+            "paper" => Some(Profile::Paper),
+            _ => None,
+        }
+    }
+
+    /// log2 vertex count of the synthetic RMAT graphs.
+    pub fn rmat_scale(&self) -> u32 {
+        match self {
+            Profile::Fast => 9,
+            Profile::Default => 11,
+            Profile::Paper => 13,
+        }
+    }
+
+    /// The RMAT_N degree exponents to sweep (degree per label = `2^(N-2)`).
+    pub fn rmat_ns(&self) -> Vec<u32> {
+        match self {
+            Profile::Fast => vec![0, 2, 4],
+            Profile::Default | Profile::Paper => vec![0, 1, 2, 3, 4, 5, 6],
+        }
+    }
+
+    /// Yago2s surrogate scale denominator.
+    pub fn yago_denominator(&self) -> usize {
+        match self {
+            Profile::Fast => 20_000,
+            Profile::Default => 2_000,
+            Profile::Paper => 200,
+        }
+    }
+
+    /// Number of distinct `R`s per length in the workload (the paper
+    /// uses 10).
+    pub fn rs_per_length(&self) -> usize {
+        match self {
+            Profile::Fast => 1,
+            Profile::Default => 2,
+            Profile::Paper => 10,
+        }
+    }
+
+    /// Number of `R`s per length for Experiment 2. The #RPQs sweep runs
+    /// every prefix size over every set, so it multiplies query volume by
+    /// ~8x relative to Experiment 1; smaller profiles use fewer sets.
+    pub fn rs_per_length_exp2(&self) -> usize {
+        match self {
+            Profile::Fast | Profile::Default => 1,
+            Profile::Paper => 10,
+        }
+    }
+
+    /// Scale denominator for the Advogato surrogate in Experiment 2
+    /// (degree preserved; see `surrogate::advogato_like_scaled`).
+    pub fn advogato_denominator_exp2(&self) -> usize {
+        match self {
+            Profile::Fast => 4,
+            Profile::Default => 2,
+            Profile::Paper => 1,
+        }
+    }
+
+    /// Multiple-RPQ set sizes for Experiment 2 (the paper's 1..10 ladder).
+    pub fn set_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Fast => vec![1, 4],
+            Profile::Default | Profile::Paper => vec![1, 2, 4, 6, 8, 10],
+        }
+    }
+
+    /// The fixed set size used in Experiment 1 (the paper's median: 4).
+    pub fn fixed_set_size(&self) -> usize {
+        4
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Profile::Fast => "fast",
+            Profile::Default => "default",
+            Profile::Paper => "paper",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in [Profile::Fast, Profile::Default, Profile::Paper] {
+            assert_eq!(Profile::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(Profile::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_profile_matches_table4() {
+        let p = Profile::Paper;
+        assert_eq!(p.rmat_scale(), 13);
+        assert_eq!(p.rmat_ns(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(p.set_sizes(), vec![1, 2, 4, 6, 8, 10]);
+        assert_eq!(p.rs_per_length(), 10);
+        assert_eq!(p.fixed_set_size(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Executes one multiple-RPQ set under one strategy and captures metrics.
+
+use rpq_core::{Breakdown, EliminationStats, Engine, Strategy};
+use rpq_graph::LabeledMultigraph;
+use rpq_regex::Regex;
+use std::time::Duration;
+
+/// Metrics of one multiple-RPQ set evaluation.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Strategy that produced these metrics.
+    pub strategy: Strategy,
+    /// Wall-clock query response time for the whole set (includes building
+    /// reduced graphs, shared data, and all query evaluations — the
+    /// paper's "query response time").
+    pub total: Duration,
+    /// Stage breakdown (`Shared_Data` / `Pre⋈R⁺` / remainder).
+    pub breakdown: Breakdown,
+    /// Operation-elimination counters.
+    pub eliminations: EliminationStats,
+    /// Shared-data size in pairs (`|R̄⁺_G|` or `|R⁺_G|`; 0 for NoSharing).
+    pub shared_pairs: usize,
+    /// Shared-structure vertex count (`|V̄_R|` for RTC, `|V_R|` for Full).
+    pub shared_vertices: usize,
+    /// Total result pairs across all queries (sanity/consistency checks).
+    pub result_pairs: usize,
+}
+
+/// Runs `queries` as one set under `strategy` on a fresh engine.
+///
+/// Returns `None` if any query fails (DNF limit); workload queries never do.
+pub fn run_query_set(
+    graph: &LabeledMultigraph,
+    queries: &[Regex],
+    strategy: Strategy,
+) -> Option<RunMetrics> {
+    let mut engine = Engine::with_strategy(graph, strategy);
+    let results = engine.evaluate_set(queries).ok()?;
+    let result_pairs = results.iter().map(|r| r.len()).sum();
+    let breakdown = *engine.breakdown();
+    let shared_vertices = match strategy {
+        Strategy::NoSharing => 0,
+        Strategy::FullSharing => engine.cache().full_total_vertices(),
+        Strategy::RtcSharing => engine.cache().rtc_total_sccs(),
+    };
+    Some(RunMetrics {
+        strategy,
+        total: breakdown.total,
+        breakdown,
+        eliminations: *engine.elimination_stats(),
+        shared_pairs: engine.shared_data_pairs(),
+        shared_vertices,
+        result_pairs,
+    })
+}
+
+/// Runs the set under all three strategies, asserting result agreement.
+///
+/// The agreement check makes every harness run double as a correctness
+/// test: if any strategy disagrees on any query, the harness panics with
+/// the offending query.
+pub fn run_all_strategies(graph: &LabeledMultigraph, queries: &[Regex]) -> Vec<RunMetrics> {
+    let mut reference: Option<Vec<usize>> = None;
+    let mut out = Vec::with_capacity(3);
+    for strategy in Strategy::ALL {
+        let mut engine = Engine::with_strategy(graph, strategy);
+        let results = engine
+            .evaluate_set(queries)
+            .expect("workload queries stay under the DNF limit");
+        let sizes: Vec<usize> = results.iter().map(|r| r.len()).collect();
+        match &reference {
+            None => reference = Some(sizes),
+            Some(expect) => {
+                for (i, (a, b)) in expect.iter().zip(&sizes).enumerate() {
+                    assert_eq!(
+                        a, b,
+                        "strategy {strategy} disagrees on query {i}: {}",
+                        queries[i]
+                    );
+                }
+            }
+        }
+        let breakdown = *engine.breakdown();
+        let shared_vertices = match strategy {
+            Strategy::NoSharing => 0,
+            Strategy::FullSharing => engine.cache().full_total_vertices(),
+            Strategy::RtcSharing => engine.cache().rtc_total_sccs(),
+        };
+        out.push(RunMetrics {
+            strategy,
+            total: breakdown.total,
+            breakdown,
+            eliminations: *engine.elimination_stats(),
+            shared_pairs: engine.shared_data_pairs(),
+            shared_vertices,
+            result_pairs: results.iter().map(|r| r.len()).sum(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::paper_graph;
+
+    #[test]
+    fn run_metrics_for_paper_query() {
+        let g = paper_graph();
+        let queries = vec![Regex::parse("d.(b.c)+.c").unwrap()];
+        let metrics = run_query_set(&g, &queries, Strategy::RtcSharing).unwrap();
+        assert_eq!(metrics.result_pairs, 2);
+        assert_eq!(metrics.shared_pairs, 3);
+        assert_eq!(metrics.shared_vertices, 3); // 3 SCCs
+        assert!(metrics.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn all_strategies_agree_and_report() {
+        let g = paper_graph();
+        let queries = vec![
+            Regex::parse("d.(b.c)+.c").unwrap(),
+            Regex::parse("a.(b.c)*.c").unwrap(),
+        ];
+        let all = run_all_strategies(&g, &queries);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|m| m.result_pairs == all[0].result_pairs));
+        // NoSharing shares nothing.
+        assert_eq!(all[0].shared_pairs, 0);
+        // RTC shares fewer pairs than Full.
+        assert!(all[2].shared_pairs <= all[1].shared_pairs);
+    }
+}

@@ -1,0 +1,175 @@
+//! The shared-structure cache.
+//!
+//! Algorithm 1 lines 9–11: "If the RTC for R exists, we reuse \[it\].
+//! Otherwise, we compute and store \[it\] to share." The cache key is the
+//! *closure body* `R` (canonicalized), not the closure itself — `R+` and
+//! `R*` share one entry, which is how Example 7's `(a·b)*` reuses the RTC
+//! computed for `a·(a·b)+·b`.
+
+use rpq_reduction::{FullTc, Rtc};
+use rustc_hash::FxHashMap;
+use std::rc::Rc;
+
+/// Cache of shared structures keyed by the canonical form of `R`.
+#[derive(Default)]
+pub struct SharedCache {
+    rtcs: FxHashMap<String, Rc<Rtc>>,
+    fulls: FxHashMap<String, Rc<FullTc>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the RTC for `key`, counting hit/miss.
+    pub fn get_rtc(&mut self, key: &str) -> Option<Rc<Rtc>> {
+        match self.rtcs.get(key) {
+            Some(rtc) => {
+                self.hits += 1;
+                Some(Rc::clone(rtc))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an RTC under `key`.
+    pub fn insert_rtc(&mut self, key: String, rtc: Rc<Rtc>) {
+        self.rtcs.insert(key, rtc);
+    }
+
+    /// Looks up the materialized `R⁺_G` for `key`, counting hit/miss.
+    pub fn get_full(&mut self, key: &str) -> Option<Rc<FullTc>> {
+        match self.fulls.get(key) {
+            Some(full) => {
+                self.hits += 1;
+                Some(Rc::clone(full))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a materialized `R⁺_G` under `key`.
+    pub fn insert_full(&mut self, key: String, full: Rc<FullTc>) {
+        self.fulls.insert(key, full);
+    }
+
+    /// Number of cached RTCs.
+    pub fn rtc_count(&self) -> usize {
+        self.rtcs.len()
+    }
+
+    /// Number of cached full closures.
+    pub fn full_count(&self) -> usize {
+        self.fulls.len()
+    }
+
+    /// Cache hits since creation/clear.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation/clear.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total pairs held in cached RTCs (`Σ |TC(Ḡ_R)|`) — RTCSharing's
+    /// shared-data size in Fig. 12.
+    pub fn rtc_shared_pairs(&self) -> usize {
+        self.rtcs.values().map(|r| r.closure_pair_count()).sum()
+    }
+
+    /// Total pairs held in cached full closures (`Σ |R⁺_G|`) — FullSharing's
+    /// shared-data size in Fig. 12.
+    pub fn full_shared_pairs(&self) -> usize {
+        self.fulls.values().map(|f| f.pair_count()).sum()
+    }
+
+    /// Sum of `|V̄_R|` (SCC counts) across cached RTCs — RTCSharing's
+    /// vertex-count metric in Fig. 13.
+    pub fn rtc_total_sccs(&self) -> usize {
+        self.rtcs.values().map(|r| r.scc_count()).sum()
+    }
+
+    /// Sum of `|V_R|` across cached RTCs.
+    pub fn rtc_total_vr(&self) -> usize {
+        self.rtcs.values().map(|r| r.stats().vr_vertices).sum()
+    }
+
+    /// Sum of `|V_R|` across cached full closures — FullSharing's
+    /// vertex-count metric in Fig. 13.
+    pub fn full_total_vertices(&self) -> usize {
+        self.fulls.values().map(|f| f.vertex_count()).sum()
+    }
+
+    /// Drops all cached structures and resets counters.
+    pub fn clear(&mut self) {
+        self.rtcs.clear();
+        self.fulls.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::PairSet;
+
+    fn sample_rtc() -> Rc<Rtc> {
+        let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        Rc::new(Rtc::from_pairs(&pairs))
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = SharedCache::new();
+        assert!(c.get_rtc("a.b").is_none());
+        assert_eq!(c.misses(), 1);
+        c.insert_rtc("a.b".into(), sample_rtc());
+        assert!(c.get_rtc("a.b").is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.rtc_count(), 1);
+    }
+
+    #[test]
+    fn shared_pair_totals() {
+        let mut c = SharedCache::new();
+        c.insert_rtc("a.b".into(), sample_rtc());
+        // One 2-cycle SCC with a self-reach: closure has 1 pair.
+        assert_eq!(c.rtc_shared_pairs(), 1);
+        let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        c.insert_full("a.b".into(), Rc::new(FullTc::from_pairs(&pairs)));
+        // Full closure: both vertices reach both → 4 pairs.
+        assert_eq!(c.full_shared_pairs(), 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = SharedCache::new();
+        c.insert_rtc("x".into(), sample_rtc());
+        let _ = c.get_rtc("x");
+        c.clear();
+        assert_eq!(c.rtc_count(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn rtc_and_full_are_independent_namespaces() {
+        let mut c = SharedCache::new();
+        c.insert_rtc("k".into(), sample_rtc());
+        assert!(c.get_full("k").is_none());
+        assert_eq!(c.full_count(), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! The [`Engine`] facade: one graph, one strategy, shared caches, timings.
+
+use crate::breakdown::{Breakdown, EliminationStats};
+use crate::cache::SharedCache;
+use crate::error::EngineError;
+use crate::sharing::{eval_query, EvalCtx, SharingKind};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{LabeledMultigraph, PairSet};
+use rpq_regex::{Regex, DEFAULT_CLAUSE_LIMIT};
+use std::time::Instant;
+
+/// Multiple-RPQ evaluation strategy (the comparison set of Section V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Evaluate each query independently with the automaton-based method of
+    /// Yakovets et al. \[5\]; share nothing.
+    NoSharing,
+    /// Share the materialized `R⁺_G` among queries (Abul-Basher \[8\]).
+    FullSharing,
+    /// Share the reduced transitive closure (this paper).
+    RtcSharing,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 3] = [Strategy::NoSharing, Strategy::FullSharing, Strategy::RtcSharing];
+
+    /// The short name used in the paper's figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Strategy::NoSharing => "No",
+            Strategy::FullSharing => "Full",
+            Strategy::RtcSharing => "RTC",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::NoSharing => "NoSharing",
+            Strategy::FullSharing => "FullSharing",
+            Strategy::RtcSharing => "RTCSharing",
+        })
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// DNF clause budget (guards against exponential blow-up).
+    pub dnf_clause_limit: usize,
+    /// Enable the Theorem-2 fast path: a bare closure batch unit
+    /// (`Pre = ε`, `Post = ε`) is answered by direct RTC expansion instead
+    /// of running the general Algorithm 2 join. Results are identical
+    /// (property-tested); disable to benchmark the general path.
+    pub enable_fast_paths: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::RtcSharing,
+            dnf_clause_limit: DEFAULT_CLAUSE_LIMIT,
+            enable_fast_paths: true,
+        }
+    }
+}
+
+/// Outcome of [`Engine::prepare`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepareReport {
+    /// Closure bodies whose shared structure was computed by this call.
+    pub bodies_computed: usize,
+    /// Bodies that were already cached.
+    pub bodies_reused: usize,
+    /// Total shared pairs held after preparation.
+    pub shared_pairs: usize,
+}
+
+/// An RPQ evaluation engine bound to a graph.
+///
+/// The engine owns the shared-structure cache, so evaluating several
+/// queries through one engine gets the amortization the paper measures in
+/// Experiment 2 (Figs. 14–15). [`Engine::breakdown`] exposes the
+/// three-part timing split of Figs. 11/15 and
+/// [`Engine::elimination_stats`] the operation counters behind Section IV-B.
+///
+/// ```
+/// use rpq_core::{Engine, Strategy};
+/// use rpq_graph::fixtures::paper_graph;
+/// use rpq_regex::Regex;
+///
+/// let g = paper_graph();
+/// let mut engine = Engine::new(&g);
+/// let result = engine.evaluate(&Regex::parse("d.(b.c)+.c").unwrap()).unwrap();
+/// assert_eq!(result.len(), 2);
+/// ```
+pub struct Engine<'g> {
+    graph: &'g LabeledMultigraph,
+    config: EngineConfig,
+    cache: SharedCache,
+    breakdown: Breakdown,
+    stats: EliminationStats,
+}
+
+impl<'g> Engine<'g> {
+    /// An engine with the default configuration (RTCSharing).
+    pub fn new(graph: &'g LabeledMultigraph) -> Self {
+        Self::with_config(graph, EngineConfig::default())
+    }
+
+    /// An engine with the given strategy and default limits.
+    pub fn with_strategy(graph: &'g LabeledMultigraph, strategy: Strategy) -> Self {
+        Self::with_config(
+            graph,
+            EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(graph: &'g LabeledMultigraph, config: EngineConfig) -> Self {
+        Self {
+            graph,
+            config,
+            cache: SharedCache::new(),
+            breakdown: Breakdown::default(),
+            stats: EliminationStats::default(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g LabeledMultigraph {
+        self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Evaluates one query, sharing structures with previous evaluations.
+    pub fn evaluate(&mut self, query: &Regex) -> Result<PairSet, EngineError> {
+        let t = Instant::now();
+        let result = match self.config.strategy {
+            Strategy::NoSharing => Ok(ProductEvaluator::new(self.graph, query).evaluate()),
+            Strategy::FullSharing => self.eval_sharing(query, SharingKind::Full),
+            Strategy::RtcSharing => self.eval_sharing(query, SharingKind::Rtc),
+        };
+        self.breakdown.total += t.elapsed();
+        result
+    }
+
+    /// Parses and evaluates a query string.
+    pub fn evaluate_str(&mut self, query: &str) -> Result<PairSet, EngineError> {
+        let q = Regex::parse(query)?;
+        self.evaluate(&q)
+    }
+
+    /// Evaluates a multiple-RPQ set in order, sharing along the way.
+    pub fn evaluate_set(&mut self, queries: &[Regex]) -> Result<Vec<PairSet>, EngineError> {
+        queries.iter().map(|q| self.evaluate(q)).collect()
+    }
+
+    /// Warms the shared cache for a query set before evaluating it.
+    ///
+    /// The paper leaves "optimizing the evaluation order of the batch
+    /// units" as future work (Section IV-A); this realizes the simplest
+    /// useful form: walk the set's plans, collect every closure body, and
+    /// compute each shared structure once up front. Subsequent
+    /// [`Engine::evaluate`] calls only hit the cache, so the first query of
+    /// a set no longer pays for all the shared work (flattening the
+    /// latency profile that Fig. 14 shows for set size 1).
+    ///
+    /// No-op for [`Strategy::NoSharing`].
+    pub fn prepare(&mut self, queries: &[Regex]) -> Result<PrepareReport, EngineError> {
+        let kind = match self.config.strategy {
+            Strategy::NoSharing => {
+                return Ok(PrepareReport::default());
+            }
+            Strategy::FullSharing => SharingKind::Full,
+            Strategy::RtcSharing => SharingKind::Rtc,
+        };
+        let plan = crate::explain::explain_set(queries)?;
+        let mut report = PrepareReport::default();
+        let t = Instant::now();
+        for (key, _) in &plan.shared_bodies {
+            // Re-parse the canonical key back into the body expression and
+            // evaluate the bare closure; the recursion fills the cache for
+            // the body and everything nested inside it.
+            let body = Regex::parse(key).map_err(EngineError::Parse)?;
+            let already = match kind {
+                SharingKind::Rtc => self.cache.get_rtc(key).is_some(),
+                SharingKind::Full => self.cache.get_full(key).is_some(),
+            };
+            if already {
+                report.bodies_reused += 1;
+                continue;
+            }
+            // Evaluating R+ populates the cache entry for R (and any
+            // nested bodies) without retaining the expanded result.
+            self.eval_sharing(&Regex::plus(body), kind)?;
+            report.bodies_computed += 1;
+        }
+        self.breakdown.total += t.elapsed();
+        report.shared_pairs = self.shared_data_pairs();
+        Ok(report)
+    }
+
+    fn eval_sharing(&mut self, query: &Regex, kind: SharingKind) -> Result<PairSet, EngineError> {
+        let mut ctx = EvalCtx {
+            graph: self.graph,
+            cache: &mut self.cache,
+            kind,
+            clause_limit: self.config.dnf_clause_limit,
+            fast_paths: self.config.enable_fast_paths,
+            breakdown: &mut self.breakdown,
+            stats: &mut self.stats,
+        };
+        eval_query(&mut ctx, query)
+    }
+
+    /// End vertices of `query`-paths starting at `source` (selective
+    /// evaluation — does not materialize the full relation and does not
+    /// touch the shared cache).
+    pub fn ends_from(&self, query: &Regex, source: rpq_graph::VertexId) -> Vec<rpq_graph::VertexId> {
+        ProductEvaluator::new(self.graph, query).ends_from(source)
+    }
+
+    /// Start vertices of `query`-paths ending at `target` (selective
+    /// backward evaluation via the reversed automaton).
+    pub fn starts_to(&self, query: &Regex, target: rpq_graph::VertexId) -> Vec<rpq_graph::VertexId> {
+        ProductEvaluator::new(self.graph, query).starts_to(target)
+    }
+
+    /// Whether a `query`-path from `source` to `target` exists (early-exit
+    /// reachability check).
+    pub fn check(
+        &self,
+        query: &Regex,
+        source: rpq_graph::VertexId,
+        target: rpq_graph::VertexId,
+    ) -> bool {
+        rpq_eval::witness::find_witness(self.graph, query, source, target).is_some()
+    }
+
+    /// Accumulated stage timings since the last [`Engine::reset_metrics`].
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+
+    /// Accumulated elimination counters.
+    pub fn elimination_stats(&self) -> &EliminationStats {
+        &self.stats
+    }
+
+    /// The shared-structure cache (hit/miss counters, sizes).
+    pub fn cache(&self) -> &SharedCache {
+        &self.cache
+    }
+
+    /// Total pairs held in shared structures — the "shared data size"
+    /// metric of Fig. 12 for the active strategy.
+    pub fn shared_data_pairs(&self) -> usize {
+        match self.config.strategy {
+            Strategy::NoSharing => 0,
+            Strategy::FullSharing => self.cache.full_shared_pairs(),
+            Strategy::RtcSharing => self.cache.rtc_shared_pairs(),
+        }
+    }
+
+    /// Clears timing/counter accumulators but keeps cached structures.
+    pub fn reset_metrics(&mut self) {
+        self.breakdown.reset();
+        self.stats.reset();
+    }
+
+    /// Drops all cached shared structures (and resets metrics).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+        self.reset_metrics();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::paper_graph;
+    use rpq_graph::VertexId;
+
+    #[test]
+    fn all_strategies_agree_on_example1() {
+        let g = paper_graph();
+        for strategy in Strategy::ALL {
+            let mut e = Engine::with_strategy(&g, strategy);
+            let r = e.evaluate_str("d.(b.c)+.c").unwrap();
+            assert_eq!(r.len(), 2, "{strategy}");
+            assert!(r.contains(VertexId(7), VertexId(5)));
+            assert!(r.contains(VertexId(7), VertexId(3)));
+        }
+    }
+
+    #[test]
+    fn example7_query_sequence_shares_rtcs() {
+        // The three queries of Example 7, evaluated as one set.
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        let queries = [
+            Regex::parse("a").unwrap(),
+            Regex::parse("a.(a.b)+.b").unwrap(),
+            Regex::parse("(a.b)*.b+.(a.b+.c)+").unwrap(),
+        ];
+        let results = e.evaluate_set(&queries).unwrap();
+        assert_eq!(results.len(), 3);
+        // RTCs cached: a·b (reused by (a·b)*), b (reused inside a·b+·c),
+        // and a·b+·c — at least 3 distinct closure bodies.
+        assert!(e.cache().rtc_count() >= 3, "cached {}", e.cache().rtc_count());
+        // The reuse described in Example 7 means at least two cache hits.
+        assert!(e.cache().hits() >= 2, "hits {}", e.cache().hits());
+    }
+
+    #[test]
+    fn evaluate_set_amortizes_shared_data() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        let q = Regex::parse("d.(b.c)+.c").unwrap();
+        e.evaluate(&q).unwrap();
+        let misses_after_first = e.cache().misses();
+        e.evaluate(&q).unwrap();
+        // Second evaluation hits the cache; no new misses.
+        assert_eq!(e.cache().misses(), misses_after_first);
+        assert!(e.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        e.evaluate_str("d.(b.c)+.c").unwrap();
+        let b = *e.breakdown();
+        assert!(b.total > std::time::Duration::ZERO);
+        assert!(b.total >= b.shared_data + b.pre_join);
+        e.reset_metrics();
+        assert_eq!(e.breakdown().total, std::time::Duration::ZERO);
+        // Cache survives metric reset.
+        assert_eq!(e.cache().rtc_count(), 1);
+        e.clear_cache();
+        assert_eq!(e.cache().rtc_count(), 0);
+    }
+
+    #[test]
+    fn shared_data_pairs_by_strategy() {
+        let g = paper_graph();
+        let mut no = Engine::with_strategy(&g, Strategy::NoSharing);
+        no.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(no.shared_data_pairs(), 0);
+
+        let mut rtc = Engine::with_strategy(&g, Strategy::RtcSharing);
+        rtc.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(rtc.shared_data_pairs(), 3); // TC(Ḡ_{b·c}) has 3 pairs
+
+        let mut full = Engine::with_strategy(&g, Strategy::FullSharing);
+        full.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(full.shared_data_pairs(), 10); // |（b·c)+_G| = 10
+    }
+
+    #[test]
+    fn prepare_warms_the_cache() {
+        let g = paper_graph();
+        let queries = [
+            Regex::parse("a.(b.c)+.d").unwrap(),
+            Regex::parse("d.(b.c)*.c").unwrap(),
+            Regex::parse("c.(a.b)+").unwrap(),
+        ];
+        let mut e = Engine::new(&g);
+        let report = e.prepare(&queries).unwrap();
+        assert_eq!(report.bodies_computed, 2); // b·c and a·b
+        assert_eq!(report.bodies_reused, 0);
+        assert_eq!(e.cache().rtc_count(), 2);
+        // Evaluation now never misses.
+        let misses = e.cache().misses();
+        let results = e.evaluate_set(&queries).unwrap();
+        assert_eq!(e.cache().misses(), misses);
+        // Results agree with an unprepared engine.
+        let plain = Engine::new(&g).evaluate_set(&queries).unwrap();
+        assert_eq!(results, plain);
+        // Preparing again reuses everything.
+        let again = e.prepare(&queries).unwrap();
+        assert_eq!(again.bodies_computed, 0);
+        assert_eq!(again.bodies_reused, 2);
+    }
+
+    #[test]
+    fn selective_apis_match_full_evaluation() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        let q = Regex::parse("d.(b.c)+.c").unwrap();
+        let full = e.evaluate(&q).unwrap();
+        // ends_from / starts_to / check agree with the materialized result.
+        let ends: Vec<u32> = e.ends_from(&q, VertexId(7)).iter().map(|v| v.raw()).collect();
+        assert_eq!(ends, vec![3, 5]);
+        let starts: Vec<u32> = e.starts_to(&q, VertexId(5)).iter().map(|v| v.raw()).collect();
+        assert_eq!(starts, vec![7]);
+        assert!(e.check(&q, VertexId(7), VertexId(3)));
+        assert!(!e.check(&q, VertexId(7), VertexId(4)));
+        for (s, d) in full.iter() {
+            assert!(e.check(&q, s, d));
+        }
+    }
+
+    #[test]
+    fn prepare_is_noop_for_nosharing() {
+        let g = paper_graph();
+        let mut e = Engine::with_strategy(&g, Strategy::NoSharing);
+        let report = e.prepare(&[Regex::parse("(b.c)+").unwrap()]).unwrap();
+        assert_eq!(report, PrepareReport::default());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        assert!(matches!(e.evaluate_str("(a"), Err(EngineError::Parse(_))));
+    }
+
+    #[test]
+    fn dnf_limit_respected() {
+        let g = paper_graph();
+        let mut e = Engine::with_config(
+            &g,
+            EngineConfig {
+                strategy: Strategy::RtcSharing,
+                dnf_clause_limit: 2,
+                ..EngineConfig::default()
+            },
+        );
+        // (a|b).(a|b) needs 4 clauses > 2.
+        let err = e.evaluate_str("(a|b).(a|b)").unwrap_err();
+        assert!(matches!(err, EngineError::Dnf(_)));
+    }
+
+    #[test]
+    fn elimination_stats_populated_for_rtc() {
+        let g = paper_graph();
+        // Disable the Theorem-2 fast path so the bare closure runs through
+        // the general Algorithm 2 join and populates the counters.
+        let mut e = Engine::with_config(
+            &g,
+            EngineConfig {
+                enable_fast_paths: false,
+                ..EngineConfig::default()
+            },
+        );
+        e.evaluate_str("(b.c)+").unwrap();
+        let s = *e.elimination_stats();
+        // Identity Pre over 10 vertices, 5 outside V_{b·c}.
+        assert_eq!(s.useless1_skipped, 5);
+        assert!(s.useless2_unchecked_inserts > 0);
+    }
+
+    #[test]
+    fn fast_path_matches_general_path() {
+        let g = paper_graph();
+        for q in ["(b.c)+", "(b.c)*", "(b|c)+", "b+", "c*"] {
+            let fast = Engine::new(&g).evaluate_str(q).unwrap();
+            let general = Engine::with_config(
+                &g,
+                EngineConfig {
+                    enable_fast_paths: false,
+                    ..EngineConfig::default()
+                },
+            )
+            .evaluate_str(q)
+            .unwrap();
+            assert_eq!(fast, general, "fast path diverged on {q}");
+        }
+    }
+}

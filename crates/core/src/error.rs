@@ -1,0 +1,56 @@
+//! Engine error type.
+
+use rpq_regex::{DnfError, ParseError};
+use std::fmt;
+
+/// Errors surfaced by query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// DNF conversion exceeded its clause budget.
+    Dnf(DnfError),
+    /// A query string failed to parse (only from the string-accepting
+    /// convenience APIs).
+    Parse(ParseError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dnf(e) => write!(f, "{e}"),
+            EngineError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Dnf(e) => Some(e),
+            EngineError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<DnfError> for EngineError {
+    fn from(e: DnfError) -> Self {
+        EngineError::Dnf(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: EngineError = DnfError::TooManyClauses { limit: 8 }.into();
+        assert!(e.to_string().contains("clause limit"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

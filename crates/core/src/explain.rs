@@ -1,0 +1,323 @@
+//! Query-plan introspection (`EXPLAIN` for RPQs).
+//!
+//! Renders the exact plan Algorithm 1 will execute — the DNF clauses, each
+//! clause's `Pre · R^(+|*) · Post` decomposition, the recursion into `Pre`,
+//! and which closure bodies are shared — without evaluating anything.
+//! The textual rendering mirrors the recursion trees of the paper's Fig. 7.
+
+use crate::error::EngineError;
+use rpq_regex::{decompose, to_dnf_with_limit, ClosureKind, Regex, DEFAULT_CLAUSE_LIMIT};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// The plan for one query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The (normalized) query text.
+    pub query: String,
+    /// One plan per DNF clause, in evaluation order.
+    pub clauses: Vec<ClausePlan>,
+}
+
+/// The plan for one DNF clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClausePlan {
+    /// Closure-free clause: evaluated by label-edge joins
+    /// (`EvalRPQwithoutKC`). An empty label list is the `ε` clause.
+    LabelJoin {
+        /// The label sequence.
+        labels: Vec<String>,
+    },
+    /// A batch unit `Pre · R^(+|*) · Post` (Algorithm 2).
+    BatchUnit {
+        /// The recursive plan for `Pre` (`None` when `Pre = ε`).
+        pre: Option<Box<QueryPlan>>,
+        /// Cache key of the closure body `R`.
+        r_key: String,
+        /// Plus or star.
+        closure: ClosureKind,
+        /// The closure-free postfix labels.
+        post: Vec<String>,
+    },
+}
+
+/// A plan for a multiple-RPQ set with sharing analysis.
+#[derive(Clone, Debug)]
+pub struct SetPlan {
+    /// Per-query plans in evaluation order.
+    pub queries: Vec<QueryPlan>,
+    /// Closure bodies and how many batch units reference each (sorted by
+    /// descending reference count, then key). Counts > 1 mean the RTC is
+    /// computed once and shared.
+    pub shared_bodies: Vec<(String, usize)>,
+}
+
+/// Explains one query with the default clause budget.
+pub fn explain(query: &Regex) -> Result<QueryPlan, EngineError> {
+    explain_with_limit(query, DEFAULT_CLAUSE_LIMIT)
+}
+
+/// Explains one query with an explicit clause budget.
+pub fn explain_with_limit(query: &Regex, limit: usize) -> Result<QueryPlan, EngineError> {
+    let clauses = to_dnf_with_limit(query, limit)?;
+    let mut plans = Vec::with_capacity(clauses.len());
+    for clause in &clauses {
+        let unit = decompose(clause);
+        let plan = match unit.closure {
+            None => ClausePlan::LabelJoin { labels: unit.post },
+            Some((r, kind)) => {
+                let pre = if unit.pre == Regex::Epsilon {
+                    None
+                } else {
+                    Some(Box::new(explain_with_limit(&unit.pre, limit)?))
+                };
+                ClausePlan::BatchUnit {
+                    pre,
+                    r_key: r.canonical_key(),
+                    closure: kind,
+                    post: unit.post,
+                }
+            }
+        };
+        plans.push(plan);
+    }
+    Ok(QueryPlan {
+        query: query.to_string(),
+        clauses: plans,
+    })
+}
+
+/// Explains a query set and reports which closure bodies are shared.
+pub fn explain_set(queries: &[Regex]) -> Result<SetPlan, EngineError> {
+    let mut plans = Vec::with_capacity(queries.len());
+    let mut counts: FxHashMap<String, usize> = FxHashMap::default();
+    for q in queries {
+        let plan = explain(q)?;
+        count_bodies(&plan, &mut counts);
+        plans.push(plan);
+    }
+    let mut shared_bodies: Vec<(String, usize)> = counts.into_iter().collect();
+    shared_bodies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(SetPlan {
+        queries: plans,
+        shared_bodies,
+    })
+}
+
+fn count_bodies(plan: &QueryPlan, counts: &mut FxHashMap<String, usize>) {
+    for clause in &plan.clauses {
+        if let ClausePlan::BatchUnit { pre, r_key, .. } = clause {
+            *counts.entry(r_key.clone()).or_insert(0) += 1;
+            if let Some(pre) = pre {
+                count_bodies(pre, counts);
+            }
+        }
+    }
+}
+
+impl QueryPlan {
+    /// Total number of batch units across the whole recursion.
+    pub fn batch_unit_count(&self) -> usize {
+        self.clauses
+            .iter()
+            .map(|c| match c {
+                ClausePlan::LabelJoin { .. } => 0,
+                ClausePlan::BatchUnit { pre, .. } => {
+                    1 + pre.as_ref().map_or(0, |p| p.batch_unit_count())
+                }
+            })
+            .sum()
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&format!("{pad}query {}\n", self.query));
+        for (i, clause) in self.clauses.iter().enumerate() {
+            match clause {
+                ClausePlan::LabelJoin { labels } => {
+                    let seq = if labels.is_empty() {
+                        "ε".to_string()
+                    } else {
+                        labels.join("·")
+                    };
+                    out.push_str(&format!("{pad}  clause {i}: label-join [{seq}]\n"));
+                }
+                ClausePlan::BatchUnit {
+                    pre,
+                    r_key,
+                    closure,
+                    post,
+                } => {
+                    let post_s = if post.is_empty() {
+                        "ε".to_string()
+                    } else {
+                        post.join("·")
+                    };
+                    out.push_str(&format!(
+                        "{pad}  clause {i}: batch-unit Pre·({r_key}){closure}·{post_s}\n"
+                    ));
+                    match pre {
+                        None => out.push_str(&format!("{pad}    pre: ε\n")),
+                        Some(p) => {
+                            out.push_str(&format!("{pad}    pre:\n"));
+                            p.render(indent + 3, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        f.write_str(out.trim_end())
+    }
+}
+
+impl fmt::Display for SetPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for plan in &self.queries {
+            writeln!(f, "{plan}")?;
+        }
+        writeln!(f, "shared closure bodies:")?;
+        for (key, count) in &self.shared_bodies {
+            writeln!(f, "  {key}  x{count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(src: &str) -> QueryPlan {
+        explain(&Regex::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn closure_free_query_is_label_join() {
+        let p = plan("a.b.c");
+        assert_eq!(p.clauses.len(), 1);
+        assert_eq!(
+            p.clauses[0],
+            ClausePlan::LabelJoin {
+                labels: vec!["a".into(), "b".into(), "c".into()]
+            }
+        );
+        assert_eq!(p.batch_unit_count(), 0);
+    }
+
+    #[test]
+    fn paper_query_plan_shape() {
+        let p = plan("d.(b.c)+.c");
+        assert_eq!(p.clauses.len(), 1);
+        match &p.clauses[0] {
+            ClausePlan::BatchUnit {
+                pre,
+                r_key,
+                closure,
+                post,
+            } => {
+                assert_eq!(r_key, "b.c");
+                assert_eq!(*closure, ClosureKind::Plus);
+                assert_eq!(post, &vec!["c".to_string()]);
+                // Pre = d is itself a single label-join plan.
+                let pre = pre.as_ref().unwrap();
+                assert_eq!(pre.query, "d");
+                assert_eq!(pre.batch_unit_count(), 0);
+            }
+            other => panic!("expected batch unit, got {other:?}"),
+        }
+        assert_eq!(p.batch_unit_count(), 1);
+    }
+
+    #[test]
+    fn example7_nested_plan() {
+        // (a·b)*·b+·(a·b+·c)+ — Fig. 7's right-hand recursion tree.
+        let p = plan("(a.b)*.b+.(a.b+.c)+");
+        assert_eq!(p.batch_unit_count(), 3); // outer, b+, (a.b)*
+        match &p.clauses[0] {
+            ClausePlan::BatchUnit { pre, r_key, .. } => {
+                assert_eq!(r_key, "a.b+.c");
+                let pre = pre.as_ref().unwrap();
+                assert_eq!(pre.query, "(a.b)*.b+");
+                match &pre.clauses[0] {
+                    ClausePlan::BatchUnit { pre: pre2, r_key, .. } => {
+                        assert_eq!(r_key, "b");
+                        let pre2 = pre2.as_ref().unwrap();
+                        assert_eq!(pre2.query, "(a.b)*");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_produces_multiple_clauses() {
+        let p = plan("a|b+.c");
+        assert_eq!(p.clauses.len(), 2);
+        assert!(matches!(p.clauses[0], ClausePlan::LabelJoin { .. }));
+        assert!(matches!(p.clauses[1], ClausePlan::BatchUnit { .. }));
+    }
+
+    #[test]
+    fn set_plan_counts_shared_bodies() {
+        let queries = [
+            Regex::parse("a.(b.c)+.d").unwrap(),
+            Regex::parse("d.(b.c)+").unwrap(),
+            Regex::parse("(b.c)*").unwrap(),
+            Regex::parse("x+.y").unwrap(),
+        ];
+        let sp = explain_set(&queries).unwrap();
+        assert_eq!(sp.queries.len(), 4);
+        // b.c referenced by 3 batch units; x by 1.
+        assert_eq!(sp.shared_bodies[0], ("b.c".to_string(), 3));
+        assert!(sp.shared_bodies.contains(&("x".to_string(), 1)));
+    }
+
+    #[test]
+    fn nested_bodies_are_counted() {
+        // (a.b+.c)+ references both a·b+·c and (inside its Pre recursion
+        // when evaluated) b — explain counts the bodies visible in the
+        // plan tree: the outer body only, since R's own evaluation is not
+        // part of the clause plan.
+        let sp = explain_set(&[Regex::parse("(a.b+.c)+").unwrap()]).unwrap();
+        assert_eq!(sp.shared_bodies[0].0, "a.b+.c");
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let p = plan("d.(b.c)+.c");
+        let text = p.to_string();
+        assert!(text.contains("query d.(b.c)+.c"), "{text}");
+        assert!(text.contains("batch-unit"), "{text}");
+        assert!(text.contains("(b.c)+"), "{text}");
+        let sp = explain_set(&[Regex::parse("d.(b.c)+.c").unwrap()]).unwrap();
+        let text = sp.to_string();
+        assert!(text.contains("shared closure bodies:"), "{text}");
+        assert!(text.contains("b.c  x1"), "{text}");
+    }
+
+    #[test]
+    fn epsilon_clause_plan() {
+        let p = plan("a?");
+        assert_eq!(p.clauses.len(), 2);
+        assert_eq!(
+            p.clauses[1],
+            ClausePlan::LabelJoin { labels: vec![] }
+        );
+    }
+
+    #[test]
+    fn explain_respects_clause_limit() {
+        let big = Regex::parse("(a|b).(a|b).(a|b)").unwrap();
+        assert!(explain_with_limit(&big, 4).is_err());
+        assert!(explain_with_limit(&big, 8).is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! The recursive query driver — Algorithm 1 (`RTCSharing`) and its
+//! FullSharing twin.
+//!
+//! Both sharing strategies walk the same recursion:
+//!
+//! 1. convert the query to DNF, outermost closures opaque (line 2);
+//! 2. decompose each clause into `Pre · R^(+|*) · Post` (line 4);
+//! 3. closure-free clauses go to `EvalRPQwithoutKC` — label joins (line 6);
+//! 4. `Pre` is evaluated by recursion (line 8), `R` likewise when the
+//!    shared structure is missing (line 10);
+//! 5. the shared structure is cached by the canonical form of `R`
+//!    (lines 9–11) and the batch unit evaluated (line 12);
+//! 6. clause results are unioned (line 13).
+//!
+//! The only difference between the strategies is the shared structure and
+//! the batch-unit evaluator: `Rtc` + Algorithm 2 vs `FullTc` + the plain
+//! join — exactly the delta the paper measures.
+
+use crate::batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
+use crate::breakdown::{Breakdown, EliminationStats};
+use crate::cache::SharedCache;
+use crate::error::EngineError;
+use crate::pre_relation::PreRelation;
+use rpq_eval::label_seq::eval_label_names;
+use rpq_graph::{LabeledMultigraph, PairSet};
+use rpq_reduction::{FullTc, Rtc};
+use rpq_regex::{decompose, to_dnf_with_limit, Regex};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Which shared structure the recursion maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SharingKind {
+    Rtc,
+    Full,
+}
+
+/// Mutable evaluation context threaded through the recursion.
+pub(crate) struct EvalCtx<'g, 'c> {
+    pub graph: &'g LabeledMultigraph,
+    pub cache: &'c mut SharedCache,
+    pub kind: SharingKind,
+    pub clause_limit: usize,
+    pub fast_paths: bool,
+    pub breakdown: &'c mut Breakdown,
+    pub stats: &'c mut EliminationStats,
+}
+
+/// Algorithm 1, parameterized by the sharing kind.
+pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet, EngineError> {
+    let clauses = to_dnf_with_limit(q, ctx.clause_limit)?;
+    let mut q_g = PairSet::new();
+    for clause in &clauses {
+        let unit = decompose(clause);
+        let clause_g = match unit.closure {
+            // Line 6: no Kleene closure — the whole clause is Post.
+            None => eval_label_names(ctx.graph, &unit.post),
+            Some((r, closure_kind)) => {
+                // Line 8: evaluate Pre by recursion (ε stays symbolic).
+                let pre = if unit.pre == Regex::Epsilon {
+                    PreRelation::Identity(ctx.graph.vertex_count())
+                } else {
+                    PreRelation::Pairs(eval_query(ctx, &unit.pre)?)
+                };
+                // Lines 9–11: fetch or compute the shared structure for R.
+                let key = r.canonical_key();
+                match ctx.kind {
+                    SharingKind::Rtc => {
+                        let rtc = match ctx.cache.get_rtc(&key) {
+                            Some(rtc) => rtc,
+                            None => {
+                                let r_g = eval_query(ctx, &r)?;
+                                let t = Instant::now();
+                                let rtc = Rc::new(Rtc::from_pairs(&r_g));
+                                ctx.breakdown.shared_data += t.elapsed();
+                                ctx.cache.insert_rtc(key, Rc::clone(&rtc));
+                                rtc
+                            }
+                        };
+                        // Theorem 2 fast path: a bare closure (`Pre = ε`,
+                        // `Post = ε`) is exactly the RTC expansion, with the
+                        // identity relation unioned in for `R*`.
+                        if ctx.fast_paths
+                            && matches!(pre, PreRelation::Identity(_))
+                            && unit.post.is_empty()
+                        {
+                            let t = Instant::now();
+                            let mut result = rtc.expand();
+                            if closure_kind == rpq_regex::ClosureKind::Star {
+                                result = result
+                                    .union(&PairSet::identity(ctx.graph.vertex_count()));
+                            }
+                            ctx.breakdown.pre_join += t.elapsed();
+                            result
+                        } else {
+                            // Line 12: the optimized batch unit (Algorithm 2).
+                            let out = eval_batch_unit_rtc(
+                                ctx.graph,
+                                &pre,
+                                &rtc,
+                                closure_kind,
+                                &unit.post,
+                                ctx.stats,
+                            );
+                            ctx.breakdown.pre_join += out.pre_join;
+                            out.result
+                        }
+                    }
+                    SharingKind::Full => {
+                        let full = match ctx.cache.get_full(&key) {
+                            Some(full) => full,
+                            None => {
+                                let r_g = eval_query(ctx, &r)?;
+                                let t = Instant::now();
+                                let full = Rc::new(FullTc::from_pairs(&r_g));
+                                ctx.breakdown.shared_data += t.elapsed();
+                                ctx.cache.insert_full(key, Rc::clone(&full));
+                                full
+                            }
+                        };
+                        let out = eval_batch_unit_full(
+                            ctx.graph,
+                            &pre,
+                            &full,
+                            closure_kind,
+                            &unit.post,
+                            ctx.stats,
+                        );
+                        ctx.breakdown.pre_join += out.pre_join;
+                        out.result
+                    }
+                }
+            }
+        };
+        // Line 13: union the clause result.
+        q_g.union_in_place(&clause_g);
+    }
+    Ok(q_g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::paper_graph;
+    use rpq_graph::VertexId;
+
+    fn run(kind: SharingKind, src: &str) -> (PairSet, SharedCache) {
+        let g = paper_graph();
+        let mut cache = SharedCache::new();
+        let mut breakdown = Breakdown::default();
+        let mut stats = EliminationStats::default();
+        let mut ctx = EvalCtx {
+            graph: &g,
+            cache: &mut cache,
+            kind,
+            clause_limit: 1024,
+            fast_paths: false,
+            breakdown: &mut breakdown,
+            stats: &mut stats,
+        };
+        let q = Regex::parse(src).unwrap();
+        let r = eval_query(&mut ctx, &q).unwrap();
+        (r, cache)
+    }
+
+    #[test]
+    fn example1_rtc_and_full_agree() {
+        let (rtc_res, _) = run(SharingKind::Rtc, "d.(b.c)+.c");
+        let (full_res, _) = run(SharingKind::Full, "d.(b.c)+.c");
+        assert_eq!(rtc_res, full_res);
+        assert_eq!(rtc_res.len(), 2);
+        assert!(rtc_res.contains(VertexId(7), VertexId(5)));
+        assert!(rtc_res.contains(VertexId(7), VertexId(3)));
+    }
+
+    #[test]
+    fn closure_free_query_uses_label_joins() {
+        let (res, cache) = run(SharingKind::Rtc, "b.c");
+        assert_eq!(res.len(), 5);
+        assert_eq!(cache.rtc_count(), 0); // no closure → nothing cached
+    }
+
+    #[test]
+    fn rtc_cached_once_per_closure_body() {
+        // Two closures with the same body must share one RTC.
+        let (_, cache) = run(SharingKind::Rtc, "d.(b.c)+.c | a.(b.c)+");
+        assert_eq!(cache.rtc_count(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn nested_closures_cache_inner_bodies() {
+        // (a.b)*.b+ caches RTCs for both a·b and b.
+        let (_, cache) = run(SharingKind::Rtc, "(a.b)*.b+");
+        assert_eq!(cache.rtc_count(), 2);
+    }
+
+    #[test]
+    fn alternation_unions_clauses() {
+        let (res, _) = run(SharingKind::Rtc, "b.c | d");
+        let g = paper_graph();
+        let bc = rpq_eval::evaluate_algebraic(&g, &Regex::parse("b.c").unwrap());
+        let d = rpq_eval::evaluate_algebraic(&g, &Regex::parse("d").unwrap());
+        assert_eq!(res, bc.union(&d));
+    }
+
+    #[test]
+    fn plus_and_star_share_one_cache_entry() {
+        let (_, cache) = run(SharingKind::Rtc, "(b.c)+ | (b.c)*");
+        assert_eq!(cache.rtc_count(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn epsilon_query() {
+        let (res, _) = run(SharingKind::Rtc, "()");
+        assert_eq!(res, PairSet::identity(10));
+    }
+
+    #[test]
+    fn matches_oracle_on_fixture_queries() {
+        let g = paper_graph();
+        for q in [
+            "a",
+            "b.c",
+            "(b.c)+",
+            "(b.c)*",
+            "d.(b.c)+.c",
+            "d.(b.c)*.c",
+            "a.(a.b)+.b",
+            "(a.b)*.b+",
+            "b?",
+            "(b|c)+",
+            "c.(b.c)*",
+            "(b.c)+|(c.b)+",
+        ] {
+            let oracle = rpq_eval::evaluate_algebraic(&g, &Regex::parse(q).unwrap());
+            let (rtc_res, _) = run(SharingKind::Rtc, q);
+            let (full_res, _) = run(SharingKind::Full, q);
+            assert_eq!(rtc_res, oracle, "RTC vs oracle on {q}");
+            assert_eq!(full_res, oracle, "Full vs oracle on {q}");
+        }
+    }
+}

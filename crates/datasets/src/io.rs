@@ -1,0 +1,143 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format: one `src label dst` triple per line, whitespace-separated;
+//! `#`-prefixed lines and blank lines are ignored. An optional header
+//! `# vertices N` pins the vertex count (for trailing isolated vertices).
+
+use rpq_graph::{GraphBuilder, GraphError, LabeledMultigraph};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `graph` in edge-list format.
+pub fn write_edge_list<W: Write>(graph: &LabeledMultigraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {}", graph.vertex_count())?;
+    for (src, label, dst) in graph.all_edges() {
+        writeln!(w, "{} {} {}", src.raw(), graph.labels().name(label), dst.raw())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph in edge-list format.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledMultigraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let r = BufReader::new(reader);
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("vertices") {
+                if let Some(n) = parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                    builder.ensure_vertices(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (src, label, dst) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(l), Some(d)) => (s, l, d),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected 'src label dst', got '{trimmed}'"),
+                })
+            }
+        };
+        let src: u32 = src.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("bad source vertex '{src}'"),
+        })?;
+        let dst: u32 = dst.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("bad target vertex '{dst}'"),
+        })?;
+        builder.add_edge(src, label, dst);
+    }
+    Ok(builder.build())
+}
+
+/// Writes `graph` to a file.
+pub fn save_graph(graph: &LabeledMultigraph, path: &Path) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+/// Loads a graph from a file.
+pub fn load_graph(path: &Path) -> Result<LabeledMultigraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::paper_graph;
+
+    #[test]
+    fn roundtrip_paper_graph() {
+        let g = paper_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.label_count(), g.label_count());
+        let a: Vec<_> = g.all_edges().map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw())).collect();
+        let mut b: Vec<_> = back
+            .all_edges()
+            .map(|(s, l, d)| (s.raw(), back.labels().name(l).to_owned(), d.raw()))
+            .collect();
+        let mut a = a;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_preserves_isolated_vertices() {
+        let text = "# vertices 50\n0 a 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 50);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\n0 x 1\n\n1 y 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let text = "0 a 1\n0 a\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text = "zero a 1\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rpq_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        let g = paper_graph();
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

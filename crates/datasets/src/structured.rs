@@ -1,0 +1,230 @@
+//! Structured graph generators with controlled SCC shape.
+//!
+//! The paper's entire performance story hinges on one structural variable:
+//! the average number of vertices per SCC of `G_R` (Section V-B1 explains
+//! the Yago2s exception by its average SCC size of 1.00). These generators
+//! make that variable a direct knob, which the `scc_sensitivity` bench and
+//! several invariant tests exploit:
+//!
+//! * [`cycle_clusters`] — disjoint directed cycles of a chosen size wired
+//!   together by forward (acyclic) edges: average SCC size ≈ cluster size.
+//! * [`path_graph`] / [`cycle_graph`] — the two extremes (all-trivial SCCs
+//!   vs one giant SCC).
+//! * [`erdos_renyi`] — uniform random edges, for un-skewed comparisons
+//!   with R-MAT.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_graph::{GraphBuilder, LabeledMultigraph};
+
+/// A directed path `0 → 1 → … → n-1`, every edge labeled `label`.
+/// Every SCC of any reduction of this graph is trivial.
+pub fn path_graph(n: u32, label: &str) -> LabeledMultigraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n as usize);
+    for v in 0..n.saturating_sub(1) {
+        b.add_edge(v, label, v + 1);
+    }
+    b.build()
+}
+
+/// A directed cycle over `n` vertices, every edge labeled `label`.
+/// The whole graph is one SCC.
+pub fn cycle_graph(n: u32, label: &str) -> LabeledMultigraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n as usize);
+    if n > 0 {
+        for v in 0..n {
+            b.add_edge(v, label, (v + 1) % n);
+        }
+    }
+    b.build()
+}
+
+/// Configuration for [`cycle_clusters`].
+#[derive(Clone, Debug)]
+pub struct CycleClusterConfig {
+    /// Number of disjoint cycles.
+    pub clusters: u32,
+    /// Vertices per cycle (1 = trivial SCCs, no self-loops).
+    pub cluster_size: u32,
+    /// Random forward (acyclic) edges between clusters.
+    pub inter_edges: usize,
+    /// Labels assigned round-robin to cycle edges and randomly to
+    /// inter-cluster edges.
+    pub labels: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Disjoint directed cycles connected by forward edges.
+///
+/// With `cluster_size = k`, every cycle is one SCC of size `k`, and
+/// inter-cluster edges only run from lower-indexed to higher-indexed
+/// clusters, so they can never merge SCCs: the average SCC size is exactly
+/// `k` for any single-label reduction that covers the cycles.
+pub fn cycle_clusters(config: &CycleClusterConfig) -> LabeledMultigraph {
+    assert!(config.labels > 0, "need at least one label");
+    assert!(config.cluster_size > 0, "cluster size must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.clusters * config.cluster_size;
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n as usize);
+    let label_names: Vec<String> = (0..config.labels).map(|i| format!("l{i}")).collect();
+
+    for c in 0..config.clusters {
+        let base = c * config.cluster_size;
+        if config.cluster_size > 1 {
+            for i in 0..config.cluster_size {
+                let from = base + i;
+                let to = base + (i + 1) % config.cluster_size;
+                // Cycle edges carry every label so any single-label
+                // reduction sees the full cycle.
+                for name in &label_names {
+                    b.add_edge(from, name, to);
+                }
+            }
+        }
+    }
+    if config.clusters > 1 {
+        for _ in 0..config.inter_edges {
+            let from_cluster = rng.gen_range(0..config.clusters - 1);
+            let to_cluster = rng.gen_range(from_cluster + 1..config.clusters);
+            let from = from_cluster * config.cluster_size + rng.gen_range(0..config.cluster_size);
+            let to = to_cluster * config.cluster_size + rng.gen_range(0..config.cluster_size);
+            let label = &label_names[rng.gen_range(0..config.labels)];
+            b.add_edge(from, label, to);
+        }
+    }
+    b.build()
+}
+
+/// A uniform (Erdős–Rényi-style) random multigraph with exactly `edges`
+/// distinct `(src, label, dst)` triples (best effort under a retry cap).
+pub fn erdos_renyi(n: u32, edges: usize, labels: usize, seed: u64) -> LabeledMultigraph {
+    assert!(labels > 0 && n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n as usize);
+    let label_ids: Vec<_> = (0..labels)
+        .map(|i| b.intern_label(&format!("l{i}")))
+        .collect();
+    let mut seen = rustc_hash::FxHashSet::default();
+    let cap = edges.saturating_mul(20).max(1024);
+    let mut attempts = 0;
+    while seen.len() < edges && attempts < cap {
+        attempts += 1;
+        let triple = (
+            rng.gen_range(0..n),
+            rng.gen_range(0..labels),
+            rng.gen_range(0..n),
+        );
+        if seen.insert(triple) {
+            b.add_edge_id(triple.0, label_ids[triple.1], triple.2);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_eval::ProductEvaluator;
+    use rpq_graph::MappedDigraph;
+    use rpq_graph::tarjan_scc;
+    use rpq_regex::Regex;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(10, "a");
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 9);
+    }
+
+    #[test]
+    fn cycle_graph_is_one_scc() {
+        let g = cycle_graph(8, "a");
+        let r_g = ProductEvaluator::new(&g, &Regex::parse("a").unwrap()).evaluate();
+        let gr = MappedDigraph::from_pairset(&r_g);
+        let scc = tarjan_scc(&gr.graph);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.average_size(), 8.0);
+    }
+
+    #[test]
+    fn cycle_clusters_control_scc_size() {
+        for cluster_size in [1u32, 4, 8] {
+            let g = cycle_clusters(&CycleClusterConfig {
+                clusters: 16,
+                cluster_size,
+                inter_edges: 30,
+                labels: 2,
+                seed: 5,
+            });
+            assert_eq!(g.vertex_count(), (16 * cluster_size) as usize);
+            let r_g = ProductEvaluator::new(&g, &Regex::parse("l0").unwrap()).evaluate();
+            let gr = MappedDigraph::from_pairset(&r_g);
+            let scc = tarjan_scc(&gr.graph);
+            if cluster_size == 1 {
+                // No cycles at all: every SCC trivial.
+                assert_eq!(scc.average_size(), 1.0);
+            } else {
+                // Covered vertices cluster into size-k SCCs; inter-cluster
+                // edges may add a few trivial SCCs at endpoints.
+                assert!(
+                    scc.average_size() >= cluster_size as f64 * 0.5,
+                    "cluster_size {cluster_size}: avg {}",
+                    scc.average_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_cluster_edges_never_merge_sccs() {
+        let g = cycle_clusters(&CycleClusterConfig {
+            clusters: 6,
+            cluster_size: 5,
+            inter_edges: 60,
+            labels: 1,
+            seed: 9,
+        });
+        let r_g = ProductEvaluator::new(&g, &Regex::parse("l0").unwrap()).evaluate();
+        let gr = MappedDigraph::from_pairset(&r_g);
+        let scc = tarjan_scc(&gr.graph);
+        for (_, members) in scc.iter() {
+            assert!(members.len() <= 5, "an SCC exceeded the cluster size");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_exact_size() {
+        let g = erdos_renyi(64, 500, 3, 7);
+        assert_eq!(g.vertex_count(), 64);
+        assert_eq!(g.edge_count(), 500);
+        assert_eq!(g.label_count(), 3);
+        // Deterministic.
+        let h = erdos_renyi(64, 500, 3, 7);
+        assert_eq!(
+            g.all_edges().collect::<Vec<_>>(),
+            h.all_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn degenerate_configs() {
+        let g = cycle_graph(0, "a");
+        assert_eq!(g.vertex_count(), 0);
+        let g = path_graph(1, "a");
+        assert_eq!(g.edge_count(), 0);
+        let g = cycle_clusters(&CycleClusterConfig {
+            clusters: 1,
+            cluster_size: 3,
+            inter_edges: 10, // ignored with a single cluster
+            labels: 1,
+            seed: 1,
+        });
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Multiple-RPQ workload generation (Section V-A).
+//!
+//! The paper's controlled workload: every query is a batch unit
+//! `Pre·R⁺·Post` where `Pre` and `Post` are single labels and `R` is a
+//! concatenation of 1–3 labels. Each *multiple-RPQ set* shares one `R`
+//! (the common sub-query) across its queries, which differ in their
+//! `(Pre, Post)` pair. Set sizes are 1, 2, 4, 6, 8, 10, and "a larger
+//! multiple RPQ set contains smaller multiple RPQ sets" — realized here by
+//! generating the maximum number of queries per set and prefix-slicing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_regex::Regex;
+
+/// Workload generation parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of distinct `R`s generated per length (the paper draws 10 per
+    /// length for lengths 1–3).
+    pub rs_per_length: usize,
+    /// Lengths of `R` as a concatenation of labels.
+    pub r_lengths: Vec<usize>,
+    /// Maximum queries per set (the largest set size requested).
+    pub queries_per_set: usize,
+    /// Closure type applied to R: `true` for `R*` instead of `R+`.
+    pub use_star: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            rs_per_length: 10,
+            r_lengths: vec![1, 2, 3],
+            queries_per_set: 10,
+            use_star: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One multiple-RPQ set: queries sharing the closure body `r`.
+#[derive(Clone, Debug)]
+pub struct MultiQuerySet {
+    /// The shared common sub-query `R` (a label concatenation).
+    pub r: Regex,
+    /// The full query list `Pre·R⁺·Post`; take a prefix for smaller sets.
+    pub queries: Vec<Regex>,
+}
+
+impl MultiQuerySet {
+    /// The first `k` queries — the paper's nested-set construction.
+    pub fn prefix(&self, k: usize) -> &[Regex] {
+        &self.queries[..k.min(self.queries.len())]
+    }
+}
+
+/// Generates the multiple-RPQ sets of Section V-A over the given alphabet.
+///
+/// Deterministic per seed. Panics if the alphabet is empty.
+pub fn generate_workload(alphabet: &[String], config: &WorkloadConfig) -> Vec<MultiQuerySet> {
+    assert!(!alphabet.is_empty(), "workload needs a non-empty alphabet");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sets = Vec::with_capacity(config.rs_per_length * config.r_lengths.len());
+    for &len in &config.r_lengths {
+        for _ in 0..config.rs_per_length {
+            let r_labels: Vec<Regex> = (0..len)
+                .map(|_| Regex::label(pick(&mut rng, alphabet)))
+                .collect();
+            let r = Regex::concat(r_labels);
+            let closure = if config.use_star {
+                Regex::star(r.clone())
+            } else {
+                Regex::plus(r.clone())
+            };
+            let queries = (0..config.queries_per_set)
+                .map(|_| {
+                    let pre = Regex::label(pick(&mut rng, alphabet));
+                    let post = Regex::label(pick(&mut rng, alphabet));
+                    Regex::concat(vec![pre, closure.clone(), post])
+                })
+                .collect();
+            sets.push(MultiQuerySet { r, queries });
+        }
+    }
+    sets
+}
+
+fn pick<'a>(rng: &mut StdRng, alphabet: &'a [String]) -> &'a str {
+    &alphabet[rng.gen_range(0..alphabet.len())]
+}
+
+/// Convenience: the alphabet of a graph as owned names, in label-id order.
+pub fn alphabet_of(graph: &rpq_graph::LabeledMultigraph) -> Vec<String> {
+    graph.labels().iter().map(|(_, n)| n.to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_regex::{decompose, to_dnf};
+
+    fn alphabet() -> Vec<String> {
+        (0..4).map(|i| format!("l{i}")).collect()
+    }
+
+    #[test]
+    fn default_workload_shape() {
+        let sets = generate_workload(&alphabet(), &WorkloadConfig::default());
+        // 10 Rs per length × 3 lengths.
+        assert_eq!(sets.len(), 30);
+        for set in &sets {
+            assert_eq!(set.queries.len(), 10);
+        }
+    }
+
+    #[test]
+    fn queries_are_batch_units_sharing_r() {
+        let sets = generate_workload(&alphabet(), &WorkloadConfig::default());
+        for set in &sets {
+            for q in &set.queries {
+                let clauses = to_dnf(q).unwrap();
+                assert_eq!(clauses.len(), 1, "workload queries are single clauses");
+                let unit = decompose(&clauses[0]);
+                let (r, _) = unit.closure.expect("workload queries contain a closure");
+                assert_eq!(r, set.r, "closure body must be the shared R");
+                // Pre is a single label, Post a single label.
+                assert!(matches!(unit.pre, Regex::Label(_)));
+                assert_eq!(unit.post.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn r_lengths_match_config() {
+        let cfg = WorkloadConfig {
+            rs_per_length: 2,
+            r_lengths: vec![1, 2, 3],
+            ..WorkloadConfig::default()
+        };
+        let sets = generate_workload(&alphabet(), &cfg);
+        assert_eq!(sets.len(), 6);
+        let len_of = |r: &Regex| match r {
+            Regex::Label(_) => 1,
+            Regex::Concat(parts) => parts.len(),
+            other => panic!("unexpected R shape {other:?}"),
+        };
+        assert_eq!(len_of(&sets[0].r), 1);
+        assert_eq!(len_of(&sets[2].r), 2);
+        assert_eq!(len_of(&sets[4].r), 3);
+    }
+
+    #[test]
+    fn nested_prefix_sets() {
+        let sets = generate_workload(&alphabet(), &WorkloadConfig::default());
+        let set = &sets[0];
+        // The 4-query set is a prefix of the 10-query set.
+        assert_eq!(set.prefix(4), &set.queries[..4]);
+        assert_eq!(set.prefix(100).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_workload(&alphabet(), &WorkloadConfig::default());
+        let b = generate_workload(&alphabet(), &WorkloadConfig::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.r, y.r);
+            assert_eq!(x.queries, y.queries);
+        }
+        let c = generate_workload(
+            &alphabet(),
+            &WorkloadConfig {
+                seed: 999,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert!(a.iter().zip(&c).any(|(x, y)| x.queries != y.queries));
+    }
+
+    #[test]
+    fn star_workload() {
+        let cfg = WorkloadConfig {
+            use_star: true,
+            rs_per_length: 1,
+            r_lengths: vec![2],
+            ..WorkloadConfig::default()
+        };
+        let sets = generate_workload(&alphabet(), &cfg);
+        for q in &sets[0].queries {
+            let clauses = to_dnf(q).unwrap();
+            let unit = decompose(&clauses[0]);
+            let (_, kind) = unit.closure.unwrap();
+            assert_eq!(kind, rpq_regex::ClosureKind::Star);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty alphabet")]
+    fn empty_alphabet_panics() {
+        let _ = generate_workload(&[], &WorkloadConfig::default());
+    }
+}

@@ -1,0 +1,192 @@
+//! Independent relational-algebra evaluator (the oracle).
+//!
+//! Evaluates an RPQ by structural recursion over the expression, entirely in
+//! terms of [`PairSet`] algebra:
+//!
+//! * `∅ → {}`, `ε → identity`, `l → l_G` (the base edge relation),
+//! * `r·s → r_G ⋈ s_G` (Lemma 4), `r|s → r_G ∪ s_G`,
+//! * `r+ →` semi-naive least fixpoint of `X = r_G ∪ (X ⋈ r_G)`,
+//! * `r* → r+_G ∪ identity`, `r? → r_G ∪ identity`.
+//!
+//! This is polynomial, obviously correct, and shares **no** code with the
+//! automaton/product-BFS pipeline — which is exactly what makes it a useful
+//! oracle for randomized differential testing. It is also a legitimate
+//! (if unoptimized) evaluation backend in its own right; `FullSharing`'s
+//! shared `R⁺_G` equals `plus_closure(R_G)` by Lemma 1.
+
+use rpq_graph::{LabeledMultigraph, PairSet};
+use rpq_regex::Regex;
+
+/// Evaluates `query` on `graph` by pair-set algebra.
+pub fn evaluate_algebraic(graph: &LabeledMultigraph, query: &Regex) -> PairSet {
+    match query {
+        Regex::Empty => PairSet::new(),
+        Regex::Epsilon => PairSet::identity(graph.vertex_count()),
+        Regex::Label(name) => match graph.labels().get(name) {
+            Some(id) => PairSet::from_sorted_unique(graph.edges_with_label(id).to_vec()),
+            None => PairSet::new(),
+        },
+        Regex::Concat(parts) => {
+            let mut acc = evaluate_algebraic(graph, &parts[0]);
+            for p in &parts[1..] {
+                if acc.is_empty() {
+                    return PairSet::new();
+                }
+                acc = acc.compose(&evaluate_algebraic(graph, p));
+            }
+            acc
+        }
+        Regex::Alt(parts) => {
+            let mut acc = PairSet::new();
+            for p in parts {
+                acc.union_in_place(&evaluate_algebraic(graph, p));
+            }
+            acc
+        }
+        Regex::Plus(inner) => plus_closure(&evaluate_algebraic(graph, inner)),
+        Regex::Star(inner) => {
+            let plus = plus_closure(&evaluate_algebraic(graph, inner));
+            plus.union(&PairSet::identity(graph.vertex_count()))
+        }
+        Regex::Optional(inner) => {
+            let base = evaluate_algebraic(graph, inner);
+            base.union(&PairSet::identity(graph.vertex_count()))
+        }
+    }
+}
+
+/// Transitive closure of a pair relation by semi-naive iteration:
+/// repeatedly join the newest delta against the base relation until no new
+/// pairs appear. This is Lemma 1's `TC(G_R)` computed directly on `R_G`.
+pub fn plus_closure(base: &PairSet) -> PairSet {
+    let mut result = base.clone();
+    let mut delta = base.clone();
+    while !delta.is_empty() {
+        let grown = delta.compose(base);
+        let fresh = grown.difference(&result);
+        if fresh.is_empty() {
+            break;
+        }
+        result.union_in_place(&fresh);
+        delta = fresh;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::{diamond, paper_graph, triangle};
+    use rpq_graph::VertexId;
+
+    fn eval(g: &LabeledMultigraph, q: &str) -> PairSet {
+        evaluate_algebraic(g, &Regex::parse(q).unwrap())
+    }
+
+    fn pairs(ps: &PairSet) -> Vec<(u32, u32)> {
+        ps.iter().map(|(a, b)| (a.raw(), b.raw())).collect()
+    }
+
+    #[test]
+    fn example1_oracle() {
+        let g = paper_graph();
+        assert_eq!(pairs(&eval(&g, "d.(b.c)+.c")), vec![(7, 3), (7, 5)]);
+    }
+
+    #[test]
+    fn example4_bc_plus() {
+        let g = paper_graph();
+        assert_eq!(
+            pairs(&eval(&g, "(b.c)+")),
+            vec![
+                (2, 2),
+                (2, 4),
+                (2, 6),
+                (3, 3),
+                (3, 5),
+                (4, 2),
+                (4, 4),
+                (4, 6),
+                (5, 3),
+                (5, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn plus_closure_on_cycle() {
+        let base: PairSet = [(0u32, 1u32), (1, 2), (2, 0)].into_iter().collect();
+        let tc = plus_closure(&base);
+        assert_eq!(tc.len(), 9);
+    }
+
+    #[test]
+    fn plus_closure_on_chain() {
+        let base: PairSet = [(0u32, 1u32), (1, 2), (2, 3)].into_iter().collect();
+        let tc = plus_closure(&base);
+        assert_eq!(
+            pairs(&tc),
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn plus_closure_empty_and_self_loop() {
+        assert!(plus_closure(&PairSet::new()).is_empty());
+        let base: PairSet = [(5u32, 5u32)].into_iter().collect();
+        assert_eq!(pairs(&plus_closure(&base)), vec![(5, 5)]);
+    }
+
+    #[test]
+    fn plus_closure_idempotent() {
+        let base: PairSet = [(0u32, 1u32), (1, 0), (1, 2)].into_iter().collect();
+        let tc = plus_closure(&base);
+        assert_eq!(plus_closure(&tc), tc);
+    }
+
+    #[test]
+    fn agrees_with_product_evaluator_on_fixtures() {
+        use crate::product::evaluate as product_eval;
+        let graphs = [paper_graph(), triangle(), diamond()];
+        let queries = [
+            "a",
+            "b.c",
+            "(b.c)+",
+            "(b.c)*",
+            "d.(b.c)+.c",
+            "a|b",
+            "(a|b).c",
+            "a?",
+            "a+",
+            "(a.a)+",
+            "a.b?.c",
+            "c.(b|c)*",
+            "(b.c)+.c",
+            "b*.c*",
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for q in queries {
+                let r = Regex::parse(q).unwrap();
+                assert_eq!(
+                    evaluate_algebraic(g, &r),
+                    product_eval(g, &r),
+                    "graph {gi}, query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let g = triangle();
+        assert_eq!(eval(&g, "()"), PairSet::identity(3));
+        assert!(evaluate_algebraic(&g, &Regex::Empty).is_empty());
+    }
+
+    #[test]
+    fn star_includes_isolated_vertices() {
+        let g = paper_graph();
+        let r = eval(&g, "(b.c)*");
+        assert!(r.contains(VertexId(8), VertexId(8)));
+    }
+}

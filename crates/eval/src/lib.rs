@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Single-RPQ evaluation.
+//!
+//! This crate implements the evaluation methods of Section II-B:
+//!
+//! * [`product::ProductEvaluator`] — the automaton-based method of Yakovets
+//!   et al. \[5\]: traverse the graph from each candidate start vertex while
+//!   stepping a finite automaton, terminating a branch when the
+//!   `(vertex, state)` pair was already visited from the same source
+//!   (Example 2's duplicate-avoidance rule). This is the engine behind the
+//!   **NoSharing** baseline and behind `EvalRPQwithoutKC`.
+//! * [`label_seq`] — closure-free clause evaluation by label-edge joins,
+//!   including `EvalRestrictedRPQ(Post, v)` (Algorithm 2 line 14).
+//! * [`planner`] — a rare-label-first join ordering for label sequences in
+//!   the spirit of Koschmieder & Leser \[10\] (an optimization the paper cites
+//!   as related work; exposed for the planner ablation bench).
+//! * [`algebraic`] — an independent relational-algebra evaluator (structural
+//!   recursion with semi-naive closure fixpoints). It shares no code with
+//!   the automaton path and serves as the *oracle* for every randomized
+//!   equivalence test in the workspace.
+//! * [`witness`] — shortest witness-path reconstruction for a result pair,
+//!   for applications that need the matching path itself.
+//!
+//! ```
+//! use rpq_eval::ProductEvaluator;
+//! use rpq_graph::fixtures::paper_graph;
+//! use rpq_graph::VertexId;
+//! use rpq_regex::Regex;
+//!
+//! let g = paper_graph();
+//! let ev = ProductEvaluator::new(&g, &Regex::parse("d.(b.c)+.c").unwrap());
+//! let result = ev.evaluate(); // Example 1: {(v7,v5), (v7,v3)}
+//! assert_eq!(result.len(), 2);
+//! assert_eq!(ev.starts_to(VertexId(5)), vec![VertexId(7)]);
+//! ```
+
+pub mod algebraic;
+pub mod label_seq;
+pub mod planner;
+pub mod product;
+pub mod witness;
+
+pub use algebraic::evaluate_algebraic;
+pub use label_seq::{eval_label_names, eval_label_sequence, eval_label_sequence_from};
+pub use planner::eval_label_sequence_planned;
+pub use product::ProductEvaluator;
+pub use witness::{find_witness, format_witness, WitnessStep};

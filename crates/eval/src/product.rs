@@ -1,0 +1,506 @@
+//! Automaton-based RPQ evaluation over the product graph.
+//!
+//! The method of Yakovets et al. \[5\] as described in Section II-B and
+//! Example 2: for each candidate start vertex, BFS over `(vertex, state)`
+//! pairs of the product of the graph with the query NFA. A pair
+//! `(start, v)` is emitted whenever an accepting state is reached at `v`.
+//! A branch terminates when its `(vertex, state)` pair has already been
+//! visited from the same start — the duplicate-avoidance rule the paper
+//! illustrates with `p(v7, d, v4, b, v1, c, v2, b, v5, c, v4, b, v1)`.
+//!
+//! Start vertices are pruned to those with at least one out-edge whose
+//! label can begin a match (`first(R)`); for nullable queries the identity
+//! relation over *all* vertices is unioned in, per Definition 2 (the
+//! zero-length path satisfies a nullable query at every vertex).
+
+use rpq_automata::{build_glushkov, Nfa};
+use rpq_graph::{EpochVisited, LabeledMultigraph, PairSet, VertexId};
+use rpq_regex::Regex;
+
+/// A reusable evaluator binding a query automaton to a graph's alphabet.
+///
+/// Construction resolves the regex alphabet against the graph's label
+/// dictionary once; evaluation then runs one product BFS per start vertex
+/// with O(1)-clear scratch buffers shared across sources.
+pub struct ProductEvaluator<'g> {
+    graph: &'g LabeledMultigraph,
+    nfa: Nfa,
+    /// graph label id → local NFA symbol (u32::MAX = not in query alphabet).
+    sym_of_label: Vec<u32>,
+    nullable: bool,
+}
+
+const NO_SYM: u32 = u32::MAX;
+
+impl<'g> ProductEvaluator<'g> {
+    /// Compiles `query` against `graph`.
+    pub fn new(graph: &'g LabeledMultigraph, query: &Regex) -> Self {
+        let nfa = build_glushkov(query);
+        let mut sym_of_label = vec![NO_SYM; graph.label_count()];
+        for (sym, name) in nfa.alphabet().iter().enumerate() {
+            if let Some(lid) = graph.labels().get(name) {
+                sym_of_label[lid.index()] = sym as u32;
+            }
+        }
+        let nullable = nfa.accepts_empty();
+        Self {
+            graph,
+            nfa,
+            sym_of_label,
+            nullable,
+        }
+    }
+
+    /// The compiled automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Candidate start vertices: vertices with an out-edge whose label can
+    /// begin a match. Sorted ascending.
+    pub fn candidate_sources(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for sym in self.nfa.first_symbols() {
+            // Map local symbol back to a graph label, if it exists there.
+            let name = &self.nfa.alphabet()[sym as usize];
+            if let Some(lid) = self.graph.labels().get(name) {
+                out.extend(self.graph.sources_with_label(lid));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates the full query result `R_G` (Definition 2).
+    pub fn evaluate(&self) -> PairSet {
+        let sources = self.candidate_sources();
+        let mut result = self.evaluate_from_sources(&sources);
+        if self.nullable {
+            result.union_in_place(&PairSet::identity(self.graph.vertex_count()));
+        }
+        result
+    }
+
+    /// Evaluates restricted to the given start vertices. The identity pairs
+    /// of nullable queries are included for exactly the given sources.
+    pub fn evaluate_from(&self, sources: &[VertexId]) -> PairSet {
+        let mut result = self.evaluate_from_sources(sources);
+        if self.nullable {
+            let id: PairSet = sources.iter().map(|&v| (v, v)).collect();
+            result.union_in_place(&id);
+        }
+        result
+    }
+
+    /// End vertices of matching paths from a single start vertex, ascending.
+    /// (Zero-length matches for nullable queries are included.)
+    pub fn ends_from(&self, source: VertexId) -> Vec<VertexId> {
+        let q = self.nfa.state_count();
+        let mut visited = EpochVisited::new(self.graph.vertex_count() * q);
+        let mut queue: Vec<(VertexId, u32)> = Vec::new();
+        let mut ends = self.bfs_one(source, &mut visited, &mut queue);
+        if self.nullable && !ends.contains(&source) {
+            ends.push(source);
+            ends.sort_unstable();
+        }
+        ends
+    }
+
+    /// Evaluates the query restricted to matching paths of length at most
+    /// `max_len` edges.
+    ///
+    /// Production property-path engines commonly cap traversal depth;
+    /// BFS order makes the cap exact — every `(vertex, state)` pair is
+    /// first reached at its minimal depth, so pruning deeper expansions
+    /// cannot lose a within-budget match. Nullable queries contribute the
+    /// identity relation (length 0) as usual.
+    pub fn evaluate_bounded(&self, max_len: usize) -> PairSet {
+        let q = self.nfa.state_count() as u32;
+        let mut visited = EpochVisited::new(self.graph.vertex_count() * q as usize);
+        let mut queue: Vec<(VertexId, u32, u32)> = Vec::new();
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for src in self.candidate_sources() {
+            visited.clear();
+            queue.clear();
+            visited.insert(src.raw() * q);
+            queue.push((src, 0, 0));
+            let mut head = 0;
+            while head < queue.len() {
+                let (v, state, depth) = queue[head];
+                head += 1;
+                if depth as usize >= max_len {
+                    continue;
+                }
+                for &(label, dst) in self.graph.out_edges(v) {
+                    let sym = self.sym_of_label[label.index()];
+                    if sym == NO_SYM {
+                        continue;
+                    }
+                    for target in self.nfa.targets(state, sym) {
+                        if visited.insert(dst.raw() * q + target) {
+                            if self.nfa.is_accepting(target) {
+                                pairs.push((src, dst));
+                            }
+                            queue.push((dst, target, depth + 1));
+                        }
+                    }
+                }
+            }
+        }
+        let mut result = PairSet::from_pairs(pairs);
+        if self.nullable {
+            result.union_in_place(&PairSet::identity(self.graph.vertex_count()));
+        }
+        result
+    }
+
+    /// Start vertices of matching paths **into** a single target vertex,
+    /// ascending — backward evaluation via the reversed automaton over
+    /// reversed adjacency. Zero-length matches for nullable queries are
+    /// included (`target` itself).
+    ///
+    /// This answers the selective query "who can reach `target` through
+    /// `R`?" without evaluating the full relation.
+    pub fn starts_to(&self, target: VertexId) -> Vec<VertexId> {
+        let rev = self.nfa.reverse();
+        let q = rev.state_count() as u32;
+        let mut visited = EpochVisited::new(self.graph.vertex_count() * q as usize);
+        let mut queue: Vec<(VertexId, u32)> = Vec::new();
+        let mut starts: Vec<VertexId> = Vec::new();
+        visited.insert(target.raw() * q);
+        queue.push((target, 0));
+        let mut head = 0;
+        while head < queue.len() {
+            let (v, state) = queue[head];
+            head += 1;
+            // Reversed traversal: walk in-edges of the graph.
+            for &(label, src) in self.graph.in_edges(v) {
+                let sym = self.sym_of_label[label.index()];
+                if sym == NO_SYM {
+                    continue;
+                }
+                for next in rev.targets(state, sym) {
+                    if visited.insert(src.raw() * q + next) {
+                        if rev.is_accepting(next) {
+                            starts.push(src);
+                        }
+                        queue.push((src, next));
+                    }
+                }
+            }
+        }
+        if self.nullable && !starts.contains(&target) {
+            starts.push(target);
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        starts
+    }
+
+    fn evaluate_from_sources(&self, sources: &[VertexId]) -> PairSet {
+        let q = self.nfa.state_count();
+        let mut visited = EpochVisited::new(self.graph.vertex_count() * q);
+        let mut queue: Vec<(VertexId, u32)> = Vec::new();
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for &src in sources {
+            for end in self.bfs_one(src, &mut visited, &mut queue) {
+                pairs.push((src, end));
+            }
+        }
+        PairSet::from_pairs(pairs)
+    }
+
+    /// One product BFS from `source`; returns sorted end vertices reached in
+    /// an accepting state via a path of length ≥ 1.
+    fn bfs_one(
+        &self,
+        source: VertexId,
+        visited: &mut EpochVisited,
+        queue: &mut Vec<(VertexId, u32)>,
+    ) -> Vec<VertexId> {
+        let q = self.nfa.state_count() as u32;
+        visited.clear();
+        queue.clear();
+        let mut ends: Vec<VertexId> = Vec::new();
+        // Emitted-end dedup piggybacks on the (vertex, state) space: an end
+        // vertex is recorded at most once per accepting state; the final
+        // sort+dedup collapses the rest.
+        visited.insert(source.raw() * q); // (source, initial)
+        queue.push((source, 0));
+        let mut head = 0;
+        while head < queue.len() {
+            let (v, state) = queue[head];
+            head += 1;
+            for &(label, dst) in self.graph.out_edges(v) {
+                let sym = self.sym_of_label[label.index()];
+                if sym == NO_SYM {
+                    continue;
+                }
+                for target in self.nfa.targets(state, sym) {
+                    if visited.insert(dst.raw() * q + target) {
+                        if self.nfa.is_accepting(target) {
+                            ends.push(dst);
+                        }
+                        queue.push((dst, target));
+                    }
+                }
+            }
+        }
+        ends.sort_unstable();
+        ends.dedup();
+        ends
+    }
+}
+
+/// Convenience one-shot evaluation of `query` on `graph`.
+pub fn evaluate(graph: &LabeledMultigraph, query: &Regex) -> PairSet {
+    ProductEvaluator::new(graph, query).evaluate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_graph::fixtures::{diamond, paper_graph, triangle};
+
+    fn eval(g: &LabeledMultigraph, q: &str) -> PairSet {
+        evaluate(g, &Regex::parse(q).unwrap())
+    }
+
+    fn pairs(ps: &PairSet) -> Vec<(u32, u32)> {
+        ps.iter().map(|(a, b)| (a.raw(), b.raw())).collect()
+    }
+
+    #[test]
+    fn example1_paper_query() {
+        // (d·(b·c)+·c)_G = {(v7,v5), (v7,v3)}.
+        let g = paper_graph();
+        let r = eval(&g, "d.(b.c)+.c");
+        assert_eq!(pairs(&r), vec![(7, 3), (7, 5)]);
+    }
+
+    #[test]
+    fn example3_bc_pairs() {
+        let g = paper_graph();
+        let r = eval(&g, "b.c");
+        assert_eq!(pairs(&r), vec![(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn example4_bc_plus_equals_tc() {
+        // (b·c)+_G from Example 4.
+        let g = paper_graph();
+        let r = eval(&g, "(b.c)+");
+        assert_eq!(
+            pairs(&r),
+            vec![
+                (2, 2),
+                (2, 4),
+                (2, 6),
+                (3, 3),
+                (3, 5),
+                (4, 2),
+                (4, 4),
+                (4, 6),
+                (5, 3),
+                (5, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_label_is_edge_relation() {
+        let g = paper_graph();
+        let d = g.labels().get("d").unwrap();
+        let r = eval(&g, "d");
+        let expect: Vec<(u32, u32)> = g
+            .edges_with_label(d)
+            .iter()
+            .map(|&(s, t)| (s.raw(), t.raw()))
+            .collect();
+        assert_eq!(pairs(&r), expect);
+    }
+
+    #[test]
+    fn star_adds_identity_over_all_vertices() {
+        let g = paper_graph();
+        let plus = eval(&g, "(b.c)+");
+        let star = eval(&g, "(b.c)*");
+        let id = PairSet::identity(g.vertex_count());
+        assert_eq!(star, plus.union(&id));
+        // Isolated-from-bc vertices like v0, v8, v9 still have (v,v).
+        assert!(star.contains(VertexId(0), VertexId(0)));
+        assert!(star.contains(VertexId(9), VertexId(9)));
+    }
+
+    #[test]
+    fn triangle_a_plus_is_complete() {
+        let g = triangle();
+        let r = eval(&g, "a+");
+        assert_eq!(r.len(), 9);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert!(r.contains(VertexId(i), VertexId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_concat() {
+        let g = diamond();
+        let r = eval(&g, "a.b.c");
+        assert_eq!(pairs(&r), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn alternation_unions_branches() {
+        let g = diamond();
+        let r = eval(&g, "a|b");
+        assert_eq!(pairs(&r), vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty() {
+        let g = triangle();
+        assert!(eval(&g, "zz").is_empty());
+        assert!(eval(&g, "a.zz").is_empty());
+        // Nullable query over unknown labels still yields identity.
+        let r = eval(&g, "zz*");
+        assert_eq!(r, PairSet::identity(3));
+    }
+
+    #[test]
+    fn epsilon_query_is_identity() {
+        let g = diamond();
+        assert_eq!(eval(&g, "()"), PairSet::identity(5));
+    }
+
+    #[test]
+    fn optional_query() {
+        let g = diamond();
+        let r = eval(&g, "a?");
+        let expect = eval(&g, "a").union(&PairSet::identity(5));
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn candidate_sources_prune_by_first_label() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("d.(b.c)+.c").unwrap());
+        // Only v7 has a d-labeled out-edge.
+        assert_eq!(ev.candidate_sources(), vec![VertexId(7)]);
+    }
+
+    #[test]
+    fn evaluate_from_restricts_sources() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)+").unwrap());
+        let r = ev.evaluate_from(&[VertexId(4)]);
+        assert_eq!(pairs(&r), vec![(4, 2), (4, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn evaluate_from_nullable_adds_identity_for_sources_only() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
+        let r = ev.evaluate_from(&[VertexId(9)]);
+        assert_eq!(pairs(&r), vec![(9, 9)]);
+    }
+
+    #[test]
+    fn ends_from_single_source() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)+").unwrap());
+        let ends: Vec<u32> = ev.ends_from(VertexId(2)).iter().map(|v| v.raw()).collect();
+        assert_eq!(ends, vec![2, 4, 6]);
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
+        let ends: Vec<u32> = ev.ends_from(VertexId(9)).iter().map(|v| v.raw()).collect();
+        assert_eq!(ends, vec![9]);
+    }
+
+    #[test]
+    fn bounded_evaluation_respects_length_cap() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("d.(b.c)+.c").unwrap());
+        // (7,5) needs 4 edges; (7,3) needs 6.
+        assert!(ev.evaluate_bounded(3).is_empty());
+        let at4 = ev.evaluate_bounded(4);
+        assert_eq!(pairs(&at4), vec![(7, 5)]);
+        let at6 = ev.evaluate_bounded(6);
+        assert_eq!(pairs(&at6), vec![(7, 3), (7, 5)]);
+        // A generous cap converges to the unbounded result.
+        assert_eq!(ev.evaluate_bounded(1000), ev.evaluate());
+    }
+
+    #[test]
+    fn bounded_evaluation_monotone_in_cap() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)+").unwrap());
+        let mut prev = PairSet::new();
+        for cap in 0..8 {
+            let cur = ev.evaluate_bounded(cap);
+            assert!(prev.difference(&cur).is_empty(), "cap {cap} lost pairs");
+            prev = cur;
+        }
+        assert_eq!(prev, ev.evaluate());
+    }
+
+    #[test]
+    fn bounded_nullable_includes_identity_at_zero() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
+        let r = ev.evaluate_bounded(0);
+        assert_eq!(r, PairSet::identity(10));
+    }
+
+    #[test]
+    fn starts_to_matches_forward_evaluation() {
+        let g = paper_graph();
+        for q in ["(b.c)+", "d.(b.c)+.c", "b.c", "(b.c)*", "a|e"] {
+            let ev = ProductEvaluator::new(&g, &Regex::parse(q).unwrap());
+            let full = ev.evaluate();
+            for target in g.vertices() {
+                let expect: Vec<VertexId> = full
+                    .iter()
+                    .filter(|&(_, e)| e == target)
+                    .map(|(s, _)| s)
+                    .collect();
+                assert_eq!(ev.starts_to(target), expect, "query {q}, target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn starts_to_nullable_includes_target() {
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
+        let starts = ev.starts_to(VertexId(9));
+        assert_eq!(starts, vec![VertexId(9)]);
+    }
+
+    #[test]
+    fn cycle_traversal_terminates() {
+        // A pure cycle with a query whose NFA loops: termination relies on
+        // the (vertex, state) visited rule.
+        let g = triangle();
+        let r = eval(&g, "(a.a)+");
+        // Paths of even length: from each vertex, a^2k reaches all vertices
+        // (cycle of length 3, gcd(2,3)=1 ⇒ every vertex reachable).
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn empty_language_query() {
+        let g = triangle();
+        let r = evaluate(&g, &Regex::Empty);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn multigraph_parallel_labels() {
+        // v5 -b-> v6 and v5 -c-> v6 in the paper graph: both must be usable.
+        let g = paper_graph();
+        assert!(eval(&g, "b").contains(VertexId(5), VertexId(6)));
+        assert!(eval(&g, "c").contains(VertexId(5), VertexId(6)));
+    }
+}

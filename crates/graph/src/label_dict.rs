@@ -1,0 +1,109 @@
+//! Label dictionary: interning between label names and dense [`LabelId`]s.
+
+use crate::ids::LabelId;
+use rustc_hash::FxHashMap;
+
+/// Bidirectional mapping between label strings and dense label ids.
+///
+/// The paper's `Σ` — the alphabet of the multigraph. Ids are assigned in
+/// first-seen order and are dense, so per-label tables can be plain vectors.
+#[derive(Clone, Debug, Default)]
+pub struct LabelDict {
+    names: Vec<String>,
+    index: FxHashMap<String, LabelId>,
+}
+
+impl LabelDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = LabelId::from_usize(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a label by name without interning.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of a label id.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels (`|Σ|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId::from_usize(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = LabelDict::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("a"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut d = LabelDict::new();
+        assert_eq!(d.intern("x"), LabelId(0));
+        assert_eq!(d.intern("y"), LabelId(1));
+        assert_eq!(d.intern("x"), LabelId(0));
+        assert_eq!(d.intern("z"), LabelId(2));
+    }
+
+    #[test]
+    fn get_and_name_roundtrip() {
+        let mut d = LabelDict::new();
+        let id = d.intern("knows");
+        assert_eq!(d.get("knows"), Some(id));
+        assert_eq!(d.get("likes"), None);
+        assert_eq!(d.name(id), "knows");
+    }
+
+    #[test]
+    fn iter_lists_all_labels() {
+        let mut d = LabelDict::new();
+        d.intern("a");
+        d.intern("b");
+        let all: Vec<(u32, String)> = d.iter().map(|(i, n)| (i.raw(), n.to_owned())).collect();
+        assert_eq!(all, vec![(0, "a".into()), (1, "b".into())]);
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = LabelDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

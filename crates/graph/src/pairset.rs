@@ -1,0 +1,392 @@
+//! [`PairSet`] — the relation type for RPQ results.
+//!
+//! Definition 2 of the paper makes an RPQ result a *set* of ordered vertex
+//! pairs `R_G = {(v_i, v_j) | a path p(v_i, v_j) satisfying R exists}`.
+//! `PairSet` stores that relation as a sorted, duplicate-free vector of
+//! `(start, end)` pairs, which gives
+//!
+//! * `O(log n)` membership tests by binary search,
+//! * linear-time merge-based union (the `∪` of Algorithm 1 line 13),
+//! * grouping by start vertex for join pipelines for free (the pairs are
+//!   already clustered by `start`).
+
+use crate::ids::VertexId;
+use rustc_hash::FxHashSet;
+use std::fmt;
+
+/// A sorted, duplicate-free set of ordered vertex pairs.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct PairSet {
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl PairSet {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Self { pairs: Vec::new() }
+    }
+
+    /// Builds a `PairSet` from possibly unsorted, possibly duplicated pairs.
+    pub fn from_pairs(mut pairs: Vec<(VertexId, VertexId)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self { pairs }
+    }
+
+    /// Builds a `PairSet` from pairs already known to be sorted and unique.
+    ///
+    /// Checked in debug builds.
+    pub fn from_sorted_unique(pairs: Vec<(VertexId, VertexId)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "pairs not sorted+unique");
+        Self { pairs }
+    }
+
+    /// Builds the identity relation `{(v, v) | v ∈ 0..n}`.
+    ///
+    /// This is `ε_G`: the result of the empty-path query over a graph with
+    /// `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            pairs: (0..n as u32).map(|v| (VertexId(v), VertexId(v))).collect(),
+        }
+    }
+
+    /// Number of pairs in the relation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test by binary search.
+    pub fn contains(&self, start: VertexId, end: VertexId) -> bool {
+        self.pairs.binary_search(&(start, end)).is_ok()
+    }
+
+    /// All pairs, sorted ascending by `(start, end)`.
+    #[inline]
+    pub fn as_slice(&self) -> &[(VertexId, VertexId)] {
+        &self.pairs
+    }
+
+    /// Iterates over the pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The end vertices reachable from `start`, as a sorted sub-slice.
+    pub fn ends_of(&self, start: VertexId) -> &[(VertexId, VertexId)] {
+        let lo = self.pairs.partition_point(|&(s, _)| s < start);
+        let hi = self.pairs.partition_point(|&(s, _)| s <= start);
+        &self.pairs[lo..hi]
+    }
+
+    /// Iterates over `(start, ends)` groups in ascending start order.
+    pub fn groups(&self) -> PairGroups<'_> {
+        PairGroups {
+            pairs: &self.pairs,
+            at: 0,
+        }
+    }
+
+    /// Set union, implemented as a linear merge of the two sorted vectors.
+    pub fn union(&self, other: &PairSet) -> PairSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (&self.pairs, &other.pairs);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        PairSet { pairs: out }
+    }
+
+    /// In-place union; keeps `self` sorted and unique.
+    pub fn union_in_place(&mut self, other: &PairSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.pairs = other.pairs.clone();
+            return;
+        }
+        *self = self.union(other);
+    }
+
+    /// Set intersection by linear merge.
+    pub fn intersect(&self, other: &PairSet) -> PairSet {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PairSet { pairs: out }
+    }
+
+    /// Set difference `self \ other` by linear merge.
+    pub fn difference(&self, other: &PairSet) -> PairSet {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() {
+            if j >= b.len() || a[i] < b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] > b[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        PairSet { pairs: out }
+    }
+
+    /// Relational composition `self ⋈ other` (the join of Lemma 4):
+    /// `{(a, c) | (a, b) ∈ self ∧ (b, c) ∈ other}`.
+    pub fn compose(&self, other: &PairSet) -> PairSet {
+        let mut out = FxHashSet::default();
+        for (a, b) in self.iter() {
+            for &(_, c) in other.ends_of(b) {
+                out.insert((a, c));
+            }
+        }
+        PairSet::from_pairs(out.into_iter().collect())
+    }
+
+    /// Distinct start vertices, sorted ascending.
+    pub fn starts(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self.groups().map(|(s, _)| s).collect();
+        out.dedup();
+        out
+    }
+
+    /// Distinct end vertices, sorted ascending.
+    pub fn ends(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self.pairs.iter().map(|&(_, e)| e).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Consumes the set, returning the sorted pair vector.
+    pub fn into_vec(self) -> Vec<(VertexId, VertexId)> {
+        self.pairs
+    }
+
+    /// Builds a hash-set view for repeated O(1) membership probes.
+    pub fn to_hash_set(&self) -> FxHashSet<(VertexId, VertexId)> {
+        self.pairs.iter().copied().collect()
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for PairSet {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        Self::from_pairs(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<(u32, u32)> for PairSet {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        Self::from_pairs(
+            iter.into_iter()
+                .map(|(a, b)| (VertexId(a), VertexId(b)))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Debug for PairSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.pairs.iter().map(|(a, b)| format!("({a},{b})")))
+            .finish()
+    }
+}
+
+/// Iterator over `(start, group)` runs of a [`PairSet`].
+pub struct PairGroups<'a> {
+    pairs: &'a [(VertexId, VertexId)],
+    at: usize,
+}
+
+impl<'a> Iterator for PairGroups<'a> {
+    type Item = (VertexId, &'a [(VertexId, VertexId)]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at >= self.pairs.len() {
+            return None;
+        }
+        let start = self.pairs[self.at].0;
+        let begin = self.at;
+        while self.at < self.pairs.len() && self.pairs[self.at].0 == start {
+            self.at += 1;
+        }
+        Some((start, &self.pairs[begin..self.at]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(pairs: &[(u32, u32)]) -> PairSet {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let s = ps(&[(2, 1), (0, 0), (2, 1), (1, 5)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.as_slice(),
+            &[
+                (VertexId(0), VertexId(0)),
+                (VertexId(1), VertexId(5)),
+                (VertexId(2), VertexId(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn contains_via_binary_search() {
+        let s = ps(&[(1, 2), (3, 4)]);
+        assert!(s.contains(VertexId(1), VertexId(2)));
+        assert!(!s.contains(VertexId(1), VertexId(3)));
+        assert!(!s.contains(VertexId(0), VertexId(0)));
+    }
+
+    #[test]
+    fn identity_relation() {
+        let s = PairSet::identity(3);
+        assert_eq!(s.len(), 3);
+        for v in 0..3 {
+            assert!(s.contains(VertexId(v), VertexId(v)));
+        }
+        assert!(PairSet::identity(0).is_empty());
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let a = ps(&[(0, 1), (2, 3)]);
+        let b = ps(&[(0, 1), (1, 1)]);
+        let u = a.union(&b);
+        assert_eq!(u, ps(&[(0, 1), (1, 1), (2, 3)]));
+        // Union with empty is identity.
+        assert_eq!(a.union(&PairSet::new()), a);
+        assert_eq!(PairSet::new().union(&b), b);
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let mut a = ps(&[(0, 1), (5, 5)]);
+        let b = ps(&[(0, 2), (5, 5)]);
+        let expect = a.union(&b);
+        a.union_in_place(&b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let a = ps(&[(0, 1), (1, 2), (2, 3)]);
+        let b = ps(&[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(a.intersect(&b), ps(&[(1, 2), (2, 3)]));
+        assert_eq!(a.difference(&b), ps(&[(0, 1)]));
+        assert_eq!(b.difference(&a), ps(&[(3, 4)]));
+    }
+
+    #[test]
+    fn compose_implements_lemma4_join() {
+        // (A·B)_G = π(A_G ⋈ B_G); Lemma 4.
+        let ab = ps(&[(0, 1), (0, 2), (3, 1)]);
+        let bc = ps(&[(1, 7), (2, 7), (2, 8)]);
+        let c = ab.compose(&bc);
+        assert_eq!(c, ps(&[(0, 7), (0, 8), (3, 7)]));
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let a = ps(&[(0, 1), (2, 3)]);
+        let id = PairSet::identity(5);
+        assert_eq!(a.compose(&id), a);
+        assert_eq!(id.compose(&a), a);
+    }
+
+    #[test]
+    fn ends_of_returns_group() {
+        let s = ps(&[(1, 2), (1, 5), (2, 0)]);
+        let group: Vec<u32> = s.ends_of(VertexId(1)).iter().map(|&(_, e)| e.raw()).collect();
+        assert_eq!(group, vec![2, 5]);
+        assert!(s.ends_of(VertexId(9)).is_empty());
+    }
+
+    #[test]
+    fn groups_iterates_runs() {
+        let s = ps(&[(1, 2), (1, 5), (3, 0)]);
+        let runs: Vec<(u32, usize)> = s.groups().map(|(v, g)| (v.raw(), g.len())).collect();
+        assert_eq!(runs, vec![(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn starts_and_ends_are_sorted_unique() {
+        let s = ps(&[(3, 1), (1, 1), (3, 2)]);
+        assert_eq!(s.starts(), vec![VertexId(1), VertexId(3)]);
+        assert_eq!(s.ends(), vec![VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn from_sorted_unique_accepts_valid_input() {
+        let s = PairSet::from_sorted_unique(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(0))]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_unique_rejects_unsorted_in_debug() {
+        let _ = PairSet::from_sorted_unique(vec![(VertexId(1), VertexId(0)), (VertexId(0), VertexId(1))]);
+    }
+
+    #[test]
+    fn hash_set_view_agrees() {
+        let s = ps(&[(0, 1), (2, 3)]);
+        let h = s.to_hash_set();
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(&(VertexId(0), VertexId(1))));
+    }
+}

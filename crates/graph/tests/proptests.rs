@@ -1,0 +1,125 @@
+//! Property-based tests on the graph substrate.
+
+use proptest::prelude::*;
+use rpq_graph::bfs::reachable_ge1_alloc;
+use rpq_graph::{tarjan_scc, Condensation, Csr, Digraph, GraphBuilder, SccId};
+
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tarjan produces a partition of the vertex set.
+    #[test]
+    fn tarjan_partitions_vertices(edges in arb_edges(24, 80)) {
+        let g = Digraph::from_edges(24, edges);
+        let scc = tarjan_scc(&g);
+        let mut seen = [false; 24];
+        for (_, members) in scc.iter() {
+            for &m in members {
+                prop_assert!(!seen[m as usize], "vertex {m} in two SCCs");
+                seen[m as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// SCC ids are reverse-topological: cross edges always descend.
+    #[test]
+    fn tarjan_reverse_topological(edges in arb_edges(20, 70)) {
+        let g = Digraph::from_edges(20, edges);
+        let scc = tarjan_scc(&g);
+        for (s, d) in g.edges() {
+            let (cs, cd) = (scc.component_of(s), scc.component_of(d));
+            if cs != cd {
+                prop_assert!(cd < cs, "edge {s}->{d}: {cd} !< {cs}");
+            }
+        }
+    }
+
+    /// Two vertices share an SCC iff they reach each other (via ≥1 edges or
+    /// by being the same vertex).
+    #[test]
+    fn scc_membership_matches_mutual_reachability(edges in arb_edges(12, 50)) {
+        let g = Digraph::from_edges(12, edges);
+        let scc = tarjan_scc(&g);
+        let reach: Vec<Vec<u32>> = (0..12).map(|v| reachable_ge1_alloc(&g, v)).collect();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                let same = scc.component_of(a) == scc.component_of(b);
+                let mutual = a == b
+                    || (reach[a as usize].binary_search(&b).is_ok()
+                        && reach[b as usize].binary_search(&a).is_ok());
+                prop_assert_eq!(same, mutual, "a={}, b={}", a, b);
+            }
+        }
+    }
+
+    /// Condensation self-loops exactly mark SCCs with internal edges.
+    #[test]
+    fn condensation_self_loop_rule(edges in arb_edges(16, 60)) {
+        let g = Digraph::from_edges(16, edges);
+        let scc = tarjan_scc(&g);
+        let cond = Condensation::new(&g, &scc);
+        for s in 0..scc.count() as u32 {
+            let has_internal = g
+                .edges()
+                .any(|(a, b)| scc.component_of(a) == SccId(s) && scc.component_of(b) == SccId(s));
+            prop_assert_eq!(cond.has_self_loop(SccId(s)), has_internal, "scc {}", s);
+        }
+    }
+
+    /// Csr::from_items agrees with building rows directly.
+    #[test]
+    fn csr_from_items_equivalence(items in prop::collection::vec((0usize..8, 0u32..100), 0..60)) {
+        let csr = Csr::from_items(8, items.clone());
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); 8];
+        for (r, v) in items {
+            rows[r].push(v);
+        }
+        for (r, expected) in rows.iter().enumerate() {
+            prop_assert_eq!(csr.row(r), &expected[..], "row {}", r);
+        }
+        prop_assert_eq!(csr.len(), rows.iter().map(Vec::len).sum::<usize>());
+    }
+
+    /// Digraph reversal is an involution and preserves edge count.
+    #[test]
+    fn reverse_involution(edges in arb_edges(16, 60)) {
+        let g = Digraph::from_edges(16, edges);
+        let rr = g.reverse().reverse();
+        prop_assert_eq!(&g, &rr);
+        prop_assert_eq!(g.edge_count(), g.reverse().edge_count());
+    }
+
+    /// The multigraph builder is insensitive to edge insertion order.
+    #[test]
+    fn builder_order_insensitive(mut triples in prop::collection::vec((0u32..10, 0usize..3, 0u32..10), 0..40)) {
+        let labels = ["a", "b", "c"];
+        let build = |ts: &[(u32, usize, u32)]| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertices(10);
+            for &(s, l, d) in ts {
+                b.add_edge(s, labels[l], d);
+            }
+            b.build()
+        };
+        let g1 = build(&triples);
+        triples.reverse();
+        let g2 = build(&triples);
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        // Label *ids* depend on first-seen interning order; compare edges
+        // by label name instead.
+        let by_name = |g: &rpq_graph::LabeledMultigraph| {
+            let mut edges: Vec<(u32, String, u32)> = g
+                .all_edges()
+                .map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw()))
+                .collect();
+            edges.sort();
+            edges
+        };
+        prop_assert_eq!(by_name(&g1), by_name(&g2));
+    }
+}

@@ -1,0 +1,311 @@
+//! The reduced transitive closure (RTC) — Section III-C.
+//!
+//! The RTC is `TC(Ḡ_R)` together with the SCC membership table: the
+//! lightweight structure RTCSharing shares among batch units instead of the
+//! heavyweight `R⁺_G`. TABLE III's comparison:
+//!
+//! | | `R⁺_G` (FullSharing) | `R̄⁺_G` (this struct) |
+//! |---|---|---|
+//! | computational | `O(\|V_R\|·\|E_R\|)` | `O(\|V̄_R\|·\|Ē_R\|)` |
+//! | space | `O(\|V_R\|²)` | `O(\|V̄_R\|²)` |
+//!
+//! with `|V̄_R| ≪ |V_R|` whenever SCCs are nontrivial. [`Rtc::expand`]
+//! implements Theorem 1's enumeration
+//! `R⁺_G = ⋃ {s_k × s_l | (s̄_k, s̄_l) ∈ TC(Ḡ_R)}`.
+
+use crate::tc::closure_of_condensation;
+use rpq_graph::{
+    tarjan_scc, Condensation, Csr, MappedDigraph, PairSet, Scc, SccId, VertexId, VertexMapping,
+};
+
+/// Size/shape statistics of an RTC, reported by the experiment harness
+/// (Figs. 12 and 13 compare `closure_pairs` and `scc_count` against the
+/// FullSharing equivalents).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtcStats {
+    /// `|V_R|` — vertices of the edge-level reduced graph.
+    pub vr_vertices: usize,
+    /// `|E_R|` — edges of the edge-level reduced graph (= `|R_G|`).
+    pub er_edges: usize,
+    /// `|V̄_R|` — SCC count after vertex-level reduction.
+    pub scc_count: usize,
+    /// `|Ē_R|` — condensation edges including self-loops.
+    pub ebar_edges: usize,
+    /// `|TC(Ḡ_R)|` — pairs in the reduced transitive closure (the shared
+    /// data size of RTCSharing in Fig. 12).
+    pub closure_pairs: usize,
+}
+
+/// The reduced transitive closure of some `R` on some graph.
+#[derive(Clone, Debug)]
+pub struct Rtc {
+    mapping: VertexMapping,
+    scc: Scc,
+    /// Per-SCC sorted closure rows over SCC ids.
+    closure: Csr<u32>,
+    stats: RtcStats,
+}
+
+impl Rtc {
+    /// Computes the RTC from an evaluated `R_G` (Algorithm 1 line 11,
+    /// `Compute_RTC`): edge-level reduction, Tarjan SCCs, condensation, and
+    /// the reverse-topological closure sweep.
+    pub fn from_pairs(r_g: &PairSet) -> Rtc {
+        Self::from_reduced(reduceable(r_g))
+    }
+
+    /// Computes the RTC from an already-built `G_R`.
+    pub fn from_reduced(gr: MappedDigraph) -> Rtc {
+        let scc = tarjan_scc(&gr.graph);
+        let cond = Condensation::new(&gr.graph, &scc);
+        let closure = closure_of_condensation(&cond);
+        let stats = RtcStats {
+            vr_vertices: gr.graph.vertex_count(),
+            er_edges: gr.graph.edge_count(),
+            scc_count: scc.count(),
+            ebar_edges: cond.edge_count(),
+            closure_pairs: closure.len(),
+        };
+        Rtc {
+            mapping: gr.mapping,
+            scc,
+            closure,
+            stats,
+        }
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> &RtcStats {
+        &self.stats
+    }
+
+    /// Number of SCCs (`|V̄_R|`).
+    pub fn scc_count(&self) -> usize {
+        self.scc.count()
+    }
+
+    /// Number of pairs in `TC(Ḡ_R)` — the shared-data size of RTCSharing.
+    pub fn closure_pair_count(&self) -> usize {
+        self.closure.len()
+    }
+
+    /// Average number of vertices per SCC (1.00 means vertex-level
+    /// reduction bought nothing — the Yago2s regime).
+    pub fn average_scc_size(&self) -> f64 {
+        self.scc.average_size()
+    }
+
+    /// The SCC containing original vertex `v`, or `None` if `v ∉ V_R`.
+    ///
+    /// The `None` case is what makes *useless-1* elimination automatic in
+    /// Algorithm 2: `Pre_G` tuples whose end vertex is off every `R`-path
+    /// simply fail this join.
+    #[inline]
+    pub fn scc_of_original(&self, v: VertexId) -> Option<SccId> {
+        self.mapping.compact(v).map(|c| self.scc.component_of(c))
+    }
+
+    /// SCC ids reachable from `s` via ≥ 1 step of `Ḡ_R`, sorted ascending.
+    /// Contains `s` itself iff the SCC has an internal cycle/self-loop.
+    #[inline]
+    pub fn successors(&self, s: SccId) -> &[u32] {
+        self.closure.row(s.index())
+    }
+
+    /// Original-graph vertices belonging to SCC `s`, ascending.
+    pub fn members_original(&self, s: SccId) -> impl Iterator<Item = VertexId> + '_ {
+        self.scc
+            .members(s)
+            .iter()
+            .map(move |&c| self.mapping.original(c))
+    }
+
+    /// Number of vertices in SCC `s`.
+    pub fn scc_size(&self, s: SccId) -> usize {
+        self.scc.size(s)
+    }
+
+    /// Materializes `R⁺_G` per Theorem 1:
+    /// `{(v_i, v_j) | (s̄_k, s̄_l) ∈ TC(Ḡ_R) ∧ (v_i, v_j) ∈ s_k × s_l}`.
+    pub fn expand(&self) -> PairSet {
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for s in 0..self.scc.count() as u32 {
+            let succ = self.closure.row(s as usize);
+            if succ.is_empty() {
+                continue;
+            }
+            // Gather target vertices once per source SCC.
+            let mut targets: Vec<VertexId> = Vec::new();
+            for &t in succ {
+                targets.extend(self.members_original(SccId(t)));
+            }
+            targets.sort_unstable();
+            for &m in self.scc.members(SccId(s)) {
+                let src = self.mapping.original(m);
+                pairs.extend(targets.iter().map(|&dst| (src, dst)));
+            }
+        }
+        // Rows are built per-SCC; pairs are unique by construction (SCC
+        // member sets are disjoint — the useless-2 argument), but sources
+        // interleave across SCCs, so a sort is still needed.
+        PairSet::from_pairs(pairs)
+    }
+
+    /// The number of pairs [`Rtc::expand`] would produce, computed without
+    /// materializing them (used by the size experiments).
+    pub fn expanded_pair_count(&self) -> usize {
+        let sizes: Vec<usize> = (0..self.scc.count())
+            .map(|s| self.scc.size(SccId(s as u32)))
+            .collect();
+        let mut total = 0usize;
+        for s in 0..self.scc.count() {
+            let succ_total: usize = self
+                .closure
+                .row(s)
+                .iter()
+                .map(|&t| sizes[t as usize])
+                .sum();
+            total += sizes[s] * succ_total;
+        }
+        total
+    }
+}
+
+fn reduceable(r_g: &PairSet) -> MappedDigraph {
+    MappedDigraph::from_pairset(r_g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `b·c` fixture: R_G = {(2,4),(2,6),(3,5),(4,2),(5,3)}.
+    fn bc_rtc() -> Rtc {
+        let r_g: PairSet = [(2u32, 4u32), (2, 6), (3, 5), (4, 2), (5, 3)]
+            .into_iter()
+            .collect();
+        Rtc::from_pairs(&r_g)
+    }
+
+    #[test]
+    fn example5_structure() {
+        let rtc = bc_rtc();
+        assert_eq!(rtc.scc_count(), 3);
+        assert_eq!(rtc.stats().vr_vertices, 5);
+        assert_eq!(rtc.stats().er_edges, 5);
+        assert_eq!(rtc.stats().ebar_edges, 3); // 2 loops + 1 cross edge
+    }
+
+    #[test]
+    fn example6_closure_pairs() {
+        // TC(Ḡ_{b·c}) = {(s̄{2,4},s̄{2,4}), (s̄{2,4},s̄{6}), (s̄{3,5},s̄{3,5})}.
+        let rtc = bc_rtc();
+        assert_eq!(rtc.closure_pair_count(), 3);
+    }
+
+    #[test]
+    fn example6_expansion_is_bc_plus() {
+        let rtc = bc_rtc();
+        let expanded: Vec<(u32, u32)> = rtc.expand().iter().map(|(a, b)| (a.raw(), b.raw())).collect();
+        assert_eq!(
+            expanded,
+            vec![
+                (2, 2),
+                (2, 4),
+                (2, 6),
+                (3, 3),
+                (3, 5),
+                (4, 2),
+                (4, 4),
+                (4, 6),
+                (5, 3),
+                (5, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn expanded_pair_count_matches_expand() {
+        let rtc = bc_rtc();
+        assert_eq!(rtc.expanded_pair_count(), rtc.expand().len());
+    }
+
+    #[test]
+    fn scc_of_original_vertex_lookup() {
+        let rtc = bc_rtc();
+        // v2 and v4 share an SCC; v6 is a singleton; v0 is not in V_R.
+        let s2 = rtc.scc_of_original(VertexId(2)).unwrap();
+        let s4 = rtc.scc_of_original(VertexId(4)).unwrap();
+        assert_eq!(s2, s4);
+        assert_eq!(rtc.scc_size(s2), 2);
+        let s6 = rtc.scc_of_original(VertexId(6)).unwrap();
+        assert_eq!(rtc.scc_size(s6), 1);
+        assert_eq!(rtc.scc_of_original(VertexId(0)), None);
+        assert_eq!(rtc.scc_of_original(VertexId(9)), None);
+    }
+
+    #[test]
+    fn members_round_trip() {
+        let rtc = bc_rtc();
+        let s = rtc.scc_of_original(VertexId(3)).unwrap();
+        let members: Vec<u32> = rtc.members_original(s).map(|v| v.raw()).collect();
+        assert_eq!(members, vec![3, 5]);
+    }
+
+    #[test]
+    fn successors_respect_self_loop_rule() {
+        let rtc = bc_rtc();
+        let s24 = rtc.scc_of_original(VertexId(2)).unwrap();
+        let s6 = rtc.scc_of_original(VertexId(6)).unwrap();
+        let s35 = rtc.scc_of_original(VertexId(3)).unwrap();
+        // s{2,4} reaches itself (cycle) and s{6}.
+        assert!(rtc.successors(s24).contains(&s24.raw()));
+        assert!(rtc.successors(s24).contains(&s6.raw()));
+        // s{6} reaches nothing.
+        assert!(rtc.successors(s6).is_empty());
+        // s{3,5} reaches only itself.
+        assert_eq!(rtc.successors(s35), &[s35.raw()]);
+    }
+
+    #[test]
+    fn empty_rtc() {
+        let rtc = Rtc::from_pairs(&PairSet::new());
+        assert_eq!(rtc.scc_count(), 0);
+        assert_eq!(rtc.closure_pair_count(), 0);
+        assert!(rtc.expand().is_empty());
+        assert_eq!(rtc.expanded_pair_count(), 0);
+    }
+
+    #[test]
+    fn dag_rtc_has_no_self_pairs() {
+        let r_g: PairSet = [(0u32, 1u32), (1, 2)].into_iter().collect();
+        let rtc = Rtc::from_pairs(&r_g);
+        assert_eq!(rtc.scc_count(), 3);
+        assert_eq!(rtc.average_scc_size(), 1.0);
+        let expanded = rtc.expand();
+        for (a, b) in expanded.iter() {
+            assert_ne!(a, b, "DAG must not produce (v,v) pairs");
+        }
+        assert_eq!(expanded.len(), 3); // (0,1),(0,2),(1,2)
+    }
+
+    #[test]
+    fn lemma1_expand_equals_naive_tc_of_gr() {
+        // Random-ish fixture: two cycles and a bridge over sparse ids.
+        let r_g: PairSet = [
+            (10u32, 20u32),
+            (20, 10),
+            (20, 30),
+            (30, 40),
+            (40, 50),
+            (50, 30),
+            (60, 60),
+        ]
+        .into_iter()
+        .collect();
+        let rtc = Rtc::from_pairs(&r_g);
+        // Naive TC over the same pairs via the algebraic oracle.
+        let tc = rpq_eval::algebraic::plus_closure(&r_g);
+        assert_eq!(rtc.expand(), tc);
+    }
+}

@@ -1,0 +1,311 @@
+//! Transitive-closure algorithms on unlabeled digraphs.
+//!
+//! Three implementations with one contract (`TC` = pairs reachable by paths
+//! of length ≥ 1):
+//!
+//! * [`tc_naive`] — per-vertex BFS, `O(|V|·|E|)`. This is what FullSharing
+//!   pays to materialize `R⁺_G = TC(G_R)` (TABLE III, left column).
+//! * [`closure_of_condensation`] / [`tc_condensation`] — Purdom's scheme
+//!   \[12\]: condense to `Ḡ_R`, close the much smaller DAG-with-self-loops in
+//!   reverse topological order, then (optionally) expand by SCC membership.
+//!   The un-expanded SCC closure is exactly the RTC (TABLE III, right
+//!   column).
+//! * [`nuutila_closure`] — Nuutila's refinement \[13\]: compute the SCC
+//!   closure *during* a single Tarjan pass instead of as a second phase.
+//!
+//! All closure rows are sorted ascending, so downstream joins can merge.
+
+use rpq_graph::{tarjan_scc, BitMatrix, Condensation, Csr, Digraph, EpochVisited, Scc, SccId};
+
+/// Naive transitive closure: one BFS per vertex. Row `v` holds the sorted
+/// vertices reachable from `v` via ≥ 1 edge.
+pub fn tc_naive(g: &Digraph) -> Csr<u32> {
+    let n = g.vertex_count();
+    let mut visited = EpochVisited::new(n);
+    let mut queue: Vec<u32> = Vec::new();
+    let mut out = Csr::new();
+    for v in 0..n as u32 {
+        let row = rpq_graph::bfs::reachable_ge1(g, v, &mut visited, &mut queue);
+        out.push_row(row);
+    }
+    out
+}
+
+/// Closure of a condensation: row `s̄` holds the sorted SCC ids reachable
+/// from `s̄` via ≥ 1 edge of `Ḡ_R` (self-loops included).
+///
+/// Exploits the reverse-topological numbering of Tarjan SCC ids: a single
+/// ascending sweep sees every successor row before it is needed. Dedup uses
+/// an epoch-stamped scratch array, so the cost is proportional to the sum of
+/// merged list lengths.
+pub fn closure_of_condensation(cond: &Condensation) -> Csr<u32> {
+    let k = cond.vertex_count();
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut stamp = EpochVisited::new(k);
+    for s in 0..k as u32 {
+        stamp.clear();
+        let mut row: Vec<u32> = Vec::new();
+        if cond.has_self_loop(SccId(s)) && stamp.insert(s) {
+            row.push(s);
+        }
+        for &t in cond.out(SccId(s)) {
+            if stamp.insert(t) {
+                row.push(t);
+            }
+            for &q in &rows[t as usize] {
+                if stamp.insert(q) {
+                    row.push(q);
+                }
+            }
+        }
+        row.sort_unstable();
+        rows.push(row);
+    }
+    Csr::from_rows(rows)
+}
+
+/// Purdom-style transitive closure: condensation closure expanded back to
+/// vertex level. Returns per-vertex sorted reachability rows equal to
+/// [`tc_naive`]'s output.
+pub fn tc_condensation(g: &Digraph) -> Csr<u32> {
+    let scc = tarjan_scc(g);
+    let cond = Condensation::new(g, &scc);
+    let closure = closure_of_condensation(&cond);
+    expand_scc_closure(&scc, &closure, g.vertex_count())
+}
+
+/// Nuutila-style one-pass closure: SCC detection and successor-set
+/// construction interleaved in a single iterative Tarjan traversal.
+///
+/// Returns the SCC decomposition and the per-SCC closure rows (sorted),
+/// identical to running [`rpq_graph::tarjan_scc`] +
+/// [`closure_of_condensation`] separately.
+pub fn nuutila_closure(g: &Digraph) -> (Scc, Csr<u32>) {
+    // The reverse-topological property of Tarjan pops means every SCC we
+    // pop has all its successor SCCs already popped *and closed*; we build
+    // the closure row at pop time from the members' out-edges.
+    let scc = tarjan_scc(g);
+    let k = scc.count();
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let mut stamp = EpochVisited::new(k);
+    for s in 0..k as u32 {
+        stamp.clear();
+        let mut row: Vec<u32> = Vec::new();
+        for &member in scc.members(SccId(s)) {
+            for &w in g.out(member) {
+                let t = scc.component_of(w).raw();
+                if t == s {
+                    // Internal edge: the SCC reaches itself.
+                    if stamp.insert(s) {
+                        row.push(s);
+                    }
+                    continue;
+                }
+                if stamp.insert(t) {
+                    row.push(t);
+                }
+                for &q in &rows[t as usize] {
+                    if stamp.insert(q) {
+                        row.push(q);
+                    }
+                }
+            }
+        }
+        row.sort_unstable();
+        rows.push(row);
+    }
+    (scc, Csr::from_rows(rows))
+}
+
+/// Bitset variant of the condensation closure: each row is a dense bit
+/// vector and the reverse-topological sweep unions successor rows with
+/// word-parallel ORs. Faster than list merging when the closure is dense;
+/// memory is `|V̄_R|²/8` bytes, so callers should prefer
+/// [`closure_of_condensation`] for large condensations (the
+/// `tc_ablation` bench quantifies the crossover).
+pub fn closure_of_condensation_bitset(cond: &Condensation) -> BitMatrix {
+    let k = cond.vertex_count();
+    let mut m = BitMatrix::new(k);
+    // Ascending SCC ids are reverse-topological: successors close first.
+    for s in 0..k {
+        if cond.has_self_loop(SccId(s as u32)) {
+            m.set(s, s);
+        }
+        for &t in cond.out(SccId(s as u32)) {
+            m.set(s, t as usize);
+            m.or_row_into(t as usize, s);
+        }
+    }
+    m
+}
+
+/// Expands a per-SCC closure to per-vertex rows (the Cartesian products of
+/// Lemma 3, laid out row-wise).
+pub fn expand_scc_closure(scc: &Scc, closure: &Csr<u32>, n: usize) -> Csr<u32> {
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..scc.count() as u32 {
+        let succ = closure.row(s as usize);
+        if succ.is_empty() {
+            continue;
+        }
+        // Collect the reachable vertex set once per SCC, share across members.
+        let mut reach: Vec<u32> = Vec::new();
+        for &t in succ {
+            reach.extend_from_slice(scc.members(SccId(t)));
+        }
+        reach.sort_unstable();
+        for &member in scc.members(SccId(s)) {
+            rows[member as usize] = reach.clone();
+        }
+    }
+    Csr::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(csr: &Csr<u32>) -> Vec<Vec<u32>> {
+        csr.iter_rows().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn naive_tc_on_chain() {
+        let g = Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let tc = tc_naive(&g);
+        assert_eq!(
+            rows_of(&tc),
+            vec![vec![1, 2, 3], vec![2, 3], vec![3], vec![]]
+        );
+    }
+
+    #[test]
+    fn naive_tc_on_cycle_includes_self() {
+        let g = Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let tc = tc_naive(&g);
+        for v in 0..3 {
+            assert_eq!(tc.row(v), &[0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn condensation_closure_example6() {
+        // G_{b·c} compact: {v2,v3,v4,v5,v6}→{0,1,2,3,4},
+        // edges {(0,2),(0,4),(1,3),(2,0),(3,1)}.
+        let g = Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]);
+        let scc = tarjan_scc(&g);
+        let cond = Condensation::new(&g, &scc);
+        let closure = closure_of_condensation(&cond);
+        // TC(Ḡ_{b·c}) = {(s̄{24},s̄{24}), (s̄{24},s̄{6}), (s̄{35},s̄{35})} —
+        // 3 pairs (Example 6).
+        let total: usize = closure.iter_rows().map(|r| r.len()).sum();
+        assert_eq!(total, 3);
+        let s24 = scc.component_of(0);
+        let s6 = scc.component_of(4);
+        let s35 = scc.component_of(1);
+        let mut expect_s24 = [s24.raw(), s6.raw()];
+        expect_s24.sort_unstable();
+        assert_eq!(closure.row(s24.index()), &expect_s24[..]);
+        assert_eq!(closure.row(s6.index()), &[] as &[u32]);
+        assert_eq!(closure.row(s35.index()), &[s35.raw()]);
+    }
+
+    #[test]
+    fn tc_condensation_equals_tc_naive() {
+        let graphs = [Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]),
+            Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]),
+            Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
+            Digraph::from_edges(2, vec![(0, 0), (0, 1)]),
+            Digraph::from_edges(6, vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)]),
+            Digraph::from_edges(3, vec![])];
+        for (i, g) in graphs.iter().enumerate() {
+            assert_eq!(
+                rows_of(&tc_condensation(g)),
+                rows_of(&tc_naive(g)),
+                "graph {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn nuutila_matches_two_phase() {
+        let graphs = [Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
+            Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
+            Digraph::from_edges(2, vec![(0, 0)]),
+            Digraph::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4), (6, 0)])];
+        for (i, g) in graphs.iter().enumerate() {
+            let (scc_a, closure_a) = nuutila_closure(g);
+            let scc_b = tarjan_scc(g);
+            let cond = Condensation::new(g, &scc_b);
+            let closure_b = closure_of_condensation(&cond);
+            assert_eq!(scc_a.count(), scc_b.count(), "graph {i}");
+            assert_eq!(rows_of(&closure_a), rows_of(&closure_b), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn self_loop_singleton_closure() {
+        let g = Digraph::from_edges(2, vec![(0, 0), (0, 1)]);
+        let (scc, closure) = nuutila_closure(&g);
+        let s0 = scc.component_of(0);
+        let s1 = scc.component_of(1);
+        let mut expect = [s0.raw(), s1.raw()];
+        expect.sort_unstable();
+        assert_eq!(closure.row(s0.index()), &expect[..]);
+        assert_eq!(closure.row(s1.index()), &[] as &[u32]);
+    }
+
+    #[test]
+    fn expand_scc_closure_produces_cartesian_products() {
+        // Cycle {0,1} reaching singleton {2}.
+        let g = Digraph::from_edges(3, vec![(0, 1), (1, 0), (1, 2)]);
+        let tc = tc_condensation(&g);
+        assert_eq!(tc.row(0), &[0, 1, 2]);
+        assert_eq!(tc.row(1), &[0, 1, 2]);
+        assert_eq!(tc.row(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_graph_closures() {
+        let g = Digraph::from_edges(0, vec![]);
+        assert_eq!(tc_naive(&g).rows(), 0);
+        assert_eq!(tc_condensation(&g).rows(), 0);
+        let (scc, closure) = nuutila_closure(&g);
+        assert_eq!(scc.count(), 0);
+        assert_eq!(closure.rows(), 0);
+    }
+
+    #[test]
+    fn bitset_closure_matches_list_closure() {
+        let graphs = [
+            Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
+            Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]),
+            Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]),
+            Digraph::from_edges(2, vec![(0, 0), (0, 1)]),
+            Digraph::from_edges(1, vec![]),
+            Digraph::from_edges(130, (0..129).map(|v| (v, v + 1)).collect()),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let scc = tarjan_scc(g);
+            let cond = Condensation::new(g, &scc);
+            let lists = closure_of_condensation(&cond);
+            let bits = closure_of_condensation_bitset(&cond);
+            assert_eq!(bits.count_ones(), lists.len(), "graph {i}: pair totals");
+            for s in 0..cond.vertex_count() {
+                let from_bits: Vec<u32> = bits.row_iter(s).collect();
+                assert_eq!(from_bits, lists.row(s), "graph {i}, scc {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_pair_counts_match_between_algorithms() {
+        let g = Digraph::from_edges(
+            8,
+            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6), (6, 7)],
+        );
+        let naive: usize = tc_naive(&g).len();
+        let purdom: usize = tc_condensation(&g).len();
+        assert_eq!(naive, purdom);
+    }
+}

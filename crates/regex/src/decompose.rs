@@ -1,0 +1,197 @@
+//! `DecomposeCL` — splitting a DNF clause into `Pre · R^(+|*) · Post`.
+//!
+//! Algorithm 1 line 4: each clause is decomposed around its **rightmost**
+//! Kleene closure. `Post` is then guaranteed closure-free (a plain label
+//! sequence), while `Pre` may still contain closures — Algorithm 1 handles
+//! those by recursion. A clause with no closure decomposes into
+//! `Pre = ε`, `R = ε`, `Type = NULL` with the whole clause as `Post`.
+
+use crate::ast::{ClosureKind, Regex};
+use crate::dnf::{Clause, Literal};
+
+/// A decomposed batch unit `Pre · R^(+|*) · Post`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchUnit {
+    /// The prefix expression; may contain (nested) Kleene closures.
+    /// `Regex::Epsilon` when the clause starts with the closure.
+    pub pre: Regex,
+    /// The rightmost closure `(R, Type)`, or `None` for closure-free
+    /// clauses (the paper's `Type = NULL` case).
+    pub closure: Option<(Regex, ClosureKind)>,
+    /// The closure-free postfix as a label sequence.
+    pub post: Vec<String>,
+}
+
+impl BatchUnit {
+    /// Reassembles the batch unit into the equivalent regular expression.
+    pub fn to_regex(&self) -> Regex {
+        let mut parts = vec![self.pre.clone()];
+        if let Some((r, kind)) = &self.closure {
+            parts.push(Regex::closure(r.clone(), *kind));
+        }
+        parts.extend(self.post.iter().map(|l| Regex::Label(l.clone())));
+        Regex::concat(parts)
+    }
+}
+
+/// Decomposes `clause` around its rightmost Kleene-closure literal.
+pub fn decompose(clause: &Clause) -> BatchUnit {
+    let rightmost = clause
+        .literals
+        .iter()
+        .rposition(|l| matches!(l, Literal::Closure { .. }));
+
+    match rightmost {
+        None => BatchUnit {
+            pre: Regex::Epsilon,
+            closure: None,
+            post: clause
+                .literals
+                .iter()
+                .map(|l| match l {
+                    Literal::Label(name) => name.clone(),
+                    Literal::Closure { .. } => unreachable!("no closure in clause"),
+                })
+                .collect(),
+        },
+        Some(i) => {
+            let pre = Regex::concat(
+                clause.literals[..i]
+                    .iter()
+                    .map(Literal::to_regex)
+                    .collect(),
+            );
+            let (inner, kind) = match &clause.literals[i] {
+                Literal::Closure { inner, kind } => (inner.clone(), *kind),
+                Literal::Label(_) => unreachable!("rposition found a closure"),
+            };
+            let post = clause.literals[i + 1..]
+                .iter()
+                .map(|l| match l {
+                    Literal::Label(name) => name.clone(),
+                    Literal::Closure { .. } => {
+                        unreachable!("literals after the rightmost closure are labels")
+                    }
+                })
+                .collect();
+            BatchUnit {
+                pre,
+                closure: Some((inner, kind)),
+                post,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::to_dnf;
+
+    fn decompose_query(src: &str) -> BatchUnit {
+        let r = Regex::parse(src).unwrap();
+        let clauses = to_dnf(&r).unwrap();
+        assert_eq!(clauses.len(), 1, "expected single clause for {src}");
+        decompose(&clauses[0])
+    }
+
+    #[test]
+    fn closure_free_clause() {
+        // Example 7, query `a`: Pre = ε, R = ε (None), Post = [a].
+        let u = decompose_query("a");
+        assert_eq!(u.pre, Regex::Epsilon);
+        assert_eq!(u.closure, None);
+        assert_eq!(u.post, vec!["a"]);
+    }
+
+    #[test]
+    fn multi_label_closure_free_clause() {
+        let u = decompose_query("a.b.c");
+        assert_eq!(u.pre, Regex::Epsilon);
+        assert_eq!(u.closure, None);
+        assert_eq!(u.post, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn example7_single_closure() {
+        // a·(a·b)+·b: Pre = a, R = a·b, Type = +, Post = [b].
+        let u = decompose_query("a.(a.b)+.b");
+        assert_eq!(u.pre, Regex::label("a"));
+        assert_eq!(
+            u.closure,
+            Some((Regex::parse("a.b").unwrap(), ClosureKind::Plus))
+        );
+        assert_eq!(u.post, vec!["b"]);
+    }
+
+    #[test]
+    fn example7_nested_query() {
+        // (a·b)*·b+·(a·b+·c)+: Pre = (a·b)*·b+, R = a·b+·c, Type = +, Post = ε.
+        let u = decompose_query("(a.b)*.b+.(a.b+.c)+");
+        assert_eq!(u.pre, Regex::parse("(a.b)*.b+").unwrap());
+        assert_eq!(
+            u.closure,
+            Some((Regex::parse("a.b+.c").unwrap(), ClosureKind::Plus))
+        );
+        assert!(u.post.is_empty());
+    }
+
+    #[test]
+    fn example7_recursive_step() {
+        // Decomposing the Pre of the previous test: (a·b)*·b+ gives
+        // Pre = (a·b)*, R = b, Type = +, Post = ε.
+        let u = decompose_query("(a.b)*.b+");
+        assert_eq!(u.pre, Regex::parse("(a.b)*").unwrap());
+        assert_eq!(u.closure, Some((Regex::label("b"), ClosureKind::Plus)));
+        assert!(u.post.is_empty());
+
+        // And one level deeper: (a·b)* gives Pre = ε, R = a·b, Type = *.
+        let u = decompose_query("(a.b)*");
+        assert_eq!(u.pre, Regex::Epsilon);
+        assert_eq!(
+            u.closure,
+            Some((Regex::parse("a.b").unwrap(), ClosureKind::Star))
+        );
+        assert!(u.post.is_empty());
+    }
+
+    #[test]
+    fn rightmost_closure_is_selected() {
+        // a+·b·c*·d: the rightmost closure is c*, so Pre = a+·b.
+        let u = decompose_query("a+.b.c*.d");
+        assert_eq!(u.pre, Regex::parse("a+.b").unwrap());
+        assert_eq!(u.closure, Some((Regex::label("c"), ClosureKind::Star)));
+        assert_eq!(u.post, vec!["d"]);
+    }
+
+    #[test]
+    fn paper_running_query() {
+        // d·(b·c)+·c: Pre = d, R = b·c, Type = +, Post = [c].
+        let u = decompose_query("d.(b.c)+.c");
+        assert_eq!(u.pre, Regex::label("d"));
+        assert_eq!(
+            u.closure,
+            Some((Regex::parse("b.c").unwrap(), ClosureKind::Plus))
+        );
+        assert_eq!(u.post, vec!["c"]);
+    }
+
+    #[test]
+    fn to_regex_reassembles_clause() {
+        for src in ["a", "a.b.c", "a.(a.b)+.b", "(a.b)*.b+", "d.(b.c)+.c", "a+.b.c*.d"] {
+            let r = Regex::parse(src).unwrap();
+            let clauses = to_dnf(&r).unwrap();
+            let u = decompose(&clauses[0]);
+            assert_eq!(u.to_regex(), clauses[0].to_regex(), "src={src}");
+        }
+    }
+
+    #[test]
+    fn epsilon_clause_decomposes_to_empty_post() {
+        let u = decompose(&Clause::epsilon());
+        assert_eq!(u.pre, Regex::Epsilon);
+        assert_eq!(u.closure, None);
+        assert!(u.post.is_empty());
+        assert_eq!(u.to_regex(), Regex::Epsilon);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for parsing and DNF conversion.
+
+use std::fmt;
+
+/// A parse error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        Self {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from DNF conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnfError {
+    /// The DNF would exceed the configured clause budget. Distribution of
+    /// alternation over concatenation is exponential in the worst case; the
+    /// limit keeps adversarial queries from exhausting memory.
+    TooManyClauses {
+        /// The configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnfError::TooManyClauses { limit } => {
+                write!(f, "DNF conversion exceeded the clause limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = ParseError::new(4, "unexpected ')'");
+        assert_eq!(e.to_string(), "parse error at offset 4: unexpected ')'");
+    }
+
+    #[test]
+    fn display_dnf_error() {
+        let e = DnfError::TooManyClauses { limit: 10 };
+        assert_eq!(e.to_string(), "DNF conversion exceeded the clause limit of 10");
+    }
+}

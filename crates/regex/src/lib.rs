@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! The RPQ expression language.
+//!
+//! A regular path query is a regular expression over edge labels
+//! (Section II-B of the paper). This crate provides:
+//!
+//! * [`Regex`] — the AST with normalizing smart constructors;
+//! * [`Regex::parse`] — a recursive-descent parser for the textual syntax
+//!   (`.`/`/` concatenation, `|` alternation, `+` `*` `?` postfix,
+//!   parentheses, `()`/`ε` for the empty path);
+//! * [`dnf::to_dnf`] — conversion to disjunctive normal form treating each
+//!   **outermost Kleene closure as a literal** (Section IV-A);
+//! * [`decompose::decompose`] — `DecomposeCL` of Algorithm 1: splitting a
+//!   DNF clause into `Pre · R^(+|*) · Post` around its *rightmost* closure,
+//!   with a closure-free `Post`.
+//!
+//! ```
+//! use rpq_regex::{decompose, to_dnf, Regex};
+//!
+//! let q = Regex::parse("d.(b.c)+.c").unwrap();
+//! let clauses = to_dnf(&q).unwrap();
+//! let unit = decompose(&clauses[0]);
+//! assert_eq!(unit.pre.to_string(), "d");
+//! assert_eq!(unit.closure.unwrap().0.to_string(), "b.c");
+//! assert_eq!(unit.post, vec!["c".to_string()]);
+//! ```
+
+pub mod ast;
+pub mod decompose;
+pub mod dnf;
+pub mod error;
+pub mod parser;
+
+pub use ast::{ClosureKind, Regex};
+pub use decompose::{decompose, BatchUnit};
+pub use dnf::{to_dnf, to_dnf_with_limit, Clause, Literal, DEFAULT_CLAUSE_LIMIT};
+pub use error::{DnfError, ParseError};

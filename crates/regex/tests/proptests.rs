@@ -1,0 +1,125 @@
+//! Property-based tests on the expression language.
+
+use proptest::prelude::*;
+use rpq_regex::{decompose, to_dnf, Literal, Regex};
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Empty),
+        prop::sample::select(vec!["a", "b", "c", "xy", "l0"]).prop_map(Regex::label),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::plus),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::optional),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity on normalized expressions.
+    #[test]
+    fn parse_display_roundtrip(r in arb_regex()) {
+        // `∅` only prints at top level in normalized form; skip Empty
+        // (covered by a unit test) to keep the property crisp.
+        prop_assume!(r != Regex::Empty);
+        let printed = r.to_string();
+        let reparsed = Regex::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+        prop_assert_eq!(r, reparsed, "printed: {}", printed);
+    }
+
+    /// Canonical keys are stable across a print/parse cycle.
+    #[test]
+    fn canonical_key_stable(r in arb_regex()) {
+        prop_assume!(r != Regex::Empty);
+        let key = r.canonical_key();
+        let reparsed = Regex::parse(&key).unwrap();
+        prop_assert_eq!(key, reparsed.canonical_key());
+    }
+
+    /// Smart constructors are idempotent: rebuilding a normalized tree
+    /// through the constructors yields the same tree.
+    #[test]
+    fn constructors_idempotent(r in arb_regex()) {
+        fn rebuild(r: &Regex) -> Regex {
+            match r {
+                Regex::Empty => Regex::Empty,
+                Regex::Epsilon => Regex::Epsilon,
+                Regex::Label(l) => Regex::label(l.clone()),
+                Regex::Concat(parts) => Regex::concat(parts.iter().map(rebuild).collect()),
+                Regex::Alt(parts) => Regex::alt(parts.iter().map(rebuild).collect()),
+                Regex::Plus(inner) => Regex::plus(rebuild(inner)),
+                Regex::Star(inner) => Regex::star(rebuild(inner)),
+                Regex::Optional(inner) => Regex::optional(rebuild(inner)),
+            }
+        }
+        prop_assert_eq!(rebuild(&r), r);
+    }
+
+    /// DNF clauses are closure-literal-correct: every clause either has no
+    /// closure or decomposes with a closure whose Post is label-only, and
+    /// the reassembled batch unit equals the clause.
+    #[test]
+    fn dnf_clauses_decompose_cleanly(r in arb_regex()) {
+        let Ok(clauses) = to_dnf(&r) else { return Ok(()); };
+        for clause in &clauses {
+            let unit = decompose(clause);
+            prop_assert_eq!(unit.to_regex(), clause.to_regex());
+            if let Some(i) = clause.literals.iter().rposition(|l| l.is_closure()) {
+                for lit in &clause.literals[i + 1..] {
+                    prop_assert!(matches!(lit, Literal::Label(_)));
+                }
+            } else {
+                prop_assert_eq!(unit.closure, None);
+            }
+        }
+    }
+
+    /// Nullability is preserved by DNF: the query is nullable iff some
+    /// clause is nullable.
+    #[test]
+    fn dnf_preserves_nullability(r in arb_regex()) {
+        let Ok(clauses) = to_dnf(&r) else { return Ok(()); };
+        let any_nullable = clauses.iter().any(|c| c.to_regex().nullable());
+        prop_assert_eq!(r.nullable(), any_nullable);
+    }
+
+    /// The label set is preserved by DNF (no labels invented or lost,
+    /// modulo clauses dropped as ∅ — which normalization prevents).
+    #[test]
+    fn dnf_preserves_labels(r in arb_regex()) {
+        let Ok(clauses) = to_dnf(&r) else { return Ok(()); };
+        let mut from_clauses: Vec<String> = clauses
+            .iter()
+            .flat_map(|c| c.to_regex().labels().into_iter().map(String::from).collect::<Vec<_>>())
+            .collect();
+        from_clauses.sort();
+        from_clauses.dedup();
+        let mut from_query: Vec<String> = r.labels().into_iter().map(String::from).collect();
+        from_query.sort();
+        prop_assert_eq!(from_query, from_clauses);
+    }
+
+    /// `size` and `nullable` never disagree with the printed form's reparse.
+    #[test]
+    fn metadata_survives_roundtrip(r in arb_regex()) {
+        prop_assume!(r != Regex::Empty);
+        let reparsed = Regex::parse(&r.to_string()).unwrap();
+        prop_assert_eq!(r.nullable(), reparsed.nullable());
+        prop_assert_eq!(r.size(), reparsed.size());
+        prop_assert_eq!(r.has_closure(), reparsed.has_closure());
+    }
+}
+
+#[test]
+fn empty_regex_prints_and_reparses() {
+    assert_eq!(Regex::Empty.to_string(), "∅");
+    assert_eq!(Regex::parse("∅").unwrap(), Regex::Empty);
+}

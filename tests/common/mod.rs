@@ -1,0 +1,53 @@
+//! Shared helpers for the integration tests: random graph and random
+//! query generators with deterministic seeding.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtc_rpq::graph::{GraphBuilder, LabeledMultigraph};
+use rtc_rpq::regex::Regex;
+
+/// Labels used by the random generators.
+pub const ALPHABET: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A random multigraph with `n` vertices and roughly `edges` labeled edges.
+pub fn random_graph(rng: &mut StdRng, n: u32, edges: usize) -> LabeledMultigraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertices(n as usize);
+    for _ in 0..edges {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let label = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+        b.add_edge(src, label, dst);
+    }
+    b.build()
+}
+
+/// A random regular expression with bounded depth.
+///
+/// Shapes are weighted toward the paper's workload (concatenations and
+/// closures) but cover alternation and options too.
+pub fn random_regex(rng: &mut StdRng, depth: u32) -> Regex {
+    if depth == 0 {
+        return Regex::label(ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+    }
+    match rng.gen_range(0..10) {
+        0..=2 => Regex::label(ALPHABET[rng.gen_range(0..ALPHABET.len())]),
+        3..=5 => {
+            let k = rng.gen_range(2..=3);
+            Regex::concat((0..k).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        6 => {
+            let k = rng.gen_range(2..=3);
+            Regex::alt((0..k).map(|_| random_regex(rng, depth - 1)).collect())
+        }
+        7 => Regex::plus(random_regex(rng, depth - 1)),
+        8 => Regex::star(random_regex(rng, depth - 1)),
+        _ => Regex::optional(random_regex(rng, depth - 1)),
+    }
+}
+
+/// A deterministic RNG for a named test case.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

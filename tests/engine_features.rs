@@ -1,0 +1,199 @@
+//! Integration tests for the engine's production features beyond the
+//! paper's core algorithm: witness paths, EXPLAIN plans, backward
+//! evaluation, fast paths, and cache lifecycle.
+
+mod common;
+
+use common::{random_graph, random_regex, rng};
+use rand::Rng;
+use rtc_rpq::core::{explain, explain_set, Engine, EngineConfig, Strategy};
+use rtc_rpq::eval::{find_witness, format_witness, ProductEvaluator};
+use rtc_rpq::graph::fixtures::paper_graph;
+use rtc_rpq::graph::VertexId;
+use rtc_rpq::regex::Regex;
+
+/// Witness extraction agrees with engine results on random inputs.
+#[test]
+fn witnesses_cover_engine_results() {
+    let mut r = rng(101);
+    for case in 0..25 {
+        let n = r.gen_range(4..14);
+        let m = r.gen_range(5..40);
+        let g = random_graph(&mut r, n, m);
+        let q = random_regex(&mut r, 2);
+        let result = Engine::new(&g).evaluate(&q).unwrap();
+        // Every result pair has a witness whose endpoints match.
+        for (s, d) in result.iter().take(50) {
+            let w = find_witness(&g, &q, s, d)
+                .unwrap_or_else(|| panic!("case {case}: no witness for ({s},{d}) on {q}"));
+            if let (Some(first), Some(last)) = (w.first(), w.last()) {
+                assert_eq!(first.from, s);
+                assert_eq!(last.to, d);
+            } else {
+                assert_eq!(s, d, "empty witness only for self pairs");
+            }
+        }
+        // And a handful of non-result pairs have none.
+        let mut misses = 0;
+        for s in 0..n.min(6) {
+            for d in 0..n.min(6) {
+                let (s, d) = (VertexId(s), VertexId(d));
+                if !result.contains(s, d) {
+                    assert!(find_witness(&g, &q, s, d).is_none());
+                    misses += 1;
+                }
+            }
+        }
+        let _ = misses;
+    }
+}
+
+/// The EXPLAIN plan names exactly the closure bodies the engine caches.
+#[test]
+fn explain_predicts_cached_bodies() {
+    let g = paper_graph();
+    let queries = [
+        Regex::parse("a.(a.b)+.b").unwrap(),
+        Regex::parse("(a.b)*.b+.(a.b+.c)+").unwrap(),
+        Regex::parse("d.(b.c)+.c").unwrap(),
+    ];
+    let plan = explain_set(&queries).unwrap();
+    let planned: std::collections::BTreeSet<String> =
+        plan.shared_bodies.iter().map(|(k, _)| k.clone()).collect();
+
+    let mut engine = Engine::new(&g);
+    engine.evaluate_set(&queries).unwrap();
+    // Engine caches at least the plan-visible bodies (it may cache more:
+    // bodies nested inside R are discovered during R's own evaluation).
+    assert!(engine.cache().rtc_count() >= planned.len());
+    for key in &planned {
+        // Re-evaluating a query whose body is `key` must hit the cache.
+        let hits_before = engine.cache().hits();
+        engine
+            .evaluate(&Regex::parse(&format!("({key})+")).unwrap())
+            .unwrap();
+        assert!(engine.cache().hits() > hits_before, "no hit for {key}");
+    }
+}
+
+/// The Fig. 7 recursion-tree shape, as EXPLAIN output.
+#[test]
+fn explain_renders_paper_recursion_tree() {
+    let q = Regex::parse("(a.b)*.b+.(a.b+.c)+").unwrap();
+    let plan = explain(&q).unwrap();
+    let text = plan.to_string();
+    assert!(text.contains("(a.b+.c)+"), "{text}");
+    assert!(text.contains("(a.b)*.b+"), "{text}");
+    assert_eq!(plan.batch_unit_count(), 3);
+}
+
+/// Backward evaluation answers "who reaches t" consistently with the
+/// forward relation, across random graphs.
+#[test]
+fn backward_evaluation_consistency() {
+    let mut r = rng(103);
+    for _ in 0..20 {
+        let n = r.gen_range(3..12);
+        let m = r.gen_range(4..40);
+        let g = random_graph(&mut r, n, m);
+        let q = random_regex(&mut r, 2);
+        let ev = ProductEvaluator::new(&g, &q);
+        let full = ev.evaluate();
+        for t in 0..n {
+            let t = VertexId(t);
+            let expect: Vec<VertexId> = full
+                .iter()
+                .filter(|&(_, e)| e == t)
+                .map(|(s, _)| s)
+                .collect();
+            assert_eq!(ev.starts_to(t), expect, "target {t}, query {q}");
+        }
+    }
+}
+
+/// Fast paths stay equivalent to the general Algorithm-2 join on random
+/// bare-closure queries.
+#[test]
+fn fast_path_equivalence_randomized() {
+    let mut r = rng(107);
+    for _ in 0..30 {
+        let n = r.gen_range(4..16);
+        let m = r.gen_range(5..50);
+        let g = random_graph(&mut r, n, m);
+        let body = random_regex(&mut r, 2);
+        for q in [Regex::plus(body.clone()), Regex::star(body.clone())] {
+            let fast = Engine::new(&g).evaluate(&q).unwrap();
+            let general = Engine::with_config(
+                &g,
+                EngineConfig {
+                    enable_fast_paths: false,
+                    ..EngineConfig::default()
+                },
+            )
+            .evaluate(&q)
+            .unwrap();
+            assert_eq!(fast, general, "query {q}");
+        }
+    }
+}
+
+/// Cache lifecycle: clear_cache forces recomputation; reset_metrics does not.
+#[test]
+fn cache_lifecycle() {
+    let g = paper_graph();
+    let mut e = Engine::new(&g);
+    let q = Regex::parse("d.(b.c)+.c").unwrap();
+    e.evaluate(&q).unwrap();
+    assert_eq!(e.cache().misses(), 1);
+
+    e.reset_metrics();
+    e.evaluate(&q).unwrap();
+    assert_eq!(e.cache().misses(), 1, "metrics reset must keep the cache");
+
+    e.clear_cache();
+    e.evaluate(&q).unwrap();
+    assert_eq!(e.cache().misses(), 1, "fresh miss counter after clear");
+    assert_eq!(e.cache().rtc_count(), 1);
+}
+
+/// Witness formatting uses the paper's p(...) notation end-to-end.
+#[test]
+fn witness_formatting() {
+    let g = paper_graph();
+    let q = Regex::parse("e.f").unwrap();
+    let w = find_witness(&g, &q, VertexId(8), VertexId(8)).unwrap();
+    assert_eq!(format_witness(&g, &w), "p(v8, e, v9, f, v8)");
+}
+
+/// NoSharing vs the sharing strategies on the full Section V-A workload
+/// shape (multiple queries, one engine) — including star workloads.
+#[test]
+fn workload_shape_equivalence() {
+    use rtc_rpq::datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+    let mut r = rng(109);
+    let n = 48;
+    let g = random_graph(&mut r, n, 220);
+    for use_star in [false, true] {
+        let sets = generate_workload(
+            &alphabet_of(&g),
+            &WorkloadConfig {
+                rs_per_length: 1,
+                queries_per_set: 4,
+                use_star,
+                ..WorkloadConfig::default()
+            },
+        );
+        for set in sets.iter().take(2) {
+            let mut reference: Option<Vec<usize>> = None;
+            for strategy in Strategy::ALL {
+                let mut e = Engine::with_strategy(&g, strategy);
+                let results = e.evaluate_set(&set.queries).unwrap();
+                let sizes: Vec<usize> = results.iter().map(|p| p.len()).collect();
+                match &reference {
+                    None => reference = Some(sizes),
+                    Some(expect) => assert_eq!(expect, &sizes, "{strategy}, star={use_star}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end pipeline invariants.
+
+mod common;
+
+use proptest::prelude::*;
+use rtc_rpq::core::{Engine, Strategy as EvalStrategy};
+use rtc_rpq::eval::algebraic::plus_closure;
+use rtc_rpq::eval::evaluate_algebraic;
+use rtc_rpq::graph::{GraphBuilder, PairSet, VertexId};
+use rtc_rpq::reduction::{FullTc, Rtc};
+use rtc_rpq::regex::Regex;
+
+// ---------- generators ----------
+
+fn arb_pairs(max_v: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_len)
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Regex::label),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::plus),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::optional),
+        ]
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = rtc_rpq::graph::LabeledMultigraph> {
+    (2u32..14, prop::collection::vec((0u32..14, 0usize..3, 0u32..14), 0..40)).prop_map(
+        |(n, triples)| {
+            let labels = ["a", "b", "c"];
+            let mut b = GraphBuilder::new();
+            b.ensure_vertices(n as usize);
+            for (s, l, d) in triples {
+                b.add_edge(s % n, labels[l], d % n);
+            }
+            b.build()
+        },
+    )
+}
+
+// ---------- PairSet algebra ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union is commutative, associative and idempotent.
+    #[test]
+    fn pairset_union_laws(a in arb_pairs(16, 30), b in arb_pairs(16, 30), c in arb_pairs(16, 30)) {
+        let a: PairSet = a.into_iter().collect();
+        let b: PairSet = b.into_iter().collect();
+        let c: PairSet = c.into_iter().collect();
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    /// Difference/intersection are consistent with union.
+    #[test]
+    fn pairset_set_identities(a in arb_pairs(16, 30), b in arb_pairs(16, 30)) {
+        let a: PairSet = a.into_iter().collect();
+        let b: PairSet = b.into_iter().collect();
+        // (a \ b) ∪ (a ∩ b) = a
+        prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a.clone());
+        // (a \ b) ∩ b = ∅
+        prop_assert!(a.difference(&b).intersect(&b).is_empty());
+    }
+
+    /// Composition is associative and identity-neutral.
+    #[test]
+    fn pairset_compose_laws(a in arb_pairs(10, 20), b in arb_pairs(10, 20), c in arb_pairs(10, 20)) {
+        let a: PairSet = a.into_iter().collect();
+        let b: PairSet = b.into_iter().collect();
+        let c: PairSet = c.into_iter().collect();
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+        let id = PairSet::identity(10);
+        prop_assert_eq!(a.compose(&id), a.clone());
+        prop_assert_eq!(id.compose(&a), a);
+    }
+
+    /// Sortedness invariant survives every construction path.
+    #[test]
+    fn pairset_always_sorted_unique(pairs in arb_pairs(20, 60)) {
+        let p: PairSet = pairs.into_iter().collect();
+        let v = p.as_slice();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+// ---------- closure invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1 as a property: RTC expansion == full TC == fixpoint.
+    #[test]
+    fn rtc_expansion_matches_all_closures(pairs in arb_pairs(24, 70)) {
+        let base: PairSet = pairs.into_iter().collect();
+        let rtc = Rtc::from_pairs(&base).expand();
+        let full = FullTc::from_pairs(&base).expand();
+        let fix = plus_closure(&base);
+        prop_assert_eq!(&rtc, &full);
+        prop_assert_eq!(&rtc, &fix);
+        // TC is idempotent and contains the base.
+        prop_assert_eq!(plus_closure(&fix), fix.clone());
+        prop_assert!(base.difference(&fix).is_empty());
+    }
+
+    /// The RTC never stores more pairs or vertices than the full closure.
+    #[test]
+    fn rtc_is_never_bigger(pairs in arb_pairs(24, 70)) {
+        let base: PairSet = pairs.into_iter().collect();
+        let rtc = Rtc::from_pairs(&base);
+        let full = FullTc::from_pairs(&base);
+        prop_assert!(rtc.closure_pair_count() <= full.pair_count());
+        prop_assert!(rtc.scc_count() <= full.vertex_count());
+    }
+}
+
+// ---------- end-to-end pipeline ----------
+
+proptest! {
+    // End-to-end cases are the most expensive; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The flagship property: every strategy equals the algebraic oracle on
+    /// arbitrary graph × arbitrary query.
+    #[test]
+    fn engine_matches_oracle(g in arb_graph(), q in arb_regex()) {
+        let oracle = evaluate_algebraic(&g, &q);
+        for strategy in EvalStrategy::ALL {
+            let got = Engine::with_strategy(&g, strategy).evaluate(&q).unwrap();
+            prop_assert_eq!(&got, &oracle, "strategy {} on query {}", strategy, &q);
+        }
+    }
+
+    /// R* ≡ R+ ∪ identity, through the whole engine.
+    #[test]
+    fn star_is_plus_union_identity(g in arb_graph(), q in arb_regex()) {
+        let plus = Engine::new(&g).evaluate(&Regex::plus(q.clone())).unwrap();
+        let star = Engine::new(&g).evaluate(&Regex::star(q)).unwrap();
+        let id = PairSet::identity(g.vertex_count());
+        prop_assert_eq!(star, plus.union(&id));
+    }
+
+    /// Query results only mention vertices that exist in the graph.
+    #[test]
+    fn results_stay_in_vertex_range(g in arb_graph(), q in arb_regex()) {
+        let r = Engine::new(&g).evaluate(&q).unwrap();
+        let n = g.vertex_count() as u32;
+        for (s, e) in r.iter() {
+            prop_assert!(s < VertexId(n) && e < VertexId(n));
+        }
+    }
+}

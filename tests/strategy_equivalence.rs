@@ -1,0 +1,109 @@
+//! Randomized differential testing: the three engine strategies must agree
+//! with each other and with the independent algebraic oracle on arbitrary
+//! graphs × arbitrary queries.
+
+mod common;
+
+use common::{random_graph, random_regex, rng};
+use rtc_rpq::core::{Engine, Strategy};
+use rtc_rpq::eval::evaluate_algebraic;
+
+/// 120 random (graph, query) cases across a spread of densities.
+#[test]
+fn strategies_match_oracle_on_random_cases() {
+    let mut r = rng(0xD1F);
+    for case in 0..120 {
+        let n = r.gen_range_u32(4, 24);
+        let edges = r.gen_range_usize(3, 80);
+        let g = random_graph(&mut r, n, edges);
+        let q = random_regex(&mut r, 3);
+        let oracle = evaluate_algebraic(&g, &q);
+        for strategy in Strategy::ALL {
+            let mut e = Engine::with_strategy(&g, strategy);
+            let got = e.evaluate(&q).unwrap();
+            assert_eq!(
+                got, oracle,
+                "case {case}: strategy {strategy} disagrees on query {q} \
+                 (|V|={n}, edges={edges})"
+            );
+        }
+    }
+}
+
+/// Query *sets* sharing sub-queries: cache reuse must not change results.
+#[test]
+fn shared_cache_does_not_change_results() {
+    let mut r = rng(77);
+    for case in 0..30 {
+        let g = random_graph(&mut r, 16, 50);
+        let queries: Vec<_> = (0..5).map(|_| random_regex(&mut r, 3)).collect();
+        // Fresh engine per query (no sharing possible).
+        let isolated: Vec<_> = queries
+            .iter()
+            .map(|q| Engine::new(&g).evaluate(q).unwrap())
+            .collect();
+        // One engine across the set (full sharing of RTCs).
+        let mut shared_engine = Engine::new(&g);
+        let shared = shared_engine.evaluate_set(&queries).unwrap();
+        assert_eq!(isolated, shared, "case {case}: cache reuse changed results");
+    }
+}
+
+/// Dense graphs with heavy cycles — the regime where SCC collapsing does
+/// the most work and bugs in self-loop handling would show.
+#[test]
+fn strategies_match_on_cyclic_dense_graphs() {
+    let mut r = rng(424242);
+    for case in 0..40 {
+        let n = r.gen_range_u32(3, 10);
+        let edges = r.gen_range_usize(20, 60); // dense: many cycles
+        let g = random_graph(&mut r, n, edges);
+        for q in ["a+", "(a.b)+", "(a|b)+.c", "a*.b*", "(a.b.c)+", "c.(a|b)*.d"] {
+            let query = rtc_rpq::regex::Regex::parse(q).unwrap();
+            let oracle = evaluate_algebraic(&g, &query);
+            for strategy in Strategy::ALL {
+                let got = Engine::with_strategy(&g, strategy).evaluate(&query).unwrap();
+                assert_eq!(got, oracle, "case {case}, query {q}, strategy {strategy}");
+            }
+        }
+    }
+}
+
+/// Edge cases: empty graphs, single vertices, self-loops.
+#[test]
+fn degenerate_graphs() {
+    use rtc_rpq::graph::GraphBuilder;
+    let empty = GraphBuilder::new().build();
+    let mut single = GraphBuilder::new();
+    single.ensure_vertices(1);
+    let single = single.build();
+    let mut looped = GraphBuilder::new();
+    looped.add_edge(0, "a", 0);
+    let looped = looped.build();
+
+    for g in [&empty, &single, &looped] {
+        for q in ["a", "a+", "a*", "a.b", "a|b", "()", "a?"] {
+            let query = rtc_rpq::regex::Regex::parse(q).unwrap();
+            let oracle = evaluate_algebraic(g, &query);
+            for strategy in Strategy::ALL {
+                let got = Engine::with_strategy(g, strategy).evaluate(&query).unwrap();
+                assert_eq!(got, oracle, "graph |V|={}, query {q}", g.vertex_count());
+            }
+        }
+    }
+}
+
+/// Helper trait to keep the rand calls terse in this file.
+trait RangeExt {
+    fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32;
+    fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize;
+}
+
+impl RangeExt for rand::rngs::StdRng {
+    fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        rand::Rng::gen_range(self, lo..hi)
+    }
+    fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        rand::Rng::gen_range(self, lo..hi)
+    }
+}
