@@ -217,7 +217,16 @@ mod tests {
     #[test]
     fn agrees_with_glushkov() {
         use crate::glushkov::build_glushkov;
-        let queries = ["a", "a.b", "a|b.c", "(b.c)+", "(b.c)*", "a?.b", "d.(b.c)+.c", "(a.b+.c)+"];
+        let queries = [
+            "a",
+            "a.b",
+            "a|b.c",
+            "(b.c)+",
+            "(b.c)*",
+            "a?.b",
+            "d.(b.c)+.c",
+            "(a.b+.c)+",
+        ];
         let words: Vec<Vec<&str>> = vec![
             vec![],
             vec!["a"],

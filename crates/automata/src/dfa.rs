@@ -172,7 +172,15 @@ mod tests {
 
     #[test]
     fn agrees_with_nfa() {
-        for q in ["a", "a|b", "(a|b).c", "(b.c)+", "a*.b*", "(a.b+.c)+", "a?.b"] {
+        for q in [
+            "a",
+            "a|b",
+            "(a|b).c",
+            "(b.c)+",
+            "a*.b*",
+            "(a.b+.c)+",
+            "a?.b",
+        ] {
             let nfa = build_glushkov(&Regex::parse(q).unwrap());
             let d = Dfa::from_nfa(&nfa).unwrap();
             let words: Vec<Vec<&str>> = vec![

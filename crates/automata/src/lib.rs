@@ -45,8 +45,8 @@ pub mod nfa;
 pub mod thompson;
 
 pub use derivative::DerivativeMatcher;
-pub use equivalence::{language_equivalent, language_subset};
 pub use dfa::Dfa;
+pub use equivalence::{language_equivalent, language_subset};
 pub use glushkov::build_glushkov;
 pub use nfa::{Nfa, StateId};
 pub use thompson::build_thompson;

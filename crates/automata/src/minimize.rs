@@ -19,7 +19,9 @@ impl Dfa {
         }
 
         // Classes: start from acceptance; DEAD is the implicit class u32::MAX.
-        let mut class: Vec<u32> = (0..n).map(|s| u32::from(self.is_accepting(s as u32))).collect();
+        let mut class: Vec<u32> = (0..n)
+            .map(|s| u32::from(self.is_accepting(s as u32)))
+            .collect();
         let mut class_count = 2u32;
         loop {
             let mut signature_ids: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
@@ -129,7 +131,15 @@ mod tests {
 
     #[test]
     fn minimization_preserves_language() {
-        for src in ["a", "a.b", "(b.c)+", "d.(b.c)+.c", "a*.b*", "(a|b).c?", "(a.b+.c)+"] {
+        for src in [
+            "a",
+            "a.b",
+            "(b.c)+",
+            "d.(b.c)+.c",
+            "a*.b*",
+            "(a|b).c?",
+            "(a.b+.c)+",
+        ] {
             let full = Dfa::from_nfa(&build_glushkov(&Regex::parse(src).unwrap())).unwrap();
             let min = full.minimize();
             assert!(min.state_count() <= full.state_count());

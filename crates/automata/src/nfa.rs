@@ -29,8 +29,15 @@ impl Nfa {
         mut transition_rows: Vec<Vec<(u32, StateId)>>,
         accepting: Vec<bool>,
     ) -> Self {
-        assert_eq!(transition_rows.len(), accepting.len(), "state count mismatch");
-        assert!(!accepting.is_empty(), "an NFA needs at least the initial state");
+        assert_eq!(
+            transition_rows.len(),
+            accepting.len(),
+            "state count mismatch"
+        );
+        assert!(
+            !accepting.is_empty(),
+            "an NFA needs at least the initial state"
+        );
         for row in &mut transition_rows {
             row.sort_unstable();
             row.dedup();
@@ -62,7 +69,10 @@ impl Nfa {
 
     /// Finds the local symbol for a label name.
     pub fn symbol_of(&self, label: &str) -> Option<u32> {
-        self.alphabet.iter().position(|l| l == label).map(|i| i as u32)
+        self.alphabet
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as u32)
     }
 
     /// All transitions out of `state`, sorted by `(symbol, target)`.
@@ -97,11 +107,7 @@ impl Nfa {
     /// The symbols that can begin a match: symbols on transitions out of the
     /// initial state. Used for first-label source pruning in the evaluator.
     pub fn first_symbols(&self) -> Vec<u32> {
-        let mut syms: Vec<u32> = self
-            .transitions_from(0)
-            .iter()
-            .map(|&(s, _)| s)
-            .collect();
+        let mut syms: Vec<u32> = self.transitions_from(0).iter().map(|&(s, _)| s).collect();
         syms.dedup();
         syms
     }
@@ -224,7 +230,11 @@ mod tests {
     fn accepts_empty_flag() {
         let n = ab_plus();
         assert!(!n.accepts_empty());
-        let nullable = Nfa::from_parts(vec!["a".into()], vec![vec![(0, 1)], vec![]], vec![true, true]);
+        let nullable = Nfa::from_parts(
+            vec!["a".into()],
+            vec![vec![(0, 1)], vec![]],
+            vec![true, true],
+        );
         assert!(nullable.accepts_empty());
         assert!(nullable.matches(&[]));
     }
@@ -273,7 +283,11 @@ mod tests {
 
     #[test]
     fn reverse_preserves_nullability() {
-        let nullable = Nfa::from_parts(vec!["a".into()], vec![vec![(0, 1)], vec![]], vec![true, true]);
+        let nullable = Nfa::from_parts(
+            vec!["a".into()],
+            vec![vec![(0, 1)], vec![]],
+            vec![true, true],
+        );
         let r = nullable.reverse();
         assert!(r.accepts_empty());
         assert!(r.matches(&[]));

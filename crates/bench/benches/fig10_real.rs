@@ -14,7 +14,10 @@ fn bench_fig10_real(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let datasets = [("Robots", robots_like()), ("Youtube(1/4)", youtube_like_scaled(4))];
+    let datasets = [
+        ("Robots", robots_like()),
+        ("Youtube(1/4)", youtube_like_scaled(4)),
+    ];
     for (name, graph) in &datasets {
         let sets = generate_workload(
             &alphabet_of(graph),

@@ -24,7 +24,11 @@ fn bench_tc_ablation(c: &mut Criterion) {
         let graph = rmat_n_scaled(n, 10, 7);
         let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
         let gr = MappedDigraph::from_pairset(&r_g);
-        let label = format!("RMAT_{n}(|V_R|={},|E_R|={})", gr.vertex_count(), gr.edge_count());
+        let label = format!(
+            "RMAT_{n}(|V_R|={},|E_R|={})",
+            gr.vertex_count(),
+            gr.edge_count()
+        );
 
         group.bench_with_input(BenchmarkId::new("naive_bfs", &label), &gr, |b, gr| {
             b.iter(|| tc_naive(&gr.graph))

@@ -112,7 +112,14 @@ pub fn batch_unit_table(profile: Profile) -> Table {
         let mut full_stats = EliminationStats::default();
         let full_join = time_min(3, || {
             full_stats = EliminationStats::default();
-            eval_batch_unit_full(&graph, &pre, &full, ClosureKind::Plus, &post, &mut full_stats)
+            eval_batch_unit_full(
+                &graph,
+                &pre,
+                &full,
+                ClosureKind::Plus,
+                &post,
+                &mut full_stats,
+            )
         });
         t.row(vec![
             format!("RMAT_{n}"),
@@ -172,7 +179,10 @@ pub fn scc_sensitivity_table() -> Table {
             format!("{:.2}", rtc.average_scc_size()),
             full.pair_count().to_string(),
             rtc.closure_pair_count().to_string(),
-            fmt_ratio(full.pair_count() as f64, rtc.closure_pair_count().max(1) as f64),
+            fmt_ratio(
+                full.pair_count() as f64,
+                rtc.closure_pair_count().max(1) as f64,
+            ),
             fmt_secs(full_time),
             fmt_secs(rtc_time),
             fmt_ratio(full_time.as_secs_f64(), rtc_time.as_secs_f64()),

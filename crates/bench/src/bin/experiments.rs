@@ -3,13 +3,13 @@
 //! Regenerates every table and figure of the paper's evaluation section:
 //!
 //! ```text
-//! cargo run -p rpq-bench --release --bin experiments -- all
-//! cargo run -p rpq-bench --release --bin experiments -- fig10 --profile paper
-//! cargo run -p rpq-bench --release --bin experiments -- table4 --csv results/
+//! cargo run -p rpq_bench --release --bin experiments -- all
+//! cargo run -p rpq_bench --release --bin experiments -- fig10 --profile paper
+//! cargo run -p rpq_bench --release --bin experiments -- table4 --csv results/
 //! ```
 //!
 //! Commands: `table4`, `fig10`, `fig11`, `fig12`, `fig13` (Experiment 1),
-//! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `all`.
+//! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `ablation`, `all`.
 //! Flags: `--profile fast|default|paper` (scale), `--csv DIR` (also write
 //! CSV files).
 
@@ -23,6 +23,14 @@ use rpq_bench::profiles::Profile;
 use rpq_bench::table::Table;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Every subcommand the driver understands — single source of truth for
+/// argument validation and the usage string. `main`'s `wants()` dispatch
+/// must cover exactly these names.
+const COMMANDS: [&str; 11] = [
+    "table4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "exp1", "exp2", "ablation",
+    "all",
+];
 
 struct Options {
     profile: Profile,
@@ -49,7 +57,12 @@ fn parse_args() -> Result<Options, String> {
                 print_usage();
                 std::process::exit(0);
             }
-            cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
+            cmd if !cmd.starts_with('-') => {
+                if !COMMANDS.contains(&cmd) {
+                    return Err(format!("unknown command '{cmd}'"));
+                }
+                commands.push(cmd.to_string());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -65,8 +78,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--profile fast|default|paper] [--csv DIR] \
-         [table4|fig10|fig11|fig12|fig13|fig14|fig15|exp1|exp2|ablation|all]..."
+        "usage: experiments [--profile fast|default|paper] [--csv DIR] [{}]...",
+        COMMANDS.join("|")
     );
 }
 
@@ -107,7 +120,10 @@ fn main() -> ExitCode {
 
     let exp1_needed = wants(&["fig10", "fig11", "fig12", "fig13", "exp1"]);
     if exp1_needed {
-        eprintln!("# experiment 1: degree sweep, {} RPQs per set", opts.profile.fixed_set_size());
+        eprintln!(
+            "# experiment 1: degree sweep, {} RPQs per set",
+            opts.profile.fixed_set_size()
+        );
         let synth = synthetic_sweep(opts.profile);
         let synth_rows = run_experiment1(&synth, opts.profile, opts.profile.fixed_set_size());
         let real = real_surrogates(opts.profile);

@@ -96,7 +96,9 @@ pub fn run_experiment1(datasets: &[Dataset], profile: Profile, set_size: usize) 
 pub fn fig10_table(title: &str, rows: &[Exp1Row]) -> Table {
     let mut t = Table::new(
         title,
-        &["dataset", "degree", "No(s)", "Full(s)", "RTC(s)", "Full/RTC", "No/RTC"],
+        &[
+            "dataset", "degree", "No(s)", "Full(s)", "RTC(s)", "Full/RTC", "No/RTC",
+        ],
     );
     for r in rows {
         let (no, full, rtc) = (&r.agg[0], &r.agg[1], &r.agg[2]);
@@ -226,7 +228,9 @@ pub fn run_experiment2(profile: Profile) -> Vec<Exp2Row> {
 pub fn fig14_table(rows: &[Exp2Row]) -> Table {
     let mut t = Table::new(
         "Fig 14: query response time vs #RPQs",
-        &["dataset", "#RPQs", "No(s)", "Full(s)", "RTC(s)", "Full/RTC", "No/RTC"],
+        &[
+            "dataset", "#RPQs", "No(s)", "Full(s)", "RTC(s)", "Full/RTC", "No/RTC",
+        ],
     );
     for r in rows {
         let (no, full, rtc) = (&r.agg[0], &r.agg[1], &r.agg[2]);
@@ -278,7 +282,10 @@ pub fn table4(profile: Profile) -> Table {
         "TABLE IV: statistics of datasets",
         &["dataset", "|V|", "|E|", "|Σ|", "|E|/(|V||Σ|)"],
     );
-    for ds in real_surrogates(profile).iter().chain(synthetic_sweep(profile).iter()) {
+    for ds in real_surrogates(profile)
+        .iter()
+        .chain(synthetic_sweep(profile).iter())
+    {
         let s = ds.stats();
         t.row(vec![
             ds.name.clone(),

@@ -8,7 +8,7 @@
 //! rows/series of TABLE IV and Figs. 10–15; [`table`] renders aligned text
 //! and CSV.
 //!
-//! The `experiments` binary (`cargo run -p rpq-bench --release --bin
+//! The `experiments` binary (`cargo run -p rpq_bench --release --bin
 //! experiments -- all`) drives everything.
 
 pub mod ablation;

@@ -23,7 +23,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, in the paper's presentation order.
-    pub const ALL: [Strategy; 3] = [Strategy::NoSharing, Strategy::FullSharing, Strategy::RtcSharing];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::NoSharing,
+        Strategy::FullSharing,
+        Strategy::RtcSharing,
+    ];
 
     /// The short name used in the paper's figures.
     pub fn short_name(&self) -> &'static str {
@@ -228,13 +232,21 @@ impl<'g> Engine<'g> {
     /// End vertices of `query`-paths starting at `source` (selective
     /// evaluation — does not materialize the full relation and does not
     /// touch the shared cache).
-    pub fn ends_from(&self, query: &Regex, source: rpq_graph::VertexId) -> Vec<rpq_graph::VertexId> {
+    pub fn ends_from(
+        &self,
+        query: &Regex,
+        source: rpq_graph::VertexId,
+    ) -> Vec<rpq_graph::VertexId> {
         ProductEvaluator::new(self.graph, query).ends_from(source)
     }
 
     /// Start vertices of `query`-paths ending at `target` (selective
     /// backward evaluation via the reversed automaton).
-    pub fn starts_to(&self, query: &Regex, target: rpq_graph::VertexId) -> Vec<rpq_graph::VertexId> {
+    pub fn starts_to(
+        &self,
+        query: &Regex,
+        target: rpq_graph::VertexId,
+    ) -> Vec<rpq_graph::VertexId> {
         ProductEvaluator::new(self.graph, query).starts_to(target)
     }
 
@@ -319,7 +331,11 @@ mod tests {
         assert_eq!(results.len(), 3);
         // RTCs cached: a·b (reused by (a·b)*), b (reused inside a·b+·c),
         // and a·b+·c — at least 3 distinct closure bodies.
-        assert!(e.cache().rtc_count() >= 3, "cached {}", e.cache().rtc_count());
+        assert!(
+            e.cache().rtc_count() >= 3,
+            "cached {}",
+            e.cache().rtc_count()
+        );
         // The reuse described in Example 7 means at least two cache hits.
         assert!(e.cache().hits() >= 2, "hits {}", e.cache().hits());
     }
@@ -402,9 +418,17 @@ mod tests {
         let q = Regex::parse("d.(b.c)+.c").unwrap();
         let full = e.evaluate(&q).unwrap();
         // ends_from / starts_to / check agree with the materialized result.
-        let ends: Vec<u32> = e.ends_from(&q, VertexId(7)).iter().map(|v| v.raw()).collect();
+        let ends: Vec<u32> = e
+            .ends_from(&q, VertexId(7))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(ends, vec![3, 5]);
-        let starts: Vec<u32> = e.starts_to(&q, VertexId(5)).iter().map(|v| v.raw()).collect();
+        let starts: Vec<u32> = e
+            .starts_to(&q, VertexId(5))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(starts, vec![7]);
         assert!(e.check(&q, VertexId(7), VertexId(3)));
         assert!(!e.check(&q, VertexId(7), VertexId(4)));

@@ -246,7 +246,9 @@ mod tests {
                 let pre = pre.as_ref().unwrap();
                 assert_eq!(pre.query, "(a.b)*.b+");
                 match &pre.clauses[0] {
-                    ClausePlan::BatchUnit { pre: pre2, r_key, .. } => {
+                    ClausePlan::BatchUnit {
+                        pre: pre2, r_key, ..
+                    } => {
                         assert_eq!(r_key, "b");
                         let pre2 = pre2.as_ref().unwrap();
                         assert_eq!(pre2.query, "(a.b)*");
@@ -308,10 +310,7 @@ mod tests {
     fn epsilon_clause_plan() {
         let p = plan("a?");
         assert_eq!(p.clauses.len(), 2);
-        assert_eq!(
-            p.clauses[1],
-            ClausePlan::LabelJoin { labels: vec![] }
-        );
+        assert_eq!(p.clauses[1], ClausePlan::LabelJoin { labels: vec![] });
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                             let t = Instant::now();
                             let mut result = rtc.expand();
                             if closure_kind == rpq_regex::ClosureKind::Star {
-                                result = result
-                                    .union(&PairSet::identity(ctx.graph.vertex_count()));
+                                result = result.union(&PairSet::identity(ctx.graph.vertex_count()));
                             }
                             ctx.breakdown.pre_join += t.elapsed();
                             result

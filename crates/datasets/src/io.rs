@@ -13,7 +13,13 @@ pub fn write_edge_list<W: Write>(graph: &LabeledMultigraph, writer: W) -> Result
     let mut w = BufWriter::new(writer);
     writeln!(w, "# vertices {}", graph.vertex_count())?;
     for (src, label, dst) in graph.all_edges() {
-        writeln!(w, "{} {} {}", src.raw(), graph.labels().name(label), dst.raw())?;
+        writeln!(
+            w,
+            "{} {} {}",
+            src.raw(),
+            graph.labels().name(label),
+            dst.raw()
+        )?;
     }
     w.flush()?;
     Ok(())
@@ -88,7 +94,10 @@ mod tests {
         assert_eq!(back.vertex_count(), g.vertex_count());
         assert_eq!(back.edge_count(), g.edge_count());
         assert_eq!(back.label_count(), g.label_count());
-        let a: Vec<_> = g.all_edges().map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw())).collect();
+        let a: Vec<_> = g
+            .all_edges()
+            .map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw()))
+            .collect();
         let mut b: Vec<_> = back
             .all_edges()
             .map(|(s, l, d)| (s.raw(), back.labels().name(l).to_owned(), d.raw()))

@@ -39,5 +39,8 @@ pub mod workload;
 
 pub use rmat::{rmat_graph, rmat_n, RmatConfig};
 pub use structured::{cycle_clusters, cycle_graph, erdos_renyi, path_graph, CycleClusterConfig};
-pub use surrogate::{advogato_like, advogato_like_scaled, robots_like, yago2s_like, youtube_like, youtube_like_scaled, SurrogateSpec};
+pub use surrogate::{
+    advogato_like, advogato_like_scaled, robots_like, yago2s_like, youtube_like,
+    youtube_like_scaled, SurrogateSpec,
+};
 pub use workload::{generate_workload, MultiQuerySet, WorkloadConfig};

@@ -215,7 +215,10 @@ mod tests {
         let g = rmat_graph(&cfg);
         let deg0 = g.out_edges(rpq_graph::VertexId(0)).len() as f64;
         let avg = 10_000.0 / 1024.0;
-        assert!(deg0 < avg * 5.0, "uniform should not produce hub at 0: {deg0}");
+        assert!(
+            deg0 < avg * 5.0,
+            "uniform should not produce hub at 0: {deg0}"
+        );
     }
 
     #[test]

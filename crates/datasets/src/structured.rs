@@ -130,8 +130,8 @@ pub fn erdos_renyi(n: u32, edges: usize, labels: usize, seed: u64) -> LabeledMul
 mod tests {
     use super::*;
     use rpq_eval::ProductEvaluator;
-    use rpq_graph::MappedDigraph;
     use rpq_graph::tarjan_scc;
+    use rpq_graph::MappedDigraph;
     use rpq_regex::Regex;
 
     #[test]

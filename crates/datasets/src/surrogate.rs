@@ -167,7 +167,11 @@ mod tests {
         let g = yago2s_like(2000); // small for test speed: ~54k vertices
         assert_eq!(g.label_count(), 104);
         // Per-label degree stays in the 0.02 regime.
-        assert!(g.degree_per_label() < 0.05, "degree {}", g.degree_per_label());
+        assert!(
+            g.degree_per_label() < 0.05,
+            "degree {}",
+            g.degree_per_label()
+        );
     }
 
     #[test]
@@ -198,6 +202,9 @@ mod tests {
     fn surrogates_are_deterministic() {
         let a = robots_like();
         let b = robots_like();
-        assert_eq!(a.all_edges().collect::<Vec<_>>(), b.all_edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.all_edges().collect::<Vec<_>>(),
+            b.all_edges().collect::<Vec<_>>()
+        );
     }
 }

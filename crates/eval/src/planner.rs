@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn empty_sequence_is_identity() {
         let g = diamond();
-        assert_eq!(
-            eval_label_sequence_planned(&g, &[]),
-            PairSet::identity(5)
-        );
+        assert_eq!(eval_label_sequence_planned(&g, &[]), PairSet::identity(5));
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
     use rpq_graph::fixtures::paper_graph;
 
     fn labels_of(g: &LabeledMultigraph, steps: &[WitnessStep]) -> Vec<String> {
-        steps.iter().map(|s| g.labels().name(s.label).to_owned()).collect()
+        steps
+            .iter()
+            .map(|s| g.labels().name(s.label).to_owned())
+            .collect()
     }
 
     #[test]
@@ -139,10 +142,7 @@ mod tests {
         for pair in w.windows(2) {
             assert_eq!(pair[0].to, pair[1].from);
         }
-        assert_eq!(
-            format_witness(&g, &w),
-            "p(v7, d, v4, b, v1, c, v2, c, v5)"
-        );
+        assert_eq!(format_witness(&g, &w), "p(v7, d, v4, b, v1, c, v2, c, v5)");
     }
 
     #[test]

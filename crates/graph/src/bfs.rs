@@ -71,7 +71,12 @@ impl EpochVisited {
 /// `src` itself is included only when it lies on a cycle (or has a
 /// self-loop) — exactly the membership rule of `TC(G_R)` and hence of
 /// `R⁺_G` (Lemma 1).
-pub fn reachable_ge1(g: &Digraph, src: u32, visited: &mut EpochVisited, queue: &mut Vec<u32>) -> Vec<u32> {
+pub fn reachable_ge1(
+    g: &Digraph,
+    src: u32,
+    visited: &mut EpochVisited,
+    queue: &mut Vec<u32>,
+) -> Vec<u32> {
     debug_assert_eq!(visited.len(), g.vertex_count());
     visited.clear();
     queue.clear();

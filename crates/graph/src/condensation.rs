@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn parallel_cross_edges_collapse() {
         // Two SCCs {0,1} and {2,3}; multiple edges between them.
-        let g = Digraph::from_edges(4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3), (0, 3)]);
+        let g = Digraph::from_edges(
+            4,
+            vec![(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3), (0, 3)],
+        );
         let scc = tarjan_scc(&g);
         let cond = Condensation::new(&g, &scc);
         assert_eq!(cond.vertex_count(), 2);
@@ -180,7 +183,10 @@ mod tests {
 
     #[test]
     fn condensation_respects_reverse_topo_ids() {
-        let g = Digraph::from_edges(6, vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)]);
+        let g = Digraph::from_edges(
+            6,
+            vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)],
+        );
         let scc = tarjan_scc(&g);
         let cond = Condensation::new(&g, &scc);
         for s in 0..cond.vertex_count() as u32 {

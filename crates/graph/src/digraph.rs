@@ -255,7 +255,10 @@ mod tests {
         let gr = MappedDigraph::from_pairset(&pairs);
         assert_eq!(gr.vertex_count(), 5); // V_{b·c} = {2,3,4,5,6}
         assert_eq!(gr.edge_count(), 5);
-        let mut back: Vec<(u32, u32)> = gr.original_edges().map(|(s, d)| (s.raw(), d.raw())).collect();
+        let mut back: Vec<(u32, u32)> = gr
+            .original_edges()
+            .map(|(s, d)| (s.raw(), d.raw()))
+            .collect();
         back.sort_unstable();
         assert_eq!(back, vec![(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)]);
     }

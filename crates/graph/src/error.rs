@@ -26,11 +26,16 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfBounds { vertex, vertex_count } => write!(
+            GraphError::VertexOutOfBounds {
+                vertex,
+                vertex_count,
+            } => write!(
                 f,
                 "vertex v{vertex} out of bounds (graph has {vertex_count} vertices)"
             ),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -50,9 +55,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::VertexOutOfBounds { vertex: 9, vertex_count: 5 };
-        assert_eq!(e.to_string(), "vertex v9 out of bounds (graph has 5 vertices)");
-        let e = GraphError::Parse { line: 3, message: "bad label".into() };
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 9,
+            vertex_count: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "vertex v9 out of bounds (graph has 5 vertices)"
+        );
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad label".into(),
+        };
         assert_eq!(e.to_string(), "parse error at line 3: bad label");
     }
 

@@ -46,7 +46,9 @@ pub fn paper_graph() -> LabeledMultigraph {
 /// `a⁺` result is the full Cartesian product of its vertices.
 pub fn triangle() -> LabeledMultigraph {
     let mut b = GraphBuilder::new();
-    b.add_edge(0, "a", 1).add_edge(1, "a", 2).add_edge(2, "a", 0);
+    b.add_edge(0, "a", 1)
+        .add_edge(1, "a", 2)
+        .add_edge(2, "a", 0);
     b.build()
 }
 

@@ -76,10 +76,7 @@ pub fn label_frequencies(g: &LabeledMultigraph) -> Vec<(LabelId, usize)> {
 /// High reciprocity produces 2-cycles, the seeds of nontrivial SCCs —
 /// the regime where vertex-level reduction pays off.
 pub fn reciprocity(g: &LabeledMultigraph) -> f64 {
-    let mut pairs: Vec<(u32, u32)> = g
-        .all_edges()
-        .map(|(s, _, d)| (s.raw(), d.raw()))
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = g.all_edges().map(|(s, _, d)| (s.raw(), d.raw())).collect();
     pairs.sort_unstable();
     pairs.dedup();
     if pairs.is_empty() {
@@ -94,13 +91,14 @@ pub fn reciprocity(g: &LabeledMultigraph) -> f64 {
 
 /// SCC size distribution of the label-ignoring graph.
 pub fn scc_size_distribution(g: &LabeledMultigraph) -> Distribution {
-    let edges: Vec<(u32, u32)> = g
-        .all_edges()
-        .map(|(s, _, d)| (s.raw(), d.raw()))
-        .collect();
+    let edges: Vec<(u32, u32)> = g.all_edges().map(|(s, _, d)| (s.raw(), d.raw())).collect();
     let dg = Digraph::from_edges(g.vertex_count(), edges);
     let scc = tarjan_scc(&dg);
-    Distribution::of((0..scc.count()).map(|s| scc.members(crate::ids::SccId(s as u32)).len()).collect())
+    Distribution::of(
+        (0..scc.count())
+            .map(|s| scc.members(crate::ids::SccId(s as u32)).len())
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -167,7 +165,9 @@ mod tests {
     fn reciprocity_ignores_labels() {
         // Parallel edges with different labels count once.
         let mut b = GraphBuilder::new();
-        b.add_edge(0, "a", 1).add_edge(0, "b", 1).add_edge(1, "c", 0);
+        b.add_edge(0, "a", 1)
+            .add_edge(0, "b", 1)
+            .add_edge(1, "c", 0);
         let r = reciprocity(&b.build());
         assert!((r - 1.0).abs() < 1e-12, "r={r}");
     }

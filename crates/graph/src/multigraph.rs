@@ -349,7 +349,9 @@ mod tests {
     #[test]
     fn sources_with_label_distinct_sorted() {
         let mut b = GraphBuilder::new();
-        b.add_edge(5, "x", 1).add_edge(5, "x", 2).add_edge(1, "x", 0);
+        b.add_edge(5, "x", 1)
+            .add_edge(5, "x", 2)
+            .add_edge(1, "x", 0);
         let g = b.build();
         let x = g.labels().get("x").unwrap();
         assert_eq!(g.sources_with_label(x), vec![VertexId(1), VertexId(5)]);
@@ -370,7 +372,13 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_edge(0, "a", 7);
         let err = b.clone().build_with_vertex_count(5).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfBounds { vertex: 7, vertex_count: 5 });
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfBounds {
+                vertex: 7,
+                vertex_count: 5
+            }
+        );
         let g = b.build_with_vertex_count(8).unwrap();
         assert_eq!(g.vertex_count(), 8);
     }

@@ -37,7 +37,10 @@ impl PairSet {
     ///
     /// Checked in debug builds.
     pub fn from_sorted_unique(pairs: Vec<(VertexId, VertexId)>) -> Self {
-        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "pairs not sorted+unique");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0] < w[1]),
+            "pairs not sorted+unique"
+        );
         Self { pairs }
     }
 
@@ -350,7 +353,11 @@ mod tests {
     #[test]
     fn ends_of_returns_group() {
         let s = ps(&[(1, 2), (1, 5), (2, 0)]);
-        let group: Vec<u32> = s.ends_of(VertexId(1)).iter().map(|&(_, e)| e.raw()).collect();
+        let group: Vec<u32> = s
+            .ends_of(VertexId(1))
+            .iter()
+            .map(|&(_, e)| e.raw())
+            .collect();
         assert_eq!(group, vec![2, 5]);
         assert!(s.ends_of(VertexId(9)).is_empty());
     }
@@ -371,7 +378,10 @@ mod tests {
 
     #[test]
     fn from_sorted_unique_accepts_valid_input() {
-        let s = PairSet::from_sorted_unique(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(0))]);
+        let s = PairSet::from_sorted_unique(vec![
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(0)),
+        ]);
         assert_eq!(s.len(), 2);
     }
 
@@ -379,7 +389,10 @@ mod tests {
     #[should_panic(expected = "not sorted")]
     #[cfg(debug_assertions)]
     fn from_sorted_unique_rejects_unsorted_in_debug() {
-        let _ = PairSet::from_sorted_unique(vec![(VertexId(1), VertexId(0)), (VertexId(0), VertexId(1))]);
+        let _ = PairSet::from_sorted_unique(vec![
+            (VertexId(1), VertexId(0)),
+            (VertexId(0), VertexId(1)),
+        ]);
     }
 
     #[test]

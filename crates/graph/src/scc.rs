@@ -262,7 +262,10 @@ mod tests {
         let g = Digraph::from_edges(5, vec![(0, 1), (3, 4)]);
         let scc = tarjan_scc(&g);
         assert_eq!(scc.component_table().len(), 5);
-        assert!(scc.component_table().iter().all(|&c| (c as usize) < scc.count()));
+        assert!(scc
+            .component_table()
+            .iter()
+            .all(|&c| (c as usize) < scc.count()));
         // Every vertex appears exactly once across members.
         let total: usize = scc.iter().map(|(_, m)| m.len()).sum();
         assert_eq!(total, 5);

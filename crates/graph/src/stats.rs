@@ -46,7 +46,9 @@ mod tests {
     #[test]
     fn stats_match_graph() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, "a", 1).add_edge(1, "b", 2).add_edge(2, "a", 0);
+        b.add_edge(0, "a", 1)
+            .add_edge(1, "b", 2)
+            .add_edge(2, "a", 0);
         let g = b.build();
         let s = GraphStats::of(&g);
         assert_eq!(s.vertices, 3);

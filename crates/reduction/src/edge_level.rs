@@ -43,7 +43,13 @@ mod tests {
         assert_eq!(gr.vertex_count(), 5);
         assert_eq!(
             gr.mapping.originals(),
-            &[VertexId(2), VertexId(3), VertexId(4), VertexId(5), VertexId(6)]
+            &[
+                VertexId(2),
+                VertexId(3),
+                VertexId(4),
+                VertexId(5),
+                VertexId(6)
+            ]
         );
         // E_{b·c} = {(2,4), (2,6), (3,5), (4,2), (5,3)}.
         let mut edges: Vec<(u32, u32)> = gr
@@ -60,7 +66,11 @@ mod tests {
         let gr = reduce_for(&g, &Regex::parse("b.c").unwrap());
         // v0, v1, v7, v8, v9 are not on any b·c path.
         for v in [0u32, 1, 7, 8, 9] {
-            assert_eq!(gr.mapping.compact(VertexId(v)), None, "v{v} must be excluded");
+            assert_eq!(
+                gr.mapping.compact(VertexId(v)),
+                None,
+                "v{v} must be excluded"
+            );
         }
     }
 

@@ -41,4 +41,7 @@ pub mod tc;
 pub use edge_level::{reduce_edge_level, reduce_for};
 pub use full_tc::FullTc;
 pub use rtc::{Rtc, RtcStats};
-pub use tc::{closure_of_condensation, closure_of_condensation_bitset, nuutila_closure, tc_condensation, tc_naive};
+pub use tc::{
+    closure_of_condensation, closure_of_condensation_bitset, nuutila_closure, tc_condensation,
+    tc_naive,
+};

@@ -159,12 +159,7 @@ impl Rtc {
             .collect();
         let mut total = 0usize;
         for s in 0..self.scc.count() {
-            let succ_total: usize = self
-                .closure
-                .row(s)
-                .iter()
-                .map(|&t| sizes[t as usize])
-                .sum();
+            let succ_total: usize = self.closure.row(s).iter().map(|&t| sizes[t as usize]).sum();
             total += sizes[s] * succ_total;
         }
         total
@@ -206,7 +201,11 @@ mod tests {
     #[test]
     fn example6_expansion_is_bc_plus() {
         let rtc = bc_rtc();
-        let expanded: Vec<(u32, u32)> = rtc.expand().iter().map(|(a, b)| (a.raw(), b.raw())).collect();
+        let expanded: Vec<(u32, u32)> = rtc
+            .expand()
+            .iter()
+            .map(|(a, b)| (a.raw(), b.raw()))
+            .collect();
         assert_eq!(
             expanded,
             vec![

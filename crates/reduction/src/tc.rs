@@ -212,12 +212,17 @@ mod tests {
 
     #[test]
     fn tc_condensation_equals_tc_naive() {
-        let graphs = [Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]),
+        let graphs = [
+            Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]),
             Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]),
             Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
             Digraph::from_edges(2, vec![(0, 0), (0, 1)]),
-            Digraph::from_edges(6, vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)]),
-            Digraph::from_edges(3, vec![])];
+            Digraph::from_edges(
+                6,
+                vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)],
+            ),
+            Digraph::from_edges(3, vec![]),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             assert_eq!(
                 rows_of(&tc_condensation(g)),
@@ -229,10 +234,24 @@ mod tests {
 
     #[test]
     fn nuutila_matches_two_phase() {
-        let graphs = [Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
+        let graphs = [
+            Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
             Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
             Digraph::from_edges(2, vec![(0, 0)]),
-            Digraph::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4), (6, 0)])];
+            Digraph::from_edges(
+                7,
+                vec![
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 4),
+                    (6, 0),
+                ],
+            ),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let (scc_a, closure_a) = nuutila_closure(g);
             let scc_b = tarjan_scc(g);
@@ -302,7 +321,16 @@ mod tests {
     fn closure_pair_counts_match_between_algorithms() {
         let g = Digraph::from_edges(
             8,
-            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6), (6, 7)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 3),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let naive: usize = tc_naive(&g).len();
         let purdom: usize = tc_condensation(&g).len();

@@ -321,10 +321,7 @@ mod tests {
             Regex::Epsilon,
             Regex::concat(vec![lab("b"), lab("c")]),
         ]);
-        assert_eq!(
-            r,
-            Regex::Concat(vec![lab("a"), lab("b"), lab("c")])
-        );
+        assert_eq!(r, Regex::Concat(vec![lab("a"), lab("b"), lab("c")]));
     }
 
     #[test]
@@ -337,7 +334,10 @@ mod tests {
     fn concat_degenerate_cases() {
         assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
         assert_eq!(Regex::concat(vec![lab("a")]), lab("a"));
-        assert_eq!(Regex::concat(vec![Regex::Epsilon, Regex::Epsilon]), Regex::Epsilon);
+        assert_eq!(
+            Regex::concat(vec![Regex::Epsilon, Regex::Epsilon]),
+            Regex::Epsilon
+        );
     }
 
     #[test]
@@ -368,15 +368,30 @@ mod tests {
         let r = lab("a");
         assert_eq!(Regex::plus(Regex::star(r.clone())), Regex::star(r.clone()));
         assert_eq!(Regex::star(Regex::plus(r.clone())), Regex::star(r.clone()));
-        assert_eq!(Regex::plus(Regex::optional(r.clone())), Regex::star(r.clone()));
-        assert_eq!(Regex::star(Regex::optional(r.clone())), Regex::star(r.clone()));
+        assert_eq!(
+            Regex::plus(Regex::optional(r.clone())),
+            Regex::star(r.clone())
+        );
+        assert_eq!(
+            Regex::star(Regex::optional(r.clone())),
+            Regex::star(r.clone())
+        );
         // (r+)+ = r+, (r*)* = r*
         assert_eq!(Regex::plus(Regex::plus(r.clone())), Regex::plus(r.clone()));
         assert_eq!(Regex::star(Regex::star(r.clone())), Regex::star(r.clone()));
         // (r+)? = r*, (r*)? = r*, r?? = r?
-        assert_eq!(Regex::optional(Regex::plus(r.clone())), Regex::star(r.clone()));
-        assert_eq!(Regex::optional(Regex::star(r.clone())), Regex::star(r.clone()));
-        assert_eq!(Regex::optional(Regex::optional(r.clone())), Regex::optional(r.clone()));
+        assert_eq!(
+            Regex::optional(Regex::plus(r.clone())),
+            Regex::star(r.clone())
+        );
+        assert_eq!(
+            Regex::optional(Regex::star(r.clone())),
+            Regex::star(r.clone())
+        );
+        assert_eq!(
+            Regex::optional(Regex::optional(r.clone())),
+            Regex::optional(r.clone())
+        );
     }
 
     #[test]

@@ -55,12 +55,7 @@ pub fn decompose(clause: &Clause) -> BatchUnit {
                 .collect(),
         },
         Some(i) => {
-            let pre = Regex::concat(
-                clause.literals[..i]
-                    .iter()
-                    .map(Literal::to_regex)
-                    .collect(),
-            );
+            let pre = Regex::concat(clause.literals[..i].iter().map(Literal::to_regex).collect());
             let (inner, kind) = match &clause.literals[i] {
                 Literal::Closure { inner, kind } => (inner.clone(), *kind),
                 Literal::Label(_) => unreachable!("rposition found a closure"),
@@ -178,7 +173,14 @@ mod tests {
 
     #[test]
     fn to_regex_reassembles_clause() {
-        for src in ["a", "a.b.c", "a.(a.b)+.b", "(a.b)*.b+", "d.(b.c)+.c", "a+.b.c*.d"] {
+        for src in [
+            "a",
+            "a.b.c",
+            "a.(a.b)+.b",
+            "(a.b)*.b+",
+            "d.(b.c)+.c",
+            "a+.b.c*.d",
+        ] {
             let r = Regex::parse(src).unwrap();
             let clauses = to_dnf(&r).unwrap();
             let u = decompose(&clauses[0]);

@@ -146,8 +146,7 @@ fn convert(r: &Regex, limit: usize) -> Result<Vec<Clause>, DnfError> {
                 let mut next = Vec::with_capacity(acc.len() * rhs.len());
                 for a in &acc {
                     for b in &rhs {
-                        let mut literals =
-                            Vec::with_capacity(a.literals.len() + b.literals.len());
+                        let mut literals = Vec::with_capacity(a.literals.len() + b.literals.len());
                         literals.extend(a.literals.iter().cloned());
                         literals.extend(b.literals.iter().cloned());
                         next.push(Clause { literals });
@@ -212,10 +211,7 @@ mod tests {
     fn concat_distributes_over_alt() {
         assert_eq!(dnf_strings("(a|b).c"), vec!["a.c", "b.c"]);
         assert_eq!(dnf_strings("a.(b|c)"), vec!["a.b", "a.c"]);
-        assert_eq!(
-            dnf_strings("(a|b).(c|d)"),
-            vec!["a.c", "a.d", "b.c", "b.d"]
-        );
+        assert_eq!(dnf_strings("(a|b).(c|d)"), vec!["a.c", "a.d", "b.c", "b.d"]);
     }
 
     #[test]
@@ -279,7 +275,14 @@ mod tests {
     #[test]
     fn clauses_are_deduplicated() {
         // (a|a.b?) -> a, a.b, a -> dedup to [a, a.b].
-        assert_eq!(dnf_strings("a|a.b?|a"), vec!["a", "a.b", "a"].into_iter().map(String::from).collect::<Vec<_>>()[..2].to_vec());
+        assert_eq!(
+            dnf_strings("a|a.b?|a"),
+            vec!["a", "a.b", "a"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()[..2]
+                .to_vec()
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -65,6 +69,9 @@ mod tests {
     #[test]
     fn display_dnf_error() {
         let e = DnfError::TooManyClauses { limit: 10 };
-        assert_eq!(e.to_string(), "DNF conversion exceeded the clause limit of 10");
+        assert_eq!(
+            e.to_string(),
+            "DNF conversion exceeded the clause limit of 10"
+        );
     }
 }

@@ -102,7 +102,9 @@ impl<'a> Parser<'a> {
                     parts.push(self.parse_postfix()?);
                 }
                 // Juxtaposition: a new atom starts immediately.
-                Some((_, c)) if is_label_start(c) || c == '(' || c == 'ε' || c == '∅' || c == '\'' => {
+                Some((_, c))
+                    if is_label_start(c) || c == '(' || c == 'ε' || c == '∅' || c == '\'' =>
+                {
                     parts.push(self.parse_postfix()?);
                 }
                 _ => break,
@@ -288,7 +290,10 @@ mod tests {
                 ])),
             ])
         );
-        assert_eq!(Regex::closure(lab("x"), ClosureKind::Plus), Regex::plus(lab("x")));
+        assert_eq!(
+            Regex::closure(lab("x"), ClosureKind::Plus),
+            Regex::plus(lab("x"))
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! cargo run --release --example multi_query_workload
 //! ```
 
+use rtc_rpq::core::Engine;
 use rtc_rpq::core::Strategy;
 use rtc_rpq::datasets::rmat::rmat_n_scaled;
 use rtc_rpq::datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
-use rtc_rpq::core::Engine;
 
 fn main() {
     // RMAT_3-shaped graph at 2^10 vertices: per-label degree 2 (the

@@ -110,6 +110,9 @@ fn main() {
     let s = rtc_engine.elimination_stats();
     println!(
         "eliminations: useless-1 {} | redundant-1 {} | redundant-2 {} | unchecked inserts {}",
-        s.useless1_skipped, s.redundant1_skipped, s.redundant2_skipped, s.useless2_unchecked_inserts
+        s.useless1_skipped,
+        s.redundant1_skipped,
+        s.redundant2_skipped,
+        s.useless2_unchecked_inserts
     );
 }

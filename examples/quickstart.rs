@@ -46,10 +46,7 @@ fn main() {
     for strategy in Strategy::ALL {
         let mut engine = Engine::with_strategy(&graph, strategy);
         let result = engine.evaluate(&query).expect("evaluation succeeds");
-        let pairs: Vec<String> = result
-            .iter()
-            .map(|(s, e)| format!("({s},{e})"))
-            .collect();
+        let pairs: Vec<String> = result.iter().map(|(s, e)| format!("({s},{e})")).collect();
         println!(
             "  {:<11} -> {{{}}}  shared_pairs={}  time={:?}",
             strategy.to_string(),

@@ -41,7 +41,13 @@ fn surrogate_stats_match_table4() {
         assert_eq!(s.edges, spec.edges, "{}", spec.name);
         assert_eq!(s.labels, spec.labels, "{}", spec.name);
         let rel = (s.degree_per_label - spec.paper_degree).abs() / spec.paper_degree;
-        assert!(rel < 0.5, "{}: degree {} vs paper {}", spec.name, s.degree_per_label, spec.paper_degree);
+        assert!(
+            rel < 0.5,
+            "{}: degree {} vs paper {}",
+            spec.name,
+            s.degree_per_label,
+            spec.paper_degree
+        );
     }
 }
 
@@ -76,7 +82,12 @@ fn rmat_skew_shows_in_degree_distribution() {
     uniform_cfg.d = 0.25;
     let uniform = rmat_graph(&uniform_cfg);
     let du = out_degree_distribution(&uniform);
-    assert!(du.max < d.max, "uniform should be flatter: {} vs {}", du.max, d.max);
+    assert!(
+        du.max < d.max,
+        "uniform should be flatter: {} vs {}",
+        du.max,
+        d.max
+    );
 }
 
 /// Reciprocity metric behaves across generators (cycles vs DAG-ish RMAT).

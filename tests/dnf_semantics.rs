@@ -10,7 +10,9 @@ use rtc_rpq::regex::{decompose, to_dnf, Regex};
 
 fn random_word(r: &mut rand::rngs::StdRng, max_len: usize) -> Vec<&'static str> {
     let len = r.gen_range(0..=max_len);
-    (0..len).map(|_| ALPHABET[r.gen_range(0..ALPHABET.len())]).collect()
+    (0..len)
+        .map(|_| ALPHABET[r.gen_range(0..ALPHABET.len())])
+        .collect()
 }
 
 /// A word matches the query iff it matches some DNF clause.
@@ -76,11 +78,19 @@ fn automata_backends_agree() {
         for _ in 0..25 {
             let w = random_word(&mut r, 7);
             let expect = glushkov.matches(&w);
-            assert_eq!(thompson.matches(&w), expect, "case {case}: thompson, {q}, {w:?}");
+            assert_eq!(
+                thompson.matches(&w),
+                expect,
+                "case {case}: thompson, {q}, {w:?}"
+            );
             if let Some(d) = &dfa {
                 assert_eq!(d.matches(&w), expect, "case {case}: dfa, {q}, {w:?}");
             }
-            assert_eq!(derivative.matches(&w), expect, "case {case}: derivative, {q}, {w:?}");
+            assert_eq!(
+                derivative.matches(&w),
+                expect,
+                "case {case}: derivative, {q}, {w:?}"
+            );
         }
     }
 }
@@ -106,8 +116,8 @@ fn parse_display_roundtrip_random() {
     for _ in 0..200 {
         let q = random_regex(&mut r, 4);
         let printed = q.to_string();
-        let reparsed = Regex::parse(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse '{printed}': {e}"));
+        let reparsed =
+            Regex::parse(&printed).unwrap_or_else(|e| panic!("failed to reparse '{printed}': {e}"));
         assert_eq!(q, reparsed, "roundtrip failed for {printed}");
     }
 }

@@ -42,7 +42,10 @@ fn example2_automaton_and_traversal() {
 fn example3_edge_level_reduction() {
     let g = paper_graph();
     let gr = reduce_for(&g, &Regex::parse("b.c").unwrap());
-    let mut edges: Vec<(u32, u32)> = gr.original_edges().map(|(s, d)| (s.raw(), d.raw())).collect();
+    let mut edges: Vec<(u32, u32)> = gr
+        .original_edges()
+        .map(|(s, d)| (s.raw(), d.raw()))
+        .collect();
     edges.sort_unstable();
     assert_eq!(edges, vec![(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)]);
     assert_eq!(gr.vertex_count(), 5);

@@ -1,0 +1,74 @@
+//! Workspace smoke test: the `rtc_rpq::prelude` surface resolves and a
+//! trivial query round-trips through all three strategies.
+//!
+//! This is deliberately shallow — it pins the *names* future PRs must keep
+//! exported (`Engine`, `Strategy`, `Regex`, `PairSet`, the witness API) and
+//! exercises one end-to-end evaluation per strategy on the paper's Fig. 1
+//! fixture. Semantic depth lives in `strategy_equivalence.rs` and
+//! `paper_examples.rs`.
+
+use rtc_rpq::prelude::*;
+
+#[test]
+fn prelude_names_resolve_and_strategies_agree() {
+    // GraphBuilder + LabeledMultigraph from the prelude.
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, "a", 1)
+        .add_edge(1, "b", 2)
+        .add_edge(2, "a", 0);
+    let g: LabeledMultigraph = b.build();
+
+    let q: Regex = Regex::parse("a.b").unwrap();
+
+    let mut results: Vec<PairSet> = Vec::new();
+    for strategy in [
+        Strategy::NoSharing,
+        Strategy::FullSharing,
+        Strategy::RtcSharing,
+    ] {
+        let mut engine = Engine::with_strategy(&g, strategy);
+        let r = engine.evaluate(&q).unwrap();
+        assert_eq!(r.len(), 1, "{strategy:?}");
+        assert!(r.contains(VertexId(0), VertexId(2)), "{strategy:?}");
+        results.push(r);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn prelude_engine_config_and_explain_resolve() {
+    let g = rtc_rpq::graph::fixtures::paper_graph();
+    let q = Regex::parse("d.(b.c)+.c").unwrap();
+
+    // EngineConfig is re-exported and drives Engine::with_config.
+    let config = EngineConfig {
+        strategy: Strategy::RtcSharing,
+        ..Default::default()
+    };
+    let mut engine = Engine::with_config(&g, config);
+    let result = engine.evaluate(&q).unwrap();
+    assert_eq!(result.len(), 2);
+
+    // explain / explain_set / QueryPlan resolve from the prelude.
+    let plan: QueryPlan = explain(&q).unwrap();
+    assert!(!plan.clauses.is_empty());
+    let set_plan = explain_set(std::slice::from_ref(&q)).unwrap();
+    assert_eq!(set_plan.queries.len(), 1);
+}
+
+#[test]
+fn prelude_witness_api_round_trips() {
+    let g = rtc_rpq::graph::fixtures::paper_graph();
+    let q = Regex::parse("d.(b.c)+.c").unwrap();
+
+    // Example 1: (v7, v5) is in the result; its witness must be a real
+    // path through the fixture whose rendering mentions both endpoints.
+    let steps: Vec<WitnessStep> = find_witness(&g, &q, VertexId(7), VertexId(5)).unwrap();
+    assert!(!steps.is_empty());
+    let rendered = format_witness(&g, &steps);
+    assert!(rendered.contains("v7"), "rendered: {rendered}");
+    assert!(rendered.contains("v5"), "rendered: {rendered}");
+
+    // Non-members have no witness.
+    assert!(find_witness(&g, &q, VertexId(0), VertexId(5)).is_none());
+}

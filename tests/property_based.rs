@@ -34,8 +34,11 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
 }
 
 fn arb_graph() -> impl Strategy<Value = rtc_rpq::graph::LabeledMultigraph> {
-    (2u32..14, prop::collection::vec((0u32..14, 0usize..3, 0u32..14), 0..40)).prop_map(
-        |(n, triples)| {
+    (
+        2u32..14,
+        prop::collection::vec((0u32..14, 0usize..3, 0u32..14), 0..40),
+    )
+        .prop_map(|(n, triples)| {
             let labels = ["a", "b", "c"];
             let mut b = GraphBuilder::new();
             b.ensure_vertices(n as usize);
@@ -43,8 +46,7 @@ fn arb_graph() -> impl Strategy<Value = rtc_rpq::graph::LabeledMultigraph> {
                 b.add_edge(s % n, labels[l], d % n);
             }
             b.build()
-        },
-    )
+        })
 }
 
 // ---------- PairSet algebra ----------

@@ -170,10 +170,13 @@ fn vertex_level_reduction_invariants() {
         for s in 0..rtc.scc_count() as u32 {
             let sid = rtc_rpq::graph::SccId(s);
             let self_reach = rtc.successors(sid).contains(&s);
-            let member_self = rtc.members_original(sid).any(|v| {
-                full.successors_original(v).any(|w| w == v)
-            });
-            assert_eq!(self_reach, member_self, "self-loop rule mismatch at SCC {s}");
+            let member_self = rtc
+                .members_original(sid)
+                .any(|v| full.successors_original(v).any(|w| w == v));
+            assert_eq!(
+                self_reach, member_self,
+                "self-loop rule mismatch at SCC {s}"
+            );
         }
     }
 }

@@ -22,7 +22,11 @@ fn shared_sizes(cluster_size: u32) -> (usize, usize, f64) {
     let r_g = ProductEvaluator::new(&g, &Regex::parse("l0").unwrap()).evaluate();
     let rtc = Rtc::from_pairs(&r_g);
     let full = FullTc::from_pairs(&r_g);
-    (full.pair_count(), rtc.closure_pair_count(), rtc.average_scc_size())
+    (
+        full.pair_count(),
+        rtc.closure_pair_count(),
+        rtc.average_scc_size(),
+    )
 }
 
 /// The Fig. 12 mechanism: with |V| fixed, growing the SCC size grows the
@@ -76,7 +80,11 @@ fn strategies_agree_across_scc_regimes() {
             let query = Regex::parse(q).unwrap();
             let mut results = Vec::new();
             for strategy in Strategy::ALL {
-                results.push(Engine::with_strategy(&g, strategy).evaluate(&query).unwrap());
+                results.push(
+                    Engine::with_strategy(&g, strategy)
+                        .evaluate(&query)
+                        .unwrap(),
+                );
             }
             assert_eq!(results[0], results[1], "cluster {cluster_size}, query {q}");
             assert_eq!(results[1], results[2], "cluster {cluster_size}, query {q}");
@@ -121,6 +129,9 @@ fn eliminations_track_scc_structure() {
     e.evaluate_str("l0.(l0)+").unwrap();
     let without_sccs = e.elimination_stats().redundant1_skipped;
 
-    assert!(with_sccs > 0, "clustered graph must trigger redundant-1 eliminations");
+    assert!(
+        with_sccs > 0,
+        "clustered graph must trigger redundant-1 eliminations"
+    );
     assert_eq!(without_sccs, 0, "path graph cannot trigger redundant-1");
 }

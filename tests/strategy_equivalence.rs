@@ -58,11 +58,20 @@ fn strategies_match_on_cyclic_dense_graphs() {
         let n = r.gen_range_u32(3, 10);
         let edges = r.gen_range_usize(20, 60); // dense: many cycles
         let g = random_graph(&mut r, n, edges);
-        for q in ["a+", "(a.b)+", "(a|b)+.c", "a*.b*", "(a.b.c)+", "c.(a|b)*.d"] {
+        for q in [
+            "a+",
+            "(a.b)+",
+            "(a|b)+.c",
+            "a*.b*",
+            "(a.b.c)+",
+            "c.(a|b)*.d",
+        ] {
             let query = rtc_rpq::regex::Regex::parse(q).unwrap();
             let oracle = evaluate_algebraic(&g, &query);
             for strategy in Strategy::ALL {
-                let got = Engine::with_strategy(&g, strategy).evaluate(&query).unwrap();
+                let got = Engine::with_strategy(&g, strategy)
+                    .evaluate(&query)
+                    .unwrap();
                 assert_eq!(got, oracle, "case {case}, query {q}, strategy {strategy}");
             }
         }

@@ -1,0 +1,262 @@
+//! Minimal API-compatible shim for `criterion` 0.5.
+//!
+//! The build container has no network access to crates.io, so this vendored
+//! crate implements the subset of the real API the workspace's nine bench
+//! targets use: [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop: warm up for `warm_up_time`, then
+//! run batches until `measurement_time` elapses and report the mean
+//! time/iteration. There are no plots, no statistics, no saved baselines —
+//! enough to smoke-run the benches and eyeball relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A two-part benchmark identifier (`function_id/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (accepted for API compatibility; the
+    /// shim times by wall clock, not sample count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set how long to measure.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Bencher {
+            warm_up_time,
+            measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time a closure: warm up, then run batches until the measurement
+    /// window closes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also calibrates a batch size of roughly 1ms.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if ns < 1_000.0 {
+            (ns, "ns")
+        } else if ns < 1_000_000.0 {
+            (ns / 1_000.0, "µs")
+        } else if ns < 1_000_000_000.0 {
+            (ns / 1_000_000.0, "ms")
+        } else {
+            (ns / 1_000_000_000.0, "s")
+        };
+        println!(
+            "{group}/{id}: {value:.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Define a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Mirror libtest's `--bench`/filter args being ignored gracefully.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("id", "param"), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("id2", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,84 @@
+//! Self-tests for the `proptest!` macro harness.
+//!
+//! The workspace's property suites rely on this shim actually *running*
+//! test bodies, so these tests pin the non-vacuousness of the runner:
+//! bodies execute the configured number of times, `prop_assume!` rejects
+//! without failing, and a violated property panics.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static BODY_RUNS: AtomicU32 = AtomicU32::new(0);
+static ASSUME_PASSES: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bodies_actually_execute(x in 0u32..100, y in 0usize..5) {
+        BODY_RUNS.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x < 100);
+        prop_assert!(y < 5);
+    }
+
+    #[test]
+    fn assume_filters_without_failing(x in 0u32..100) {
+        prop_assume!(x % 2 == 0);
+        ASSUME_PASSES.fetch_add(1, Ordering::SeqCst);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    fn tuples_vecs_and_oneof_compose(
+        pairs in prop::collection::vec((0u32..8, 0u32..8), 0..20),
+        tag in prop_oneof![Just("left"), prop::sample::select(vec!["mid", "right"])],
+    ) {
+        prop_assert!(pairs.len() < 20);
+        prop_assert!(pairs.iter().all(|&(a, b)| a < 8 && b < 8));
+        prop_assert!(matches!(tag, "left" | "mid" | "right"));
+    }
+}
+
+/// Runs after the whole binary's proptest fns in this process have been
+/// spawned by libtest; ordering between tests is not guaranteed, so this
+/// only checks the counters once the counted tests must have finished.
+#[test]
+fn harness_ran_the_configured_case_count() {
+    // Force deterministic ordering: call the generated fns directly.
+    // (libtest also runs them; the counters only grow, so >= is the bound.)
+    bodies_actually_execute();
+    assume_filters_without_failing();
+    assert!(
+        BODY_RUNS.load(Ordering::SeqCst) >= 40,
+        "proptest bodies ran {} times, expected >= 40",
+        BODY_RUNS.load(Ordering::SeqCst)
+    );
+    assert!(
+        ASSUME_PASSES.load(Ordering::SeqCst) >= 40,
+        "prop_assume-passing bodies ran {} times, expected >= 40",
+        ASSUME_PASSES.load(Ordering::SeqCst)
+    );
+}
+
+#[test]
+#[should_panic(expected = "failed at case")]
+fn violated_property_panics() {
+    proptest! {
+        fn inner_always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+    inner_always_fails();
+}
+
+#[test]
+#[should_panic(expected = "too many rejected cases")]
+fn unsatisfiable_assume_panics() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        fn inner_never_satisfied(x in 0u32..10) {
+            prop_assume!(x > 100);
+        }
+    }
+    inner_never_satisfied();
+}

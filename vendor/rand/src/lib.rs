@@ -1,0 +1,277 @@
+//! Minimal API-compatible shim for `rand` 0.8.
+//!
+//! The build container has no network access to crates.io, so this vendored
+//! crate provides the subset of the real API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen`, `gen_range`, and `gen_bool`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic for a given seed,
+//! which is all the dataset generators and tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A deterministic, seedable PRNG (xoshiro256++).
+    ///
+    /// The real `StdRng` is a ChaCha block cipher; this shim only promises
+    /// determinism-per-seed and a uniform stream, which is what the
+    /// workspace's generators and tests require.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A random number generator core (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable RNG (mirrors `rand::SeedableRng`; only `seed_from_u64` is
+/// provided because that is the sole constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Create a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng::from_u64_seed(state)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `lo..hi`. Panics if the range is empty.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Sample uniformly from `lo..=hi`. Panics if the range is empty.
+    fn sample_in_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`] (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as u64) - (lo as u64);
+                lo + (rng.next_u64() % span) as $t
+            }
+
+            fn sample_in_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let span = (hi as u64) - (lo as u64) + 1;
+                if span == 0 {
+                    // lo..=hi covers the whole u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+
+            fn sample_in_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        lo + <f64 as Standard>::sample_standard(rng) * (hi - lo)
+    }
+
+    fn sample_in_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        Self::sample_in(rng, lo, hi)
+    }
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Convenience extension methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T: SampleUniform, RG: SampleRange<T>>(&mut self, range: RG) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let a_stream: Vec<u32> = (0..32).map(|_| a.gen_range(0..1 << 30)).collect();
+        let c_stream: Vec<u32> = (0..32).map(|_| c.gen_range(0..1 << 30)).collect();
+        assert_ne!(a_stream, c_stream);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
