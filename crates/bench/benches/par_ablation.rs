@@ -1,0 +1,128 @@
+//! Sequential/parallel crossover ablation for the scoped-thread pool.
+//!
+//! Three parallelized hot paths, each swept over worker counts {1, 2, 4}:
+//! the per-vertex BFS closure (`tc_naive_parallel`), Theorem 1's RTC
+//! expansion (`Rtc::expand_parallel`), and the engine's batch mode
+//! (`evaluate_set` with `EngineConfig::threads`). Small inputs quantify
+//! where spawn/stitch overhead eats the win (the crossover the README's
+//! speedup table reports); larger inputs show the scaling headroom on
+//! multi-core hosts. On a single-core container all thread counts should
+//! land within noise of each other — the fan-out is cheap enough that
+//! oversubscription does not regress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::{Engine, EngineConfig, Strategy};
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::MappedDigraph;
+use rpq_reduction::{tc_naive_parallel, Rtc};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bench_par_tc_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_tc_naive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Small (crossover regime) and moderate (scaling regime) R_G sizes.
+    for (n, scale) in [(2u32, 8u32), (2, 10), (4, 10)] {
+        let graph = rmat_n_scaled(n, scale, 7);
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let gr = MappedDigraph::from_pairset(&r_g);
+        let label = format!("RMAT_{n}@2^{scale}(|V_R|={})", gr.vertex_count());
+        for t in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{t}"), &label),
+                &gr,
+                |b, gr| b.iter(|| tc_naive_parallel(&gr.graph, t)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_par_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_rtc_expand");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for (n, scale) in [(2u32, 10u32), (4, 10)] {
+        let graph = rmat_n_scaled(n, scale, 7);
+        let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+        let rtc = Rtc::from_pairs(&r_g);
+        let label = format!(
+            "RMAT_{n}@2^{scale}(sccs={},pairs={})",
+            rtc.scc_count(),
+            rtc.expanded_pair_count()
+        );
+        for t in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{t}"), &label),
+                &rtc,
+                |b, rtc| b.iter(|| rtc.expand_parallel(t)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_par_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_batch_eval");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // The multi_query_workload shape: one 4-RPQ set sharing a closure body.
+    let graph = rmat_n_scaled(3, 10, 45);
+    let sets = generate_workload(
+        &alphabet_of(&graph),
+        &WorkloadConfig {
+            rs_per_length: 1,
+            r_lengths: vec![2],
+            queries_per_set: 4,
+            ..WorkloadConfig::default()
+        },
+    );
+    let queries = &sets[0].queries;
+    for strategy in [Strategy::RtcSharing, Strategy::FullSharing] {
+        for t in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}_threads_{t}", strategy.short_name()),
+                    "RMAT_3@2^10x4rpq",
+                ),
+                queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut e = Engine::with_config(
+                            &graph,
+                            EngineConfig {
+                                strategy,
+                                threads: t,
+                                ..EngineConfig::default()
+                            },
+                        );
+                        e.evaluate_set(queries).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_par_tc_naive,
+    bench_par_expand,
+    bench_par_batch
+);
+criterion_main!(benches);

@@ -6,12 +6,15 @@
 //! cargo run -p rpq_bench --release --bin experiments -- all
 //! cargo run -p rpq_bench --release --bin experiments -- fig10 --profile paper
 //! cargo run -p rpq_bench --release --bin experiments -- table4 --csv results/
+//! cargo run -p rpq_bench --release --bin experiments -- exp1 --threads 4
 //! ```
 //!
 //! Commands: `table4`, `fig10`, `fig11`, `fig12`, `fig13` (Experiment 1),
 //! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `ablation`, `all`.
-//! Flags: `--profile fast|default|paper` (scale), `--csv DIR` (also write
-//! CSV files).
+//! Duplicate commands are deduplicated and `all` subsumes everything, so
+//! no experiment ever runs twice. Flags: `--profile fast|default|paper`
+//! (scale), `--csv DIR` (also write CSV files), `--threads N` (engine
+//! worker threads; 1 = sequential, 0 = all cores).
 
 use rpq_bench::ablation::{batch_unit_table, scc_sensitivity_table, tc_algorithms_table};
 use rpq_bench::datasets::{real_surrogates, synthetic_sweep};
@@ -35,14 +38,19 @@ const COMMANDS: [&str; 11] = [
 struct Options {
     profile: Profile,
     csv_dir: Option<PathBuf>,
+    threads: usize,
     commands: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut profile = Profile::Default;
     let mut csv_dir = None;
+    let mut threads = 1usize;
     let mut commands = Vec::new();
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--profile" => {
@@ -52,6 +60,12 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads needs a non-negative integer, got '{v}'"))?;
             }
             "--help" | "-h" => {
                 print_usage();
@@ -66,19 +80,34 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if commands.is_empty() {
-        commands.push("all".to_string());
-    }
     Ok(Options {
         profile,
         csv_dir,
-        commands,
+        threads,
+        commands: normalize_commands(commands),
     })
+}
+
+/// Normalizes the requested command list so no experiment runs twice:
+/// an empty list defaults to `all`, `all` anywhere subsumes every other
+/// command, and duplicates collapse to their first occurrence (order
+/// otherwise preserved).
+fn normalize_commands(commands: Vec<String>) -> Vec<String> {
+    if commands.is_empty() || commands.iter().any(|c| c == "all") {
+        return vec!["all".to_string()];
+    }
+    let mut out: Vec<String> = Vec::with_capacity(commands.len());
+    for c in commands {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--profile fast|default|paper] [--csv DIR] [{}]...",
+        "usage: experiments [--profile fast|default|paper] [--csv DIR] [--threads N] [{}]...",
         COMMANDS.join("|")
     );
 }
@@ -113,6 +142,15 @@ fn main() -> ExitCode {
         "# profile = {} (use --profile paper for the full-scale TABLE IV sizes)",
         opts.profile
     );
+    eprintln!(
+        "# threads = {} ({}; applies to exp1/exp2 engine runs — table4/ablation are sequential)",
+        opts.threads,
+        match opts.threads {
+            0 => "all available cores".to_string(),
+            1 => "sequential".to_string(),
+            n => format!("{n} scoped workers"),
+        }
+    );
 
     if wants(&["table4"]) {
         emit(&table4(opts.profile), &opts.csv_dir);
@@ -125,9 +163,19 @@ fn main() -> ExitCode {
             opts.profile.fixed_set_size()
         );
         let synth = synthetic_sweep(opts.profile);
-        let synth_rows = run_experiment1(&synth, opts.profile, opts.profile.fixed_set_size());
+        let synth_rows = run_experiment1(
+            &synth,
+            opts.profile,
+            opts.profile.fixed_set_size(),
+            opts.threads,
+        );
         let real = real_surrogates(opts.profile);
-        let real_rows = run_experiment1(&real, opts.profile, opts.profile.fixed_set_size());
+        let real_rows = run_experiment1(
+            &real,
+            opts.profile,
+            opts.profile.fixed_set_size(),
+            opts.threads,
+        );
 
         if wants(&["fig10", "exp1"]) {
             emit(
@@ -180,7 +228,7 @@ fn main() -> ExitCode {
 
     if wants(&["fig14", "fig15", "exp2"]) {
         eprintln!("# experiment 2: #RPQs sweep on RMAT_3 and Advogato");
-        let rows = run_experiment2(opts.profile);
+        let rows = run_experiment2(opts.profile, opts.threads);
         if wants(&["fig14", "exp2"]) {
             emit(&fig14_table(&rows), &opts.csv_dir);
         }
@@ -190,4 +238,79 @@ fn main() -> ExitCode {
     }
 
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.commands, vec!["all"]);
+        assert_eq!(o.threads, 1);
+        assert_eq!(o.profile, Profile::Default);
+        assert!(o.csv_dir.is_none());
+    }
+
+    #[test]
+    fn duplicate_commands_run_once() {
+        // Regression: `exp1 exp1 fig10 exp1` used to run exp1 three times.
+        let o = parse(&["exp1", "exp1", "fig10", "exp1"]).unwrap();
+        assert_eq!(o.commands, vec!["exp1", "fig10"]);
+    }
+
+    #[test]
+    fn all_subsumes_specific_commands() {
+        // Regression: `all exp1` used to run experiment 1 twice (once via
+        // `all`, once via the explicit command).
+        for args in [
+            &["all", "exp1"][..],
+            &["exp1", "all"][..],
+            &["fig10", "all", "fig10"][..],
+        ] {
+            let o = parse(args).unwrap();
+            assert_eq!(o.commands, vec!["all"], "args {args:?}");
+        }
+    }
+
+    #[test]
+    fn order_of_first_occurrence_is_preserved() {
+        let o = parse(&["fig12", "exp2", "fig12", "table4"]).unwrap();
+        assert_eq!(o.commands, vec!["fig12", "exp2", "table4"]);
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        assert_eq!(parse(&["--threads", "4", "exp1"]).unwrap().threads, 4);
+        assert_eq!(parse(&["--threads", "0"]).unwrap().threads, 0);
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--threads", "-2"]).is_err());
+    }
+
+    #[test]
+    fn profile_and_csv_flags_parse() {
+        let o = parse(&["--profile", "fast", "--csv", "out", "fig14"]).unwrap();
+        assert_eq!(o.profile, Profile::Fast);
+        assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(o.commands, vec!["fig14"]);
+        assert!(parse(&["--profile", "nope"]).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_and_flags_rejected() {
+        assert!(parse(&["fig99"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let once = normalize_commands(vec!["exp1".into(), "exp2".into(), "exp1".into()]);
+        assert_eq!(normalize_commands(once.clone()), once);
+    }
 }

@@ -19,4 +19,7 @@ pub mod runner;
 pub mod table;
 
 pub use profiles::Profile;
-pub use runner::{run_query_set, RunMetrics};
+pub use runner::{
+    run_all_strategies, run_all_strategies_threads, run_query_set, run_query_set_threads,
+    RunMetrics,
+};

@@ -1,6 +1,6 @@
 //! Executes one multiple-RPQ set under one strategy and captures metrics.
 
-use rpq_core::{Breakdown, EliminationStats, Engine, Strategy};
+use rpq_core::{Breakdown, EliminationStats, Engine, EngineConfig, Strategy};
 use rpq_graph::LabeledMultigraph;
 use rpq_regex::Regex;
 use std::time::Duration;
@@ -34,7 +34,25 @@ pub fn run_query_set(
     queries: &[Regex],
     strategy: Strategy,
 ) -> Option<RunMetrics> {
-    let mut engine = Engine::with_strategy(graph, strategy);
+    run_query_set_threads(graph, queries, strategy, 1)
+}
+
+/// [`run_query_set`] with an explicit worker-thread count (1 = sequential,
+/// 0 = all cores) — the engine runs its parallel batch mode when > 1.
+pub fn run_query_set_threads(
+    graph: &LabeledMultigraph,
+    queries: &[Regex],
+    strategy: Strategy,
+    threads: usize,
+) -> Option<RunMetrics> {
+    let mut engine = Engine::with_config(
+        graph,
+        EngineConfig {
+            strategy,
+            threads,
+            ..EngineConfig::default()
+        },
+    );
     let results = engine.evaluate_set(queries).ok()?;
     let result_pairs = results.iter().map(|r| r.len()).sum();
     let breakdown = *engine.breakdown();
@@ -60,10 +78,27 @@ pub fn run_query_set(
 /// test: if any strategy disagrees on any query, the harness panics with
 /// the offending query.
 pub fn run_all_strategies(graph: &LabeledMultigraph, queries: &[Regex]) -> Vec<RunMetrics> {
+    run_all_strategies_threads(graph, queries, 1)
+}
+
+/// [`run_all_strategies`] with an explicit worker-thread count plumbed
+/// into every engine (the `--threads` flag of the experiments driver).
+pub fn run_all_strategies_threads(
+    graph: &LabeledMultigraph,
+    queries: &[Regex],
+    threads: usize,
+) -> Vec<RunMetrics> {
     let mut reference: Option<Vec<usize>> = None;
     let mut out = Vec::with_capacity(3);
     for strategy in Strategy::ALL {
-        let mut engine = Engine::with_strategy(graph, strategy);
+        let mut engine = Engine::with_config(
+            graph,
+            EngineConfig {
+                strategy,
+                threads,
+                ..EngineConfig::default()
+            },
+        );
         let results = engine
             .evaluate_set(queries)
             .expect("workload queries stay under the DNF limit");
@@ -113,6 +148,24 @@ mod tests {
         assert_eq!(metrics.shared_pairs, 3);
         assert_eq!(metrics.shared_vertices, 3); // 3 SCCs
         assert!(metrics.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn threaded_runner_matches_sequential() {
+        let g = paper_graph();
+        let queries = vec![
+            Regex::parse("d.(b.c)+.c").unwrap(),
+            Regex::parse("a.(b.c)*.c").unwrap(),
+        ];
+        let seq = run_query_set(&g, &queries, Strategy::RtcSharing).unwrap();
+        for threads in [2usize, 8] {
+            let par = run_query_set_threads(&g, &queries, Strategy::RtcSharing, threads).unwrap();
+            assert_eq!(par.result_pairs, seq.result_pairs, "threads {threads}");
+            assert_eq!(par.shared_pairs, seq.shared_pairs, "threads {threads}");
+        }
+        let all = run_all_strategies_threads(&g, &queries, 2);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|m| m.result_pairs == seq.result_pairs));
     }
 
     #[test]

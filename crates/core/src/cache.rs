@@ -8,13 +8,18 @@
 
 use rpq_reduction::{FullTc, Rtc};
 use rustc_hash::FxHashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Cache of shared structures keyed by the canonical form of `R`.
-#[derive(Default)]
+///
+/// Structures are held behind [`Arc`], so a `clone()` of the cache is a
+/// cheap snapshot sharing the underlying RTCs/closures — this is what the
+/// engine hands each worker in parallel batch mode (`Send + Sync` all the
+/// way down).
+#[derive(Clone, Default)]
 pub struct SharedCache {
-    rtcs: FxHashMap<String, Rc<Rtc>>,
-    fulls: FxHashMap<String, Rc<FullTc>>,
+    rtcs: FxHashMap<String, Arc<Rtc>>,
+    fulls: FxHashMap<String, Arc<FullTc>>,
     hits: u64,
     misses: u64,
 }
@@ -26,11 +31,11 @@ impl SharedCache {
     }
 
     /// Looks up the RTC for `key`, counting hit/miss.
-    pub fn get_rtc(&mut self, key: &str) -> Option<Rc<Rtc>> {
+    pub fn get_rtc(&mut self, key: &str) -> Option<Arc<Rtc>> {
         match self.rtcs.get(key) {
             Some(rtc) => {
                 self.hits += 1;
-                Some(Rc::clone(rtc))
+                Some(Arc::clone(rtc))
             }
             None => {
                 self.misses += 1;
@@ -40,16 +45,16 @@ impl SharedCache {
     }
 
     /// Stores an RTC under `key`.
-    pub fn insert_rtc(&mut self, key: String, rtc: Rc<Rtc>) {
+    pub fn insert_rtc(&mut self, key: String, rtc: Arc<Rtc>) {
         self.rtcs.insert(key, rtc);
     }
 
     /// Looks up the materialized `R⁺_G` for `key`, counting hit/miss.
-    pub fn get_full(&mut self, key: &str) -> Option<Rc<FullTc>> {
+    pub fn get_full(&mut self, key: &str) -> Option<Arc<FullTc>> {
         match self.fulls.get(key) {
             Some(full) => {
                 self.hits += 1;
-                Some(Rc::clone(full))
+                Some(Arc::clone(full))
             }
             None => {
                 self.misses += 1;
@@ -59,7 +64,7 @@ impl SharedCache {
     }
 
     /// Stores a materialized `R⁺_G` under `key`.
-    pub fn insert_full(&mut self, key: String, full: Rc<FullTc>) {
+    pub fn insert_full(&mut self, key: String, full: Arc<FullTc>) {
         self.fulls.insert(key, full);
     }
 
@@ -112,6 +117,29 @@ impl SharedCache {
         self.fulls.values().map(|f| f.vertex_count()).sum()
     }
 
+    /// Resets the hit/miss counters while **preserving** every cached
+    /// structure — the metric-reset half of [`SharedCache::clear`], used
+    /// by `Engine::reset_metrics`.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Merges a worker's cache back after a parallel batch: counters add
+    /// up, and structures the worker computed that this cache lacks are
+    /// adopted (first writer wins; the structures are deterministic per
+    /// key, so which clone is kept is immaterial).
+    pub fn absorb(&mut self, other: SharedCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        for (key, rtc) in other.rtcs {
+            self.rtcs.entry(key).or_insert(rtc);
+        }
+        for (key, full) in other.fulls {
+            self.fulls.entry(key).or_insert(full);
+        }
+    }
+
     /// Drops all cached structures and resets counters.
     pub fn clear(&mut self) {
         self.rtcs.clear();
@@ -126,9 +154,9 @@ mod tests {
     use super::*;
     use rpq_graph::PairSet;
 
-    fn sample_rtc() -> Rc<Rtc> {
+    fn sample_rtc() -> Arc<Rtc> {
         let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
-        Rc::new(Rtc::from_pairs(&pairs))
+        Arc::new(Rtc::from_pairs(&pairs))
     }
 
     #[test]
@@ -149,7 +177,7 @@ mod tests {
         // One 2-cycle SCC with a self-reach: closure has 1 pair.
         assert_eq!(c.rtc_shared_pairs(), 1);
         let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
-        c.insert_full("a.b".into(), Rc::new(FullTc::from_pairs(&pairs)));
+        c.insert_full("a.b".into(), Arc::new(FullTc::from_pairs(&pairs)));
         // Full closure: both vertices reach both → 4 pairs.
         assert_eq!(c.full_shared_pairs(), 4);
     }
@@ -163,6 +191,48 @@ mod tests {
         assert_eq!(c.rtc_count(), 0);
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn reset_counters_preserves_structures() {
+        let mut c = SharedCache::new();
+        c.insert_rtc("x".into(), sample_rtc());
+        let _ = c.get_rtc("x");
+        let _ = c.get_rtc("missing");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        c.reset_counters();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert_eq!(c.rtc_count(), 1);
+        assert_eq!(c.rtc_shared_pairs(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_missing_structures() {
+        let mut main = SharedCache::new();
+        main.insert_rtc("shared".into(), sample_rtc());
+        let _ = main.get_rtc("shared"); // 1 hit
+
+        let mut worker = main.clone();
+        worker.reset_counters();
+        let _ = worker.get_rtc("shared"); // 1 worker hit
+        let _ = worker.get_rtc("extra"); // 1 worker miss
+        worker.insert_rtc("extra".into(), sample_rtc());
+
+        main.absorb(worker);
+        assert_eq!(main.hits(), 2);
+        assert_eq!(main.misses(), 1);
+        assert_eq!(main.rtc_count(), 2);
+    }
+
+    #[test]
+    fn clone_is_a_cheap_shared_snapshot() {
+        let mut c = SharedCache::new();
+        let rtc = sample_rtc();
+        c.insert_rtc("k".into(), Arc::clone(&rtc));
+        let snapshot = c.clone();
+        // The clone shares the same Arc'd structure, not a deep copy.
+        assert_eq!(snapshot.rtc_count(), 1);
+        assert_eq!(Arc::strong_count(&rtc), 3); // local + cache + snapshot
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct EngineConfig {
     /// of running the general Algorithm 2 join. Results are identical
     /// (property-tested); disable to benchmark the general path.
     pub enable_fast_paths: bool,
+    /// Worker threads for the parallel paths: `1` (the default) keeps
+    /// everything sequential, `0` uses every available core, `N > 1`
+    /// spawns up to `N` scoped workers. Affects
+    /// [`Engine::evaluate_set`]'s batch fan-out and the parallel
+    /// shared-structure construction/expansion inside each evaluation.
+    /// Results are identical at any thread count (property-tested).
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +76,7 @@ impl Default for EngineConfig {
             strategy: Strategy::RtcSharing,
             dnf_clause_limit: DEFAULT_CLAUSE_LIMIT,
             enable_fast_paths: true,
+            threads: 1,
         }
     }
 }
@@ -151,11 +159,14 @@ impl<'g> Engine<'g> {
     /// Evaluates one query, sharing structures with previous evaluations.
     pub fn evaluate(&mut self, query: &Regex) -> Result<PairSet, EngineError> {
         let t = Instant::now();
-        let result = match self.config.strategy {
-            Strategy::NoSharing => Ok(ProductEvaluator::new(self.graph, query).evaluate()),
-            Strategy::FullSharing => self.eval_sharing(query, SharingKind::Full),
-            Strategy::RtcSharing => self.eval_sharing(query, SharingKind::Rtc),
-        };
+        let result = eval_one(
+            self.graph,
+            &self.config,
+            &mut self.cache,
+            &mut self.breakdown,
+            &mut self.stats,
+            query,
+        );
         self.breakdown.total += t.elapsed();
         result
     }
@@ -166,9 +177,91 @@ impl<'g> Engine<'g> {
         self.evaluate(&q)
     }
 
-    /// Evaluates a multiple-RPQ set in order, sharing along the way.
+    /// Evaluates a multiple-RPQ set, sharing along the way.
+    ///
+    /// Dispatches to [`Engine::evaluate_set_parallel`] when
+    /// [`EngineConfig::threads`] *resolves* to more than one worker
+    /// (`0` = all cores, so on a single-core host it stays sequential;
+    /// the parallel entry point itself also falls back to sequential for
+    /// sets of fewer than two queries).
     pub fn evaluate_set(&mut self, queries: &[Regex]) -> Result<Vec<PairSet>, EngineError> {
-        queries.iter().map(|q| self.evaluate(q)).collect()
+        if rpq_graph::par::effective_threads(self.config.threads) > 1 {
+            self.evaluate_set_parallel(queries)
+        } else {
+            queries.iter().map(|q| self.evaluate(q)).collect()
+        }
+    }
+
+    /// Parallel batch evaluation: [`Engine::prepare`] runs once to warm
+    /// the shared cache, then the (now independent) queries fan out over
+    /// up to [`EngineConfig::threads`] scoped workers, each holding a
+    /// cheap `Arc` snapshot of the cache. Results are returned in query
+    /// order and are identical to the sequential path (property-tested).
+    ///
+    /// Metric semantics in this mode: `breakdown().total` advances by the
+    /// *wall-clock* time of the whole batch, while the per-stage timers
+    /// and the cache/elimination counters are *summed across workers*
+    /// (CPU time), so stages can legitimately exceed the total on
+    /// multi-core hosts.
+    pub fn evaluate_set_parallel(
+        &mut self,
+        queries: &[Regex],
+    ) -> Result<Vec<PairSet>, EngineError> {
+        let threads = rpq_graph::par::effective_threads(self.config.threads).min(queries.len());
+        if threads <= 1 {
+            return queries.iter().map(|q| self.evaluate(q)).collect();
+        }
+        // Warm every shared closure body once, up front (sequentially) —
+        // after this, workers only read the cache.
+        self.prepare(queries)?;
+
+        let t = Instant::now();
+        let graph = self.graph;
+        // Workers keep nested construction/expansion sequential: the batch
+        // fan-out already owns the worker threads.
+        let config = EngineConfig {
+            threads: 1,
+            ..self.config
+        };
+        let snapshot = {
+            let mut c = self.cache.clone();
+            c.reset_counters();
+            c
+        };
+        struct Worker {
+            cache: SharedCache,
+            breakdown: Breakdown,
+            stats: EliminationStats,
+        }
+        let (results, workers) = rpq_graph::par::par_map_chunks_with_state(
+            threads,
+            queries.len(),
+            1,
+            || Worker {
+                cache: snapshot.clone(),
+                breakdown: Breakdown::default(),
+                stats: EliminationStats::default(),
+            },
+            |w, range| {
+                eval_one(
+                    graph,
+                    &config,
+                    &mut w.cache,
+                    &mut w.breakdown,
+                    &mut w.stats,
+                    &queries[range.start],
+                )
+            },
+        );
+        for w in workers {
+            self.breakdown.shared_data += w.breakdown.shared_data;
+            self.breakdown.pre_join += w.breakdown.pre_join;
+            self.stats += w.stats;
+            self.cache.absorb(w.cache);
+        }
+        let out: Result<Vec<PairSet>, EngineError> = results.into_iter().collect();
+        self.breakdown.total += t.elapsed();
+        out
     }
 
     /// Warms the shared cache for a query set before evaluating it.
@@ -190,7 +283,7 @@ impl<'g> Engine<'g> {
             Strategy::FullSharing => SharingKind::Full,
             Strategy::RtcSharing => SharingKind::Rtc,
         };
-        let plan = crate::explain::explain_set(queries)?;
+        let plan = crate::explain::explain_set_with_limit(queries, self.config.dnf_clause_limit)?;
         let mut report = PrepareReport::default();
         let t = Instant::now();
         for (key, _) in &plan.shared_bodies {
@@ -208,25 +301,19 @@ impl<'g> Engine<'g> {
             }
             // Evaluating R+ populates the cache entry for R (and any
             // nested bodies) without retaining the expanded result.
-            self.eval_sharing(&Regex::plus(body), kind)?;
+            eval_one(
+                self.graph,
+                &self.config,
+                &mut self.cache,
+                &mut self.breakdown,
+                &mut self.stats,
+                &Regex::plus(body),
+            )?;
             report.bodies_computed += 1;
         }
         self.breakdown.total += t.elapsed();
         report.shared_pairs = self.shared_data_pairs();
         Ok(report)
-    }
-
-    fn eval_sharing(&mut self, query: &Regex, kind: SharingKind) -> Result<PairSet, EngineError> {
-        let mut ctx = EvalCtx {
-            graph: self.graph,
-            cache: &mut self.cache,
-            kind,
-            clause_limit: self.config.dnf_clause_limit,
-            fast_paths: self.config.enable_fast_paths,
-            breakdown: &mut self.breakdown,
-            stats: &mut self.stats,
-        };
-        eval_query(&mut ctx, query)
     }
 
     /// End vertices of `query`-paths starting at `source` (selective
@@ -286,10 +373,12 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// Clears timing/counter accumulators but keeps cached structures.
+    /// Clears timing/counter accumulators — including the cache's
+    /// hit/miss counters — but keeps cached structures.
     pub fn reset_metrics(&mut self) {
         self.breakdown.reset();
         self.stats.reset();
+        self.cache.reset_counters();
     }
 
     /// Drops all cached shared structures (and resets metrics).
@@ -297,6 +386,38 @@ impl<'g> Engine<'g> {
         self.cache.clear();
         self.reset_metrics();
     }
+}
+
+/// Evaluates one query against explicitly-passed engine state. Shared by
+/// the sequential path (borrowing the engine's own fields) and the
+/// parallel batch mode (borrowing per-worker state), so both run the
+/// byte-for-byte same recursion.
+fn eval_one(
+    graph: &LabeledMultigraph,
+    config: &EngineConfig,
+    cache: &mut SharedCache,
+    breakdown: &mut Breakdown,
+    stats: &mut EliminationStats,
+    query: &Regex,
+) -> Result<PairSet, EngineError> {
+    let kind = match config.strategy {
+        Strategy::NoSharing => {
+            return Ok(ProductEvaluator::new(graph, query).evaluate());
+        }
+        Strategy::FullSharing => SharingKind::Full,
+        Strategy::RtcSharing => SharingKind::Rtc,
+    };
+    let mut ctx = EvalCtx {
+        graph,
+        cache,
+        kind,
+        clause_limit: config.dnf_clause_limit,
+        fast_paths: config.enable_fast_paths,
+        threads: config.threads,
+        breakdown,
+        stats,
+    };
+    eval_query(&mut ctx, query)
 }
 
 #[cfg(test)]
@@ -435,6 +556,133 @@ mod tests {
         for (s, d) in full.iter() {
             assert!(e.check(&q, s, d));
         }
+    }
+
+    #[test]
+    fn reset_metrics_clears_cache_counters_but_keeps_structures() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        e.evaluate_str("d.(b.c)+.c").unwrap();
+        e.evaluate_str("d.(b.c)+.c").unwrap();
+        assert!(e.cache().hits() > 0);
+        assert!(e.cache().misses() > 0);
+        e.reset_metrics();
+        // Regression: the cache's hit/miss counters are part of the
+        // "timing/counter accumulators" the method documents clearing.
+        assert_eq!(e.cache().hits(), 0);
+        assert_eq!(e.cache().misses(), 0);
+        assert_eq!(e.cache().rtc_count(), 1); // structures preserved
+                                              // Re-evaluation hits the preserved structure: no new misses.
+        e.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(e.cache().misses(), 0);
+        assert!(e.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_for_all_strategies() {
+        let g = paper_graph();
+        let queries: Vec<Regex> = ["d.(b.c)+.c", "a.(b.c)*", "(a.b)+|(b.c)+", "c.(a.b)+.b"]
+            .iter()
+            .map(|q| Regex::parse(q).unwrap())
+            .collect();
+        for strategy in Strategy::ALL {
+            let seq = Engine::with_strategy(&g, strategy)
+                .evaluate_set(&queries)
+                .unwrap();
+            for threads in [0usize, 2, 8] {
+                let mut e = Engine::with_config(
+                    &g,
+                    EngineConfig {
+                        strategy,
+                        threads,
+                        ..EngineConfig::default()
+                    },
+                );
+                let par = e.evaluate_set(&queries).unwrap();
+                assert_eq!(par, seq, "{strategy} at {threads} threads");
+                assert!(e.breakdown().total > std::time::Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_parallel_entry_point_handles_small_sets() {
+        let g = paper_graph();
+        let one = [Regex::parse("d.(b.c)+.c").unwrap()];
+        let mut e = Engine::new(&g);
+        // A single query (or an empty set) falls back to the sequential
+        // path regardless of the configured thread count.
+        assert_eq!(e.evaluate_set_parallel(&one).unwrap().len(), 1);
+        assert!(e.evaluate_set_parallel(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_warms_and_reuses_the_cache() {
+        let g = paper_graph();
+        let queries = [
+            Regex::parse("d.(b.c)+.c").unwrap(),
+            Regex::parse("a.(b.c)+").unwrap(),
+            Regex::parse("(b.c)*").unwrap(),
+        ];
+        let mut e = Engine::with_config(
+            &g,
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let results = e.evaluate_set_parallel(&queries).unwrap();
+        assert_eq!(results.len(), 3);
+        // One shared body (b·c) computed once by prepare; the workers only
+        // ever hit the warmed cache.
+        assert_eq!(e.cache().rtc_count(), 1);
+        assert!(e.cache().hits() >= 3, "hits {}", e.cache().hits());
+    }
+
+    #[test]
+    fn parallel_batch_respects_configured_clause_limit() {
+        // Regression: prepare() used to hard-code DEFAULT_CLAUSE_LIMIT, so
+        // an engine configured with a *larger* budget failed in parallel
+        // mode on queries the sequential path accepted.
+        let g = paper_graph();
+        let big = ["(a|b)"; 13].join("."); // 2^13 = 8192 clauses > 4096
+        let queries = [Regex::parse(&big).unwrap(), Regex::parse("(b.c)+").unwrap()];
+        let config = EngineConfig {
+            dnf_clause_limit: 10_000,
+            threads: 2,
+            ..EngineConfig::default()
+        };
+        let par = Engine::with_config(&g, config)
+            .evaluate_set(&queries)
+            .unwrap();
+        let seq = Engine::with_config(
+            &g,
+            EngineConfig {
+                threads: 1,
+                ..config
+            },
+        )
+        .evaluate_set(&queries)
+        .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_batch_surfaces_dnf_errors() {
+        let g = paper_graph();
+        let mut e = Engine::with_config(
+            &g,
+            EngineConfig {
+                dnf_clause_limit: 2,
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let queries = [
+            Regex::parse("(b.c)+").unwrap(),
+            Regex::parse("(a|b).(a|b)").unwrap(), // 4 clauses > 2
+        ];
+        assert!(matches!(e.evaluate_set(&queries), Err(EngineError::Dnf(_))));
     }
 
     #[test]

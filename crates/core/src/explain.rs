@@ -89,10 +89,15 @@ pub fn explain_with_limit(query: &Regex, limit: usize) -> Result<QueryPlan, Engi
 
 /// Explains a query set and reports which closure bodies are shared.
 pub fn explain_set(queries: &[Regex]) -> Result<SetPlan, EngineError> {
+    explain_set_with_limit(queries, DEFAULT_CLAUSE_LIMIT)
+}
+
+/// Explains a query set with an explicit clause budget.
+pub fn explain_set_with_limit(queries: &[Regex], limit: usize) -> Result<SetPlan, EngineError> {
     let mut plans = Vec::with_capacity(queries.len());
     let mut counts: FxHashMap<String, usize> = FxHashMap::default();
     for q in queries {
-        let plan = explain(q)?;
+        let plan = explain_with_limit(q, limit)?;
         count_bodies(&plan, &mut counts);
         plans.push(plan);
     }

@@ -34,5 +34,8 @@ pub use breakdown::{Breakdown, EliminationStats};
 pub use cache::SharedCache;
 pub use engine::{Engine, EngineConfig, PrepareReport, Strategy};
 pub use error::EngineError;
-pub use explain::{explain, explain_set, ClausePlan, QueryPlan, SetPlan};
+pub use explain::{
+    explain, explain_set, explain_set_with_limit, explain_with_limit, ClausePlan, QueryPlan,
+    SetPlan,
+};
 pub use pre_relation::PreRelation;

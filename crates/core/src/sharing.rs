@@ -25,7 +25,7 @@ use rpq_eval::label_seq::eval_label_names;
 use rpq_graph::{LabeledMultigraph, PairSet};
 use rpq_reduction::{FullTc, Rtc};
 use rpq_regex::{decompose, to_dnf_with_limit, Regex};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which shared structure the recursion maintains.
@@ -42,6 +42,9 @@ pub(crate) struct EvalCtx<'g, 'c> {
     pub kind: SharingKind,
     pub clause_limit: usize,
     pub fast_paths: bool,
+    /// Worker threads for parallel shared-structure construction and
+    /// expansion (1 = sequential, 0 = all cores).
+    pub threads: usize,
     pub breakdown: &'c mut Breakdown,
     pub stats: &'c mut EliminationStats,
 }
@@ -71,9 +74,9 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                             None => {
                                 let r_g = eval_query(ctx, &r)?;
                                 let t = Instant::now();
-                                let rtc = Rc::new(Rtc::from_pairs(&r_g));
+                                let rtc = Arc::new(Rtc::from_pairs(&r_g));
                                 ctx.breakdown.shared_data += t.elapsed();
-                                ctx.cache.insert_rtc(key, Rc::clone(&rtc));
+                                ctx.cache.insert_rtc(key, Arc::clone(&rtc));
                                 rtc
                             }
                         };
@@ -85,7 +88,7 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                             && unit.post.is_empty()
                         {
                             let t = Instant::now();
-                            let mut result = rtc.expand();
+                            let mut result = rtc.expand_parallel(ctx.threads);
                             if closure_kind == rpq_regex::ClosureKind::Star {
                                 result = result.union(&PairSet::identity(ctx.graph.vertex_count()));
                             }
@@ -111,9 +114,9 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                             None => {
                                 let r_g = eval_query(ctx, &r)?;
                                 let t = Instant::now();
-                                let full = Rc::new(FullTc::from_pairs(&r_g));
+                                let full = Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads));
                                 ctx.breakdown.shared_data += t.elapsed();
-                                ctx.cache.insert_full(key, Rc::clone(&full));
+                                ctx.cache.insert_full(key, Arc::clone(&full));
                                 full
                             }
                         };
@@ -154,6 +157,7 @@ mod tests {
             kind,
             clause_limit: 1024,
             fast_paths: false,
+            threads: 1,
             breakdown: &mut breakdown,
             stats: &mut stats,
         };

@@ -33,6 +33,7 @@ pub mod label_dict;
 pub mod metrics;
 pub mod multigraph;
 pub mod pairset;
+pub mod par;
 pub mod scc;
 pub mod stats;
 

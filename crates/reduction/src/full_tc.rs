@@ -23,9 +23,20 @@ impl FullTc {
         Self::from_reduced(MappedDigraph::from_pairset(r_g))
     }
 
+    /// [`FullTc::from_pairs`] with the per-vertex BFS sweep sharded over
+    /// `threads` scoped workers (see [`crate::tc::tc_naive_parallel`]).
+    pub fn from_pairs_parallel(r_g: &PairSet, threads: usize) -> FullTc {
+        Self::from_reduced_parallel(MappedDigraph::from_pairset(r_g), threads)
+    }
+
     /// Builds `R⁺_G` from an already-built `G_R`.
     pub fn from_reduced(gr: MappedDigraph) -> FullTc {
-        let rows = crate::tc::tc_naive(&gr.graph);
+        Self::from_reduced_parallel(gr, 1)
+    }
+
+    /// [`FullTc::from_reduced`] with a parallel closure sweep.
+    pub fn from_reduced_parallel(gr: MappedDigraph, threads: usize) -> FullTc {
+        let rows = crate::tc::tc_naive_parallel(&gr.graph, threads);
         let pair_count = rows.len();
         FullTc {
             mapping: gr.mapping,

@@ -6,9 +6,10 @@
 //! * [`edge_level`] — `G → G_R`: map every pair of `R_G` to one unlabeled
 //!   edge (Section III-A). By **Lemma 1**, `R⁺_G = TC(G_R)`.
 //! * [`tc`] — transitive-closure algorithms on unlabeled digraphs: the
-//!   naive per-vertex BFS (`O(|V_R|·|E_R|)`, what FullSharing must pay),
-//!   the Purdom-style condensation closure, and a Nuutila-style one-pass
-//!   variant (refs \[12\], \[13\]).
+//!   naive per-vertex BFS (`O(|V_R|·|E_R|)`, what FullSharing must pay,
+//!   with a scoped-thread parallel variant), the Purdom-style condensation
+//!   closure, and a Nuutila-inspired variant that skips materializing the
+//!   condensation (refs \[12\], \[13\]).
 //! * [`rtc`] — the [`Rtc`] structure: `TC(Ḡ_R)` plus SCC membership. By
 //!   **Lemma 3 / Theorem 1**,
 //!   `R⁺_G = ⋃ { s_k × s_l | (s̄_k, s̄_l) ∈ TC(Ḡ_R) }`, which
@@ -42,6 +43,7 @@ pub use edge_level::{reduce_edge_level, reduce_for};
 pub use full_tc::FullTc;
 pub use rtc::{Rtc, RtcStats};
 pub use tc::{
-    closure_of_condensation, closure_of_condensation_bitset, nuutila_closure, tc_condensation,
-    tc_naive,
+    closure_of_condensation, closure_of_condensation_bitset, expand_scc_closure,
+    expand_scc_closure_parallel, nuutila_closure, tc_condensation, tc_condensation_parallel,
+    tc_naive, tc_naive_parallel,
 };

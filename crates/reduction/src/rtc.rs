@@ -15,7 +15,7 @@
 
 use crate::tc::closure_of_condensation;
 use rpq_graph::{
-    tarjan_scc, Condensation, Csr, MappedDigraph, PairSet, Scc, SccId, VertexId, VertexMapping,
+    par, tarjan_scc, Condensation, Csr, MappedDigraph, PairSet, Scc, SccId, VertexId, VertexMapping,
 };
 
 /// Size/shape statistics of an RTC, reported by the experiment harness
@@ -128,9 +128,39 @@ impl Rtc {
     /// Materializes `R⁺_G` per Theorem 1:
     /// `{(v_i, v_j) | (s̄_k, s̄_l) ∈ TC(Ḡ_R) ∧ (v_i, v_j) ∈ s_k × s_l}`.
     pub fn expand(&self) -> PairSet {
+        // Rows are built per-SCC; pairs are unique by construction (SCC
+        // member sets are disjoint — the useless-2 argument), but sources
+        // interleave across SCCs, so a sort is still needed.
+        PairSet::from_pairs(self.expand_pairs_range(0..self.scc.count()))
+    }
+
+    /// Parallel [`Rtc::expand`]: the per-SCC Cartesian products are
+    /// sharded over `threads` scoped workers (0 = all cores) and the
+    /// shard outputs merged through the same final sort. Output is
+    /// identical to [`Rtc::expand`] (property-tested).
+    pub fn expand_parallel(&self, threads: usize) -> PairSet {
+        let k = self.scc.count();
+        let threads = par::effective_threads(threads);
+        if threads <= 1 || k == 0 {
+            return self.expand();
+        }
+        let chunk = par::balanced_chunk(k, threads, 4, 512);
+        let mut shards =
+            par::par_map_chunks(threads, k, chunk, |range| self.expand_pairs_range(range));
+        let mut pairs = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+        for shard in &mut shards {
+            pairs.append(shard);
+        }
+        PairSet::from_pairs(pairs)
+    }
+
+    /// Theorem 1's enumeration restricted to source SCCs in `sccs`, as raw
+    /// (unsorted across SCCs) pairs — the shard unit of both expansion
+    /// paths.
+    fn expand_pairs_range(&self, sccs: std::ops::Range<usize>) -> Vec<(VertexId, VertexId)> {
         let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
-        for s in 0..self.scc.count() as u32 {
-            let succ = self.closure.row(s as usize);
+        for s in sccs {
+            let succ = self.closure.row(s);
             if succ.is_empty() {
                 continue;
             }
@@ -140,15 +170,12 @@ impl Rtc {
                 targets.extend(self.members_original(SccId(t)));
             }
             targets.sort_unstable();
-            for &m in self.scc.members(SccId(s)) {
+            for &m in self.scc.members(SccId(s as u32)) {
                 let src = self.mapping.original(m);
                 pairs.extend(targets.iter().map(|&dst| (src, dst)));
             }
         }
-        // Rows are built per-SCC; pairs are unique by construction (SCC
-        // member sets are disjoint — the useless-2 argument), but sources
-        // interleave across SCCs, so a sort is still needed.
-        PairSet::from_pairs(pairs)
+        pairs
     }
 
     /// The number of pairs [`Rtc::expand`] would produce, computed without
@@ -227,6 +254,39 @@ mod tests {
     fn expanded_pair_count_matches_expand() {
         let rtc = bc_rtc();
         assert_eq!(rtc.expanded_pair_count(), rtc.expand().len());
+    }
+
+    #[test]
+    fn expand_parallel_matches_sequential() {
+        // The b·c fixture plus a larger two-cycle/bridge shape.
+        let fixtures: [Vec<(u32, u32)>; 3] = [
+            vec![(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)],
+            (0..40u32).map(|v| (v, (v + 1) % 40)).collect(),
+            vec![
+                (10, 20),
+                (20, 10),
+                (20, 30),
+                (30, 40),
+                (40, 50),
+                (50, 30),
+                (60, 60),
+            ],
+        ];
+        for (i, edges) in fixtures.iter().enumerate() {
+            let r_g: PairSet = edges.iter().copied().collect();
+            let rtc = Rtc::from_pairs(&r_g);
+            let seq = rtc.expand();
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    rtc.expand_parallel(threads),
+                    seq,
+                    "fixture {i}, threads {threads}"
+                );
+            }
+        }
+        // Empty RTC through the parallel path.
+        let empty = Rtc::from_pairs(&PairSet::new());
+        assert!(empty.expand_parallel(8).is_empty());
     }
 
     #[test]

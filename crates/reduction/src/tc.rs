@@ -10,12 +10,19 @@
 //!   reverse topological order, then (optionally) expand by SCC membership.
 //!   The un-expanded SCC closure is exactly the RTC (TABLE III, right
 //!   column).
-//! * [`nuutila_closure`] — Nuutila's refinement \[13\]: compute the SCC
-//!   closure *during* a single Tarjan pass instead of as a second phase.
+//! * [`nuutila_closure`] — a Nuutila-inspired \[13\] two-phase variant that
+//!   builds the SCC closure straight from member adjacency, never
+//!   materializing the condensation graph.
+//!
+//! The naive BFS and the vertex-level expansion are embarrassingly
+//! parallel; [`tc_naive_parallel`], [`expand_scc_closure_parallel`] and
+//! [`tc_condensation_parallel`] shard them over the scoped-thread pool of
+//! [`rpq_graph::par`] and are property-tested to be bitwise-identical to
+//! their sequential counterparts.
 //!
 //! All closure rows are sorted ascending, so downstream joins can merge.
 
-use rpq_graph::{tarjan_scc, BitMatrix, Condensation, Csr, Digraph, EpochVisited, Scc, SccId};
+use rpq_graph::{par, tarjan_scc, BitMatrix, Condensation, Csr, Digraph, EpochVisited, Scc, SccId};
 
 /// Naive transitive closure: one BFS per vertex. Row `v` holds the sorted
 /// vertices reachable from `v` via ≥ 1 edge.
@@ -27,6 +34,51 @@ pub fn tc_naive(g: &Digraph) -> Csr<u32> {
     for v in 0..n as u32 {
         let row = rpq_graph::bfs::reachable_ge1(g, v, &mut visited, &mut queue);
         out.push_row(row);
+    }
+    out
+}
+
+/// Parallel [`tc_naive`]: the per-vertex BFS sweep is sharded into chunks
+/// of source vertices pulled by up to `threads` scoped workers (0 = all
+/// cores), each worker reusing its own `EpochVisited`/queue scratch across
+/// chunks, and the per-chunk row blocks are stitched back into one CSR in
+/// vertex order. Output is identical to [`tc_naive`] (property-tested).
+pub fn tc_naive_parallel(g: &Digraph, threads: usize) -> Csr<u32> {
+    let n = g.vertex_count();
+    let threads = par::effective_threads(threads);
+    if threads <= 1 || n == 0 {
+        return tc_naive(g);
+    }
+    let chunk = par::balanced_chunk(n, threads, 4, 1024);
+    // Each chunk yields one flattened (row data, row lengths) block rather
+    // than one heap Vec per source row, so buffering the whole closure
+    // before the stitch costs two flat vectors per chunk instead of |V|
+    // row allocations held live at once.
+    let shards: Vec<(Vec<u32>, Vec<u32>)> = par::par_map_chunks_with(
+        threads,
+        n,
+        chunk,
+        || (EpochVisited::new(n), Vec::new()),
+        |(visited, queue), range| {
+            let mut data: Vec<u32> = Vec::new();
+            let mut lens: Vec<u32> = Vec::with_capacity(range.len());
+            for v in range {
+                let row = rpq_graph::bfs::reachable_ge1(g, v as u32, visited, queue);
+                lens.push(row.len() as u32);
+                data.extend_from_slice(&row);
+            }
+            (data, lens)
+        },
+    );
+    // Stitch in chunk order, dropping each block as it is consumed.
+    let mut out = Csr::new();
+    for (data, lens) in shards {
+        let mut at = 0usize;
+        for len in lens {
+            let end = at + len as usize;
+            out.push_row(data[at..end].iter().copied());
+            at = end;
+        }
     }
     out
 }
@@ -74,16 +126,32 @@ pub fn tc_condensation(g: &Digraph) -> Csr<u32> {
     expand_scc_closure(&scc, &closure, g.vertex_count())
 }
 
-/// Nuutila-style one-pass closure: SCC detection and successor-set
-/// construction interleaved in a single iterative Tarjan traversal.
+/// [`tc_condensation`] with the vertex-level expansion sharded over
+/// `threads` scoped workers (the SCC detection and condensation closure
+/// stay sequential — they are cheap and inherently ordered).
+pub fn tc_condensation_parallel(g: &Digraph, threads: usize) -> Csr<u32> {
+    let scc = tarjan_scc(g);
+    let cond = Condensation::new(g, &scc);
+    let closure = closure_of_condensation(&cond);
+    expand_scc_closure_parallel(&scc, &closure, g.vertex_count(), threads)
+}
+
+/// Nuutila-inspired closure \[13\]: a two-phase computation that runs
+/// [`rpq_graph::tarjan_scc`] first and then builds each SCC's successor
+/// set directly from its members' out-edges in one ascending
+/// (reverse-topological) sweep — Nuutila's key saving of never
+/// materializing the condensation graph, but **not** the fully
+/// interleaved single-traversal formulation of the original paper: SCC
+/// detection and closure construction are separate passes here.
 ///
-/// Returns the SCC decomposition and the per-SCC closure rows (sorted),
-/// identical to running [`rpq_graph::tarjan_scc`] +
-/// [`closure_of_condensation`] separately.
+/// Returns the SCC decomposition (identical to [`rpq_graph::tarjan_scc`],
+/// including component numbering) and the per-SCC closure rows (sorted),
+/// identical to [`closure_of_condensation`] over the condensation.
 pub fn nuutila_closure(g: &Digraph) -> (Scc, Csr<u32>) {
-    // The reverse-topological property of Tarjan pops means every SCC we
-    // pop has all its successor SCCs already popped *and closed*; we build
-    // the closure row at pop time from the members' out-edges.
+    // Tarjan SCC ids are reverse-topological, so an ascending sweep sees
+    // every successor SCC's closure row before it is needed; the row for
+    // `s` is merged from its members' out-edges without ever building a
+    // `Condensation`.
     let scc = tarjan_scc(g);
     let k = scc.count();
     let mut rows: Vec<Vec<u32>> = Vec::with_capacity(k);
@@ -142,21 +210,64 @@ pub fn closure_of_condensation_bitset(cond: &Condensation) -> BitMatrix {
 /// Expands a per-SCC closure to per-vertex rows (the Cartesian products of
 /// Lemma 3, laid out row-wise).
 pub fn expand_scc_closure(scc: &Scc, closure: &Csr<u32>, n: usize) -> Csr<u32> {
-    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for s in 0..scc.count() as u32 {
-        let succ = closure.row(s as usize);
+    scatter_member_rows(expand_scc_rows_range(scc, closure, 0..scc.count()), n)
+}
+
+/// Parallel [`expand_scc_closure`]: the per-SCC Cartesian products are
+/// sharded over `threads` scoped workers; each worker emits
+/// `(member, reachable-row)` pairs for its SCC chunk and the rows are
+/// scattered back into vertex order. Output is identical to
+/// [`expand_scc_closure`] (property-tested).
+pub fn expand_scc_closure_parallel(
+    scc: &Scc,
+    closure: &Csr<u32>,
+    n: usize,
+    threads: usize,
+) -> Csr<u32> {
+    let k = scc.count();
+    let threads = par::effective_threads(threads);
+    if threads <= 1 || k == 0 {
+        return expand_scc_closure(scc, closure, n);
+    }
+    let chunk = par::balanced_chunk(k, threads, 4, 512);
+    let shards = par::par_map_chunks(threads, k, chunk, |range| {
+        expand_scc_rows_range(scc, closure, range)
+    });
+    scatter_member_rows(shards.into_iter().flatten().collect(), n)
+}
+
+/// Lemma 3's expansion restricted to source SCCs in `sccs`, as
+/// `(member, reachable-row)` pairs — the shard unit of both expansion
+/// paths. The reachable vertex set is collected once per SCC and cloned
+/// per member.
+fn expand_scc_rows_range(
+    scc: &Scc,
+    closure: &Csr<u32>,
+    sccs: std::ops::Range<usize>,
+) -> Vec<(u32, Vec<u32>)> {
+    let mut out: Vec<(u32, Vec<u32>)> = Vec::new();
+    for s in sccs {
+        let succ = closure.row(s);
         if succ.is_empty() {
             continue;
         }
-        // Collect the reachable vertex set once per SCC, share across members.
         let mut reach: Vec<u32> = Vec::new();
         for &t in succ {
             reach.extend_from_slice(scc.members(SccId(t)));
         }
         reach.sort_unstable();
-        for &member in scc.members(SccId(s)) {
-            rows[member as usize] = reach.clone();
+        for &member in scc.members(SccId(s as u32)) {
+            out.push((member, reach.clone()));
         }
+    }
+    out
+}
+
+/// Scatters `(member, row)` pairs into an `n`-row CSR in vertex order.
+fn scatter_member_rows(pairs: Vec<(u32, Vec<u32>)>, n: usize) -> Csr<u32> {
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (member, reach) in pairs {
+        rows[member as usize] = reach;
     }
     Csr::from_rows(rows)
 }
@@ -259,6 +370,87 @@ mod tests {
             let closure_b = closure_of_condensation(&cond);
             assert_eq!(scc_a.count(), scc_b.count(), "graph {i}");
             assert_eq!(rows_of(&closure_a), rows_of(&closure_b), "graph {i}");
+        }
+    }
+
+    /// Pins the documented contract of `nuutila_closure`: it is a
+    /// two-phase computation whose SCC decomposition is *exactly* the
+    /// plain Tarjan decomposition (same component ids per vertex, same
+    /// member tables), with the closure built in a separate sweep.
+    #[test]
+    fn nuutila_scc_is_plain_tarjan_decomposition() {
+        let g = Digraph::from_edges(
+            7,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+                (6, 0),
+            ],
+        );
+        let (scc_a, _) = nuutila_closure(&g);
+        let scc_b = tarjan_scc(&g);
+        for v in 0..7u32 {
+            assert_eq!(scc_a.component_of(v), scc_b.component_of(v), "vertex {v}");
+        }
+        for s in 0..scc_b.count() as u32 {
+            assert_eq!(scc_a.members(SccId(s)), scc_b.members(SccId(s)), "scc {s}");
+        }
+    }
+
+    #[test]
+    fn parallel_tc_naive_matches_sequential() {
+        let graphs = [
+            Digraph::from_edges(0, vec![]),
+            Digraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]),
+            Digraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]),
+            Digraph::from_edges(130, (0..129).map(|v| (v, v + 1)).collect()),
+            Digraph::from_edges(64, (0..64).map(|v| (v, (v + 1) % 64)).collect()),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let seq = tc_naive(g);
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    tc_naive_parallel(g, threads),
+                    seq,
+                    "graph {i}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_expansion_matches_sequential() {
+        let graphs = [
+            Digraph::from_edges(0, vec![]),
+            Digraph::from_edges(5, vec![(0, 2), (0, 4), (1, 3), (2, 0), (3, 1)]),
+            Digraph::from_edges(40, (0..39).map(|v| (v, v + 1)).collect()),
+            Digraph::from_edges(
+                6,
+                vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)],
+            ),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let scc = tarjan_scc(g);
+            let cond = Condensation::new(g, &scc);
+            let closure = closure_of_condensation(&cond);
+            let seq = expand_scc_closure(&scc, &closure, g.vertex_count());
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    expand_scc_closure_parallel(&scc, &closure, g.vertex_count(), threads),
+                    seq,
+                    "graph {i}, threads {threads}"
+                );
+                assert_eq!(
+                    tc_condensation_parallel(g, threads),
+                    tc_condensation(g),
+                    "graph {i}, threads {threads}"
+                );
+            }
         }
     }
 

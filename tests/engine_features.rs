@@ -146,9 +146,14 @@ fn cache_lifecycle() {
     e.evaluate(&q).unwrap();
     assert_eq!(e.cache().misses(), 1);
 
+    // reset_metrics clears the hit/miss counters (they are metric
+    // accumulators) but keeps cached structures: the re-evaluation is a
+    // pure hit, with no new miss.
     e.reset_metrics();
+    assert_eq!(e.cache().misses(), 0, "counters are metrics — reset");
     e.evaluate(&q).unwrap();
-    assert_eq!(e.cache().misses(), 1, "metrics reset must keep the cache");
+    assert_eq!(e.cache().misses(), 0, "metrics reset must keep the cache");
+    assert!(e.cache().hits() >= 1);
 
     e.clear_cache();
     e.evaluate(&q).unwrap();
