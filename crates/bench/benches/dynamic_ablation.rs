@@ -1,0 +1,287 @@
+//! Incremental RTC maintenance vs rebuild-from-scratch under churn.
+//!
+//! Two levels. **Structure level** isolates one stale-entry refresh —
+//! absorb a pair-delta into a [`DynamicRtc`] (apply + snapshot back to an
+//! `Rtc`) vs `Rtc::from_pairs` on the post-delta relation — across three
+//! small-delta profiles (~0.1% of `|R_G|` per delta):
+//!
+//! * `churn` — delete real pairs, then reinsert the same pairs (the
+//!   delete-then-reinsert pattern; deletions are mostly redundant in a
+//!   well-connected relation, so damage dies out immediately);
+//! * `growth` — insert fresh uniform-random pairs (append-mostly
+//!   workloads; merges happen occasionally);
+//! * `mixed` — delete real pairs and insert random ones, then invert
+//!   (adversarial: every other refresh splits/merges a giant SCC, the
+//!   worst case for incremental maintenance — expected to be close to, or
+//!   worse than, rebuild).
+//!
+//! **Engine level** replays an update/query stream against a dynamic
+//! engine (stale entries refresh in place; bodies whose `R_G` is
+//! untouched re-stamp after an equality check) vs a cold-cache engine per
+//! round. The update stream only touches one label, while the query
+//! workload spans three closure bodies — the multi-query serving scenario
+//! the epoch-aware cache is built for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::{Engine, EngineConfig, Strategy};
+use rpq_datasets::rmat::rmat_n_scaled;
+use rpq_datasets::structured::{cycle_clusters, CycleClusterConfig};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{GraphDelta, PairSet, VersionedGraph, VertexId};
+use rpq_reduction::{DynamicRtc, MaintenanceConfig, Rtc};
+use rpq_regex::Regex;
+use std::time::Duration;
+
+/// Tiny deterministic LCG (the bench needs cheap uniform pairs, not rand).
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+}
+
+fn structure_cases() -> Vec<(String, PairSet)> {
+    let mut cases = Vec::new();
+    // Dense join relation on an R-MAT graph (one giant SCC + fringe).
+    let graph = rmat_n_scaled(3, 10, 7);
+    let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0.l1").unwrap()).evaluate();
+    cases.push((format!("rmat_join(|R_G|={})", r_g.len()), r_g));
+    // Cluster-structured relation (many mid-size SCCs).
+    let graph = cycle_clusters(&CycleClusterConfig {
+        clusters: 150,
+        cluster_size: 8,
+        inter_edges: 120,
+        labels: 2,
+        seed: 11,
+    });
+    let r_g = ProductEvaluator::new(&graph, &Regex::parse("l0|l1").unwrap()).evaluate();
+    cases.push((format!("clusters(|R_G|={})", r_g.len()), r_g));
+    cases
+}
+
+fn bench_structure_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_rtc_structure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let config = MaintenanceConfig::default();
+    for (label, r_g) in structure_cases() {
+        let k = (r_g.len() / 1000).max(2); // ~0.1% of the relation
+        let pairs: Vec<(VertexId, VertexId)> = r_g.iter().collect();
+        let stride = (pairs.len() / k).max(1);
+        let real: Vec<(VertexId, VertexId)> =
+            pairs.iter().step_by(stride).take(k).copied().collect();
+        let max_v = pairs
+            .iter()
+            .map(|&(a, b)| a.raw().max(b.raw()))
+            .max()
+            .unwrap_or(1);
+
+        // churn: delete real pairs / reinsert them, alternating. Each
+        // iteration performs TWO refreshes; the rebuild arm mirrors that
+        // with two from-scratch builds of the matching relations.
+        let mut dynamic = DynamicRtc::from_pairs(&r_g);
+        group.bench_function(BenchmarkId::new("churn_incremental", &label), |b| {
+            b.iter(|| {
+                dynamic.apply(&[], &real, &config);
+                let fwd = dynamic.snapshot();
+                dynamic.apply(&real, &[], &config);
+                (
+                    fwd.closure_pair_count(),
+                    dynamic.snapshot().closure_pair_count(),
+                )
+            })
+        });
+        let shrunk = {
+            let mut d = DynamicRtc::from_pairs(&r_g);
+            d.apply(&[], &real, &config);
+            d.pairs()
+        };
+        group.bench_function(BenchmarkId::new("churn_rebuild", &label), |b| {
+            b.iter(|| {
+                (
+                    Rtc::from_pairs(&shrunk).closure_pair_count(),
+                    Rtc::from_pairs(&r_g).closure_pair_count(),
+                )
+            })
+        });
+
+        // growth: insert a batch of fresh uniform pairs, then revert it
+        // (two refreshes per iteration, state resets — no drift). The
+        // rebuild arm builds the grown and base relations once each.
+        let mut lcg = Lcg(0x9E3779B97F4A7C15);
+        let fresh: Vec<(VertexId, VertexId)> = (0..k)
+            .map(|_| {
+                (
+                    VertexId(lcg.next() % (max_v + 1)),
+                    VertexId(lcg.next() % (max_v + 1)),
+                )
+            })
+            .collect();
+        let mut dynamic = DynamicRtc::from_pairs(&r_g);
+        group.bench_function(BenchmarkId::new("growth_incremental", &label), |b| {
+            b.iter(|| {
+                dynamic.apply(&fresh, &[], &config);
+                let fwd = dynamic.snapshot();
+                dynamic.apply(&[], &fresh, &config);
+                (
+                    fwd.closure_pair_count(),
+                    dynamic.snapshot().closure_pair_count(),
+                )
+            })
+        });
+        let grown = {
+            let mut d = DynamicRtc::from_pairs(&r_g);
+            d.apply(&fresh, &[], &config);
+            d.pairs()
+        };
+        group.bench_function(BenchmarkId::new("growth_rebuild", &label), |b| {
+            b.iter(|| {
+                (
+                    Rtc::from_pairs(&grown).closure_pair_count(),
+                    Rtc::from_pairs(&r_g).closure_pair_count(),
+                )
+            })
+        });
+
+        // mixed (adversarial): delete real pairs + insert random ones,
+        // then invert — every other refresh splits a big SCC.
+        let mut lcg = Lcg(42);
+        let random: Vec<(VertexId, VertexId)> = (0..k)
+            .map(|_| {
+                (
+                    VertexId(lcg.next() % (max_v + 1)),
+                    VertexId(lcg.next() % (max_v + 1)),
+                )
+            })
+            .collect();
+        let mut dynamic = DynamicRtc::from_pairs(&r_g);
+        group.bench_function(BenchmarkId::new("mixed_incremental", &label), |b| {
+            b.iter(|| {
+                dynamic.apply(&random, &real, &config);
+                let fwd = dynamic.snapshot();
+                dynamic.apply(&real, &random, &config);
+                (
+                    fwd.closure_pair_count(),
+                    dynamic.snapshot().closure_pair_count(),
+                )
+            })
+        });
+        let crossed = {
+            let mut d = DynamicRtc::from_pairs(&r_g);
+            d.apply(&random, &real, &config);
+            d.pairs()
+        };
+        group.bench_function(BenchmarkId::new("mixed_rebuild", &label), |b| {
+            b.iter(|| {
+                (
+                    Rtc::from_pairs(&crossed).closure_pair_count(),
+                    Rtc::from_pairs(&r_g).closure_pair_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_engine_churn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let graph = rmat_n_scaled(3, 10, 45);
+    // Three closure bodies over distinct label pairs; the delta stream
+    // below only touches label l0, so one body refreshes incrementally
+    // and two re-stamp after an equality check.
+    let queries: Vec<Regex> = [
+        "l2.(l0.l1)+.l3",
+        "l0.(l2.l3)+.l1",
+        "l3.(l1.l2)+.l0",
+        "(l0.l1)+",
+        "(l2.l3)+",
+    ]
+    .iter()
+    .map(|q| Regex::parse(q).unwrap())
+    .collect();
+    // 4 rounds of ~0.5% |E| updates, all on label l0: delete existing l0
+    // edges (stride-sampled) and insert random ones.
+    let l0_edges: Vec<(u32, u32)> = {
+        let l0 = graph.labels().get("l0").unwrap();
+        graph
+            .edges_with_label(l0)
+            .iter()
+            .map(|&(s, d)| (s.raw(), d.raw()))
+            .collect()
+    };
+    let per_round = (graph.edge_count() / 200).max(4);
+    let n = graph.vertex_count() as u32;
+    let mut lcg = Lcg(7);
+    let deltas: Vec<GraphDelta> = (0..4)
+        .map(|round| {
+            let mut delta = GraphDelta::new();
+            for i in 0..per_round / 2 {
+                let (s, d) = l0_edges[(round * 131 + i * 17) % l0_edges.len()];
+                delta.delete(s, "l0", d);
+            }
+            for _ in 0..per_round / 2 {
+                delta.insert(lcg.next() % n, "l0", lcg.next() % n);
+            }
+            delta
+        })
+        .collect();
+    let label = format!("rmat3@2^10({} bodies, {} upd/round)", 3, per_round);
+
+    group.bench_function(BenchmarkId::new("incremental_engine", &label), |b| {
+        b.iter(|| {
+            let mut engine = Engine::with_config_versioned(
+                VersionedGraph::new(graph.clone()),
+                EngineConfig::default(),
+            );
+            engine.evaluate_set(&queries).unwrap();
+            let mut total = 0usize;
+            for delta in &deltas {
+                engine.apply_delta(delta);
+                total += engine
+                    .evaluate_set(&queries)
+                    .unwrap()
+                    .iter()
+                    .map(PairSet::len)
+                    .sum::<usize>();
+            }
+            total
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("rebuild_engine", &label), |b| {
+        b.iter(|| {
+            let mut vg = VersionedGraph::new(graph.clone());
+            let mut warm = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
+            warm.evaluate_set(&queries).unwrap();
+            drop(warm);
+            let mut total = 0usize;
+            for delta in &deltas {
+                vg.apply(delta);
+                // Cold cache: the graph changed, rebuild everything.
+                let mut engine = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
+                total += engine
+                    .evaluate_set(&queries)
+                    .unwrap()
+                    .iter()
+                    .map(PairSet::len)
+                    .sum::<usize>();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structure_maintenance, bench_engine_churn);
+criterion_main!(benches);

@@ -13,8 +13,9 @@
 //! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `ablation`, `all`.
 //! Duplicate commands are deduplicated and `all` subsumes everything, so
 //! no experiment ever runs twice. Flags: `--profile fast|default|paper`
-//! (scale), `--csv DIR` (also write CSV files), `--threads N` (engine
-//! worker threads; 1 = sequential, 0 = all cores).
+//! (scale), `--csv DIR` (also write CSV files), `--json DIR` (also write
+//! JSON files — what the nightly bench job uploads as artifacts),
+//! `--threads N` (engine worker threads; 1 = sequential, 0 = all cores).
 
 use rpq_bench::ablation::{batch_unit_table, scc_sensitivity_table, tc_algorithms_table};
 use rpq_bench::datasets::{real_surrogates, synthetic_sweep};
@@ -38,6 +39,7 @@ const COMMANDS: [&str; 11] = [
 struct Options {
     profile: Profile,
     csv_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
     threads: usize,
     commands: Vec<String>,
 }
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
 fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut profile = Profile::Default;
     let mut csv_dir = None;
+    let mut json_dir = None;
     let mut threads = 1usize;
     let mut commands = Vec::new();
     while let Some(arg) = args.next() {
@@ -60,6 +63,10 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Options, St
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json needs a directory")?;
+                json_dir = Some(PathBuf::from(v));
             }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
@@ -83,6 +90,7 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Options, St
     Ok(Options {
         profile,
         csv_dir,
+        json_dir,
         threads,
         commands: normalize_commands(commands),
     })
@@ -107,17 +115,23 @@ fn normalize_commands(commands: Vec<String>) -> Vec<String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--profile fast|default|paper] [--csv DIR] [--threads N] [{}]...",
+        "usage: experiments [--profile fast|default|paper] [--csv DIR] [--json DIR] [--threads N] [{}]...",
         COMMANDS.join("|")
     );
 }
 
-fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
+fn emit(table: &Table, opts: &Options) {
     println!("{}", table.render());
-    if let Some(dir) = csv_dir {
+    if let Some(dir) = &opts.csv_dir {
         match table.write_csv(dir) {
             Ok(path) => eprintln!("  [csv] {}", path.display()),
             Err(e) => eprintln!("  [csv] write failed: {e}"),
+        }
+    }
+    if let Some(dir) = &opts.json_dir {
+        match table.write_json(dir) {
+            Ok(path) => eprintln!("  [json] {}", path.display()),
+            Err(e) => eprintln!("  [json] write failed: {e}"),
         }
     }
 }
@@ -153,7 +167,7 @@ fn main() -> ExitCode {
     );
 
     if wants(&["table4"]) {
-        emit(&table4(opts.profile), &opts.csv_dir);
+        emit(&table4(opts.profile), &opts);
     }
 
     let exp1_needed = wants(&["fig10", "fig11", "fig12", "fig13", "exp1"]);
@@ -180,60 +194,60 @@ fn main() -> ExitCode {
         if wants(&["fig10", "exp1"]) {
             emit(
                 &fig10_table("Fig 10(a): response time, synthetic", &synth_rows),
-                &opts.csv_dir,
+                &opts,
             );
             emit(
                 &fig10_table("Fig 10(b): response time, real surrogates", &real_rows),
-                &opts.csv_dir,
+                &opts,
             );
         }
         if wants(&["fig11", "exp1"]) {
             emit(
                 &fig11_table("Fig 11(a): 3-part breakdown, synthetic", &synth_rows),
-                &opts.csv_dir,
+                &opts,
             );
             emit(
                 &fig11_table("Fig 11(b): 3-part breakdown, real surrogates", &real_rows),
-                &opts.csv_dir,
+                &opts,
             );
         }
         if wants(&["fig12", "exp1"]) {
             emit(
                 &fig12_table("Fig 12(a): shared data size, synthetic", &synth_rows),
-                &opts.csv_dir,
+                &opts,
             );
             emit(
                 &fig12_table("Fig 12(b): shared data size, real surrogates", &real_rows),
-                &opts.csv_dir,
+                &opts,
             );
         }
         if wants(&["fig13", "exp1"]) {
             emit(
                 &fig13_table("Fig 13(a): number of vertices, synthetic", &synth_rows),
-                &opts.csv_dir,
+                &opts,
             );
             emit(
                 &fig13_table("Fig 13(b): number of vertices, real surrogates", &real_rows),
-                &opts.csv_dir,
+                &opts,
             );
         }
     }
 
     if wants(&["ablation"]) {
         eprintln!("# ablations: TC algorithms, batch-unit join, SCC sensitivity");
-        emit(&tc_algorithms_table(opts.profile), &opts.csv_dir);
-        emit(&batch_unit_table(opts.profile), &opts.csv_dir);
-        emit(&scc_sensitivity_table(), &opts.csv_dir);
+        emit(&tc_algorithms_table(opts.profile), &opts);
+        emit(&batch_unit_table(opts.profile), &opts);
+        emit(&scc_sensitivity_table(), &opts);
     }
 
     if wants(&["fig14", "fig15", "exp2"]) {
         eprintln!("# experiment 2: #RPQs sweep on RMAT_3 and Advogato");
         let rows = run_experiment2(opts.profile, opts.threads);
         if wants(&["fig14", "exp2"]) {
-            emit(&fig14_table(&rows), &opts.csv_dir);
+            emit(&fig14_table(&rows), &opts);
         }
         if wants(&["fig15", "exp2"]) {
-            emit(&fig15_table(&rows), &opts.csv_dir);
+            emit(&fig15_table(&rows), &opts);
         }
     }
 
@@ -300,6 +314,20 @@ mod tests {
         assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("out")));
         assert_eq!(o.commands, vec!["fig14"]);
         assert!(parse(&["--profile", "nope"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let o = parse(&["--json", "artifacts", "table4"]).unwrap();
+        assert_eq!(
+            o.json_dir.as_deref(),
+            Some(std::path::Path::new("artifacts"))
+        );
+        assert!(o.csv_dir.is_none());
+        assert!(parse(&["--json"]).is_err());
+        // CSV and JSON can be requested together.
+        let o = parse(&["--csv", "a", "--json", "b"]).unwrap();
+        assert!(o.csv_dir.is_some() && o.json_dir.is_some());
     }
 
     #[test]

@@ -98,8 +98,73 @@ impl Table {
     /// Writes the CSV form to `dir/<slug>.csv` (slug derived from title).
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let slug: String = self
-            .title
+        let path = dir.join(format!("{}.csv", self.slug()));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Renders JSON: `{"title", "header", "rows": [{col: cell, ...}]}` —
+    /// hand-rolled (no serde in the offline container), with full string
+    /// escaping; all cells are emitted as JSON strings.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let mut out = String::new();
+        let _ = write!(out, "{{\"title\":\"{}\",\"header\":[", esc(&self.title));
+        let _ = write!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| format!("\"{}\"", esc(h)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = write!(out, "],\"rows\":[");
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = self
+                    .header
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("\"{}\":\"{}\"", esc(h), esc(c)))
+                    .collect();
+                format!("{{{}}}", cells.join(","))
+            })
+            .collect();
+        let _ = write!(out, "{}", rows.join(","));
+        let _ = writeln!(out, "]}}");
+        out
+    }
+
+    /// Writes the JSON form to `dir/<slug>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.slug()));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// File-name slug derived from the title.
+    fn slug(&self) -> String {
+        self.title
             .chars()
             .map(|c| {
                 if c.is_ascii_alphanumeric() {
@@ -108,10 +173,7 @@ impl Table {
                     '_'
                 }
             })
-            .collect();
-        let path = dir.join(format!("{slug}.csv"));
-        std::fs::write(&path, self.to_csv())?;
-        Ok(path)
+            .collect()
     }
 }
 
@@ -172,6 +234,29 @@ mod tests {
         let path = t.write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("c\n"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut t = Table::new("Fig \"10\"", &["a,b", "c"]);
+        t.row(vec!["x\"y".into(), "line\nbreak".into()]);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"title\":\"Fig \\\"10\\\"\""));
+        assert!(json.contains("\"a,b\":\"x\\\"y\""));
+        assert!(json.contains("\"c\":\"line\\nbreak\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let mut t = Table::new("Fig 10(a) demo", &["c"]);
+        t.row(vec!["v".into()]);
+        let dir = std::env::temp_dir().join("rpq_table_test_json");
+        let path = t.write_json(&dir).unwrap();
+        assert!(path.to_string_lossy().ends_with("fig_10_a__demo.json"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"rows\":[{\"c\":\"v\"}]"));
         std::fs::remove_file(path).ok();
     }
 

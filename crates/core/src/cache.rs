@@ -1,14 +1,83 @@
-//! The shared-structure cache.
+//! The shared-structure cache, epoch-aware for dynamic graphs.
 //!
 //! Algorithm 1 lines 9–11: "If the RTC for R exists, we reuse \[it\].
 //! Otherwise, we compute and store \[it\] to share." The cache key is the
 //! *closure body* `R` (canonicalized), not the closure itself — `R+` and
 //! `R*` share one entry, which is how Example 7's `(a·b)*` reuses the RTC
 //! computed for `a·(a·b)+·b`.
+//!
+//! For dynamic graphs every entry additionally records the **epoch** it
+//! was built at and the base relation `R_G` it was built from. The cache
+//! itself tracks the graph's current epoch (advanced by
+//! `Engine::apply_delta`); a lookup whose entry is older than the current
+//! epoch returns [`RtcLookup::Stale`] — handing the caller everything
+//! needed to refresh *incrementally* (diff the base relations, feed the
+//! delta to [`DynamicRtc`]) instead of silently serving a closure of a
+//! graph that no longer exists.
 
-use rpq_reduction::{FullTc, Rtc};
+use rpq_graph::PairSet;
+use rpq_reduction::{DynamicRtc, FullTc, Rtc};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+
+/// A cached RTC with its provenance.
+#[derive(Clone)]
+struct RtcEntry {
+    rtc: Arc<Rtc>,
+    /// The `R_G` the structure was built from (diff base for refreshes);
+    /// `None` when the entry was stored without one (legacy path) — such
+    /// an entry can only be refreshed by rebuild.
+    r_g: Option<Arc<PairSet>>,
+    /// The maintainable form, once a refresh has materialized it.
+    dynamic: Option<Arc<DynamicRtc>>,
+    epoch: u64,
+}
+
+/// A cached full closure with its provenance.
+#[derive(Clone)]
+struct FullEntry {
+    full: Arc<FullTc>,
+    r_g: Option<Arc<PairSet>>,
+    epoch: u64,
+}
+
+/// Result of an epoch-aware RTC lookup.
+pub enum RtcLookup {
+    /// A structure built at the current epoch.
+    Fresh(Arc<Rtc>),
+    /// A structure from an older epoch, with the state needed to refresh.
+    Stale(StaleRtc),
+    /// No entry under this key.
+    Miss,
+}
+
+/// The refreshable state of a stale RTC entry.
+pub struct StaleRtc {
+    /// The stale structure (still correct for the epoch it was built at).
+    pub rtc: Arc<Rtc>,
+    /// The base relation it was built from, if recorded.
+    pub r_g: Option<Arc<PairSet>>,
+    /// The maintainable form, if an earlier refresh already built one.
+    pub dynamic: Option<Arc<DynamicRtc>>,
+}
+
+/// Result of an epoch-aware full-closure lookup.
+pub enum FullLookup {
+    /// A structure built at the current epoch.
+    Fresh(Arc<FullTc>),
+    /// A structure from an older epoch with its base relation.
+    Stale(StaleFull),
+    /// No entry under this key.
+    Miss,
+}
+
+/// The refreshable state of a stale full-closure entry.
+pub struct StaleFull {
+    /// The stale structure.
+    pub full: Arc<FullTc>,
+    /// The base relation it was built from, if recorded.
+    pub r_g: Option<Arc<PairSet>>,
+}
 
 /// Cache of shared structures keyed by the canonical form of `R`.
 ///
@@ -18,67 +87,208 @@ use std::sync::Arc;
 /// way down).
 #[derive(Clone, Default)]
 pub struct SharedCache {
-    rtcs: FxHashMap<String, Arc<Rtc>>,
-    fulls: FxHashMap<String, Arc<FullTc>>,
+    rtcs: FxHashMap<String, RtcEntry>,
+    fulls: FxHashMap<String, FullEntry>,
+    /// The graph epoch this cache serves; entries with an older epoch are
+    /// stale.
+    epoch: u64,
     hits: u64,
     misses: u64,
+    stale_hits: u64,
 }
 
 impl SharedCache {
-    /// An empty cache.
+    /// An empty cache at epoch 0.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up the RTC for `key`, counting hit/miss.
+    /// The graph epoch this cache currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Moves the cache to a newer graph epoch; existing entries become
+    /// stale and will be refreshed on their next lookup. Epochs are
+    /// monotone — moving backward panics (it would un-stale entries).
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        assert!(epoch >= self.epoch, "cache epoch must be monotone");
+        self.epoch = epoch;
+    }
+
+    /// Epoch-aware RTC lookup. Counts a hit for [`RtcLookup::Fresh`], a
+    /// stale hit for [`RtcLookup::Stale`] and a miss otherwise.
+    ///
+    /// A stale entry is **removed** from the cache and handed to the
+    /// caller by value: the caller is expected to refresh it and
+    /// re-insert at the current epoch, and the ownership transfer lets
+    /// the refresh mutate the maintainable structure in place
+    /// (`Arc::try_unwrap` succeeds) instead of deep-cloning it.
+    pub fn lookup_rtc(&mut self, key: &str) -> RtcLookup {
+        match self.rtcs.get(key) {
+            Some(entry) if entry.epoch == self.epoch => {
+                self.hits += 1;
+                return RtcLookup::Fresh(Arc::clone(&entry.rtc));
+            }
+            Some(_) => {}
+            None => {
+                self.misses += 1;
+                return RtcLookup::Miss;
+            }
+        }
+        self.stale_hits += 1;
+        let entry = self.rtcs.remove(key).expect("stale entry present");
+        RtcLookup::Stale(StaleRtc {
+            rtc: entry.rtc,
+            r_g: entry.r_g,
+            dynamic: entry.dynamic,
+        })
+    }
+
+    /// Looks up the RTC for `key`, counting hit/miss. Stale entries are
+    /// *not* returned (and count as misses) — use [`SharedCache::lookup_rtc`]
+    /// to refresh instead of recomputing.
     pub fn get_rtc(&mut self, key: &str) -> Option<Arc<Rtc>> {
         match self.rtcs.get(key) {
-            Some(rtc) => {
+            Some(entry) if entry.epoch == self.epoch => {
                 self.hits += 1;
-                Some(Arc::clone(rtc))
+                Some(Arc::clone(&entry.rtc))
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Stores an RTC under `key`.
+    /// Stores an RTC under `key` at the current epoch, with no recorded
+    /// base relation (a later staleness can only be resolved by rebuild).
+    /// Prefer [`SharedCache::insert_rtc_entry`] where `R_G` is at hand.
     pub fn insert_rtc(&mut self, key: String, rtc: Arc<Rtc>) {
-        self.rtcs.insert(key, rtc);
+        let epoch = self.epoch;
+        self.rtcs.insert(
+            key,
+            RtcEntry {
+                rtc,
+                r_g: None,
+                dynamic: None,
+                epoch,
+            },
+        );
+    }
+
+    /// Stores an RTC with its base relation (and optionally its
+    /// maintainable form) at the current epoch.
+    pub fn insert_rtc_entry(
+        &mut self,
+        key: String,
+        rtc: Arc<Rtc>,
+        r_g: Arc<PairSet>,
+        dynamic: Option<Arc<DynamicRtc>>,
+    ) {
+        let r_g = Some(r_g);
+        let epoch = self.epoch;
+        self.rtcs.insert(
+            key,
+            RtcEntry {
+                rtc,
+                r_g,
+                dynamic,
+                epoch,
+            },
+        );
+    }
+
+    /// Whether a fresh (current-epoch) RTC exists for `key`, without
+    /// touching the hit/miss counters.
+    pub fn contains_fresh_rtc(&self, key: &str) -> bool {
+        self.rtcs
+            .get(key)
+            .is_some_and(|entry| entry.epoch == self.epoch)
+    }
+
+    /// Epoch-aware full-closure lookup (see [`SharedCache::lookup_rtc`]).
+    pub fn lookup_full(&mut self, key: &str) -> FullLookup {
+        match self.fulls.get(key) {
+            Some(entry) if entry.epoch == self.epoch => {
+                self.hits += 1;
+                FullLookup::Fresh(Arc::clone(&entry.full))
+            }
+            Some(entry) => {
+                self.stale_hits += 1;
+                FullLookup::Stale(StaleFull {
+                    full: Arc::clone(&entry.full),
+                    r_g: entry.r_g.clone(),
+                })
+            }
+            None => {
+                self.misses += 1;
+                FullLookup::Miss
+            }
+        }
     }
 
     /// Looks up the materialized `R⁺_G` for `key`, counting hit/miss.
+    /// Stale entries are not returned (and count as misses).
     pub fn get_full(&mut self, key: &str) -> Option<Arc<FullTc>> {
         match self.fulls.get(key) {
-            Some(full) => {
+            Some(entry) if entry.epoch == self.epoch => {
                 self.hits += 1;
-                Some(Arc::clone(full))
+                Some(Arc::clone(&entry.full))
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Stores a materialized `R⁺_G` under `key`.
+    /// Stores a materialized `R⁺_G` under `key` at the current epoch, with
+    /// no recorded base relation.
     pub fn insert_full(&mut self, key: String, full: Arc<FullTc>) {
-        self.fulls.insert(key, full);
+        let epoch = self.epoch;
+        self.fulls.insert(
+            key,
+            FullEntry {
+                full,
+                r_g: None,
+                epoch,
+            },
+        );
     }
 
-    /// Number of cached RTCs.
+    /// Stores a materialized `R⁺_G` with its base relation.
+    pub fn insert_full_entry(&mut self, key: String, full: Arc<FullTc>, r_g: Arc<PairSet>) {
+        let epoch = self.epoch;
+        self.fulls.insert(
+            key,
+            FullEntry {
+                full,
+                r_g: Some(r_g),
+                epoch,
+            },
+        );
+    }
+
+    /// Whether a fresh (current-epoch) full closure exists for `key`,
+    /// without touching the hit/miss counters.
+    pub fn contains_fresh_full(&self, key: &str) -> bool {
+        self.fulls
+            .get(key)
+            .is_some_and(|entry| entry.epoch == self.epoch)
+    }
+
+    /// Number of cached RTCs (fresh or stale).
     pub fn rtc_count(&self) -> usize {
         self.rtcs.len()
     }
 
-    /// Number of cached full closures.
+    /// Number of cached full closures (fresh or stale).
     pub fn full_count(&self) -> usize {
         self.fulls.len()
     }
 
-    /// Cache hits since creation/clear.
+    /// Cache hits since creation/clear (fresh entries only).
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -88,64 +298,84 @@ impl SharedCache {
         self.misses
     }
 
+    /// Lookups that found an entry from an older epoch (each one leads to
+    /// a refresh, not a recompute-from-nothing).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits
+    }
+
     /// Total pairs held in cached RTCs (`Σ |TC(Ḡ_R)|`) — RTCSharing's
     /// shared-data size in Fig. 12.
     pub fn rtc_shared_pairs(&self) -> usize {
-        self.rtcs.values().map(|r| r.closure_pair_count()).sum()
+        self.rtcs.values().map(|e| e.rtc.closure_pair_count()).sum()
     }
 
     /// Total pairs held in cached full closures (`Σ |R⁺_G|`) — FullSharing's
     /// shared-data size in Fig. 12.
     pub fn full_shared_pairs(&self) -> usize {
-        self.fulls.values().map(|f| f.pair_count()).sum()
+        self.fulls.values().map(|e| e.full.pair_count()).sum()
     }
 
     /// Sum of `|V̄_R|` (SCC counts) across cached RTCs — RTCSharing's
     /// vertex-count metric in Fig. 13.
     pub fn rtc_total_sccs(&self) -> usize {
-        self.rtcs.values().map(|r| r.scc_count()).sum()
+        self.rtcs.values().map(|e| e.rtc.scc_count()).sum()
     }
 
     /// Sum of `|V_R|` across cached RTCs.
     pub fn rtc_total_vr(&self) -> usize {
-        self.rtcs.values().map(|r| r.stats().vr_vertices).sum()
+        self.rtcs.values().map(|e| e.rtc.stats().vr_vertices).sum()
     }
 
     /// Sum of `|V_R|` across cached full closures — FullSharing's
     /// vertex-count metric in Fig. 13.
     pub fn full_total_vertices(&self) -> usize {
-        self.fulls.values().map(|f| f.vertex_count()).sum()
+        self.fulls.values().map(|e| e.full.vertex_count()).sum()
     }
 
-    /// Resets the hit/miss counters while **preserving** every cached
-    /// structure — the metric-reset half of [`SharedCache::clear`], used
-    /// by `Engine::reset_metrics`.
+    /// Resets the hit/miss/stale counters while **preserving** every
+    /// cached structure — the metric-reset half of [`SharedCache::clear`],
+    /// used by `Engine::reset_metrics`.
     pub fn reset_counters(&mut self) {
         self.hits = 0;
         self.misses = 0;
+        self.stale_hits = 0;
     }
 
     /// Merges a worker's cache back after a parallel batch: counters add
-    /// up, and structures the worker computed that this cache lacks are
-    /// adopted (first writer wins; the structures are deterministic per
-    /// key, so which clone is kept is immaterial).
+    /// up, and per key the entry from the **newest epoch** wins (ties keep
+    /// the existing entry; structures are deterministic per `(key, epoch)`,
+    /// so which clone survives is immaterial).
     pub fn absorb(&mut self, other: SharedCache) {
         self.hits += other.hits;
         self.misses += other.misses;
-        for (key, rtc) in other.rtcs {
-            self.rtcs.entry(key).or_insert(rtc);
+        self.stale_hits += other.stale_hits;
+        for (key, entry) in other.rtcs {
+            match self.rtcs.get(&key) {
+                Some(existing) if existing.epoch >= entry.epoch => {}
+                _ => {
+                    self.rtcs.insert(key, entry);
+                }
+            }
         }
-        for (key, full) in other.fulls {
-            self.fulls.entry(key).or_insert(full);
+        for (key, entry) in other.fulls {
+            match self.fulls.get(&key) {
+                Some(existing) if existing.epoch >= entry.epoch => {}
+                _ => {
+                    self.fulls.insert(key, entry);
+                }
+            }
         }
     }
 
-    /// Drops all cached structures and resets counters.
+    /// Drops all cached structures and resets counters (the epoch is
+    /// preserved — it tracks the graph, not the contents).
     pub fn clear(&mut self) {
         self.rtcs.clear();
         self.fulls.clear();
         self.hits = 0;
         self.misses = 0;
+        self.stale_hits = 0;
     }
 }
 
@@ -154,9 +384,12 @@ mod tests {
     use super::*;
     use rpq_graph::PairSet;
 
+    fn sample_pairs() -> PairSet {
+        [(0u32, 1u32), (1, 0)].into_iter().collect()
+    }
+
     fn sample_rtc() -> Arc<Rtc> {
-        let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
-        Arc::new(Rtc::from_pairs(&pairs))
+        Arc::new(Rtc::from_pairs(&sample_pairs()))
     }
 
     #[test]
@@ -176,8 +409,7 @@ mod tests {
         c.insert_rtc("a.b".into(), sample_rtc());
         // One 2-cycle SCC with a self-reach: closure has 1 pair.
         assert_eq!(c.rtc_shared_pairs(), 1);
-        let pairs: PairSet = [(0u32, 1u32), (1, 0)].into_iter().collect();
-        c.insert_full("a.b".into(), Arc::new(FullTc::from_pairs(&pairs)));
+        c.insert_full("a.b".into(), Arc::new(FullTc::from_pairs(&sample_pairs())));
         // Full closure: both vertices reach both → 4 pairs.
         assert_eq!(c.full_shared_pairs(), 4);
     }
@@ -241,5 +473,67 @@ mod tests {
         c.insert_rtc("k".into(), sample_rtc());
         assert!(c.get_full("k").is_none());
         assert_eq!(c.full_count(), 0);
+    }
+
+    #[test]
+    fn entries_go_stale_when_the_epoch_advances() {
+        let mut c = SharedCache::new();
+        let r_g = Arc::new(sample_pairs());
+        c.insert_rtc_entry("k".into(), sample_rtc(), Arc::clone(&r_g), None);
+        assert!(c.contains_fresh_rtc("k"));
+        c.advance_epoch(1);
+        assert!(!c.contains_fresh_rtc("k"));
+        // The legacy getter refuses stale entries...
+        assert!(c.get_rtc("k").is_none());
+        // ...while the epoch-aware lookup hands back the refresh state.
+        match c.lookup_rtc("k") {
+            RtcLookup::Stale(stale) => assert_eq!(*stale.r_g.unwrap(), *r_g),
+            _ => panic!("expected a stale entry"),
+        }
+        assert_eq!(c.stale_hits(), 1);
+        // Re-inserting at the new epoch makes it fresh again.
+        c.insert_rtc_entry("k".into(), sample_rtc(), r_g, None);
+        assert!(matches!(c.lookup_rtc("k"), RtcLookup::Fresh(_)));
+    }
+
+    #[test]
+    fn full_entries_go_stale_too() {
+        let mut c = SharedCache::new();
+        c.insert_full_entry(
+            "k".into(),
+            Arc::new(FullTc::from_pairs(&sample_pairs())),
+            Arc::new(sample_pairs()),
+        );
+        c.advance_epoch(3);
+        assert!(matches!(c.lookup_full("k"), FullLookup::Stale(_)));
+        assert!(c.get_full("k").is_none());
+        assert!(!c.contains_fresh_full("k"));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn epoch_cannot_move_backward() {
+        let mut c = SharedCache::new();
+        c.advance_epoch(2);
+        c.advance_epoch(1);
+    }
+
+    #[test]
+    fn absorb_prefers_newer_epochs() {
+        let mut main = SharedCache::new();
+        main.insert_rtc("k".into(), sample_rtc());
+        let mut worker = main.clone();
+        worker.advance_epoch(1);
+        let fresh = sample_rtc();
+        worker.insert_rtc_entry(
+            "k".into(),
+            Arc::clone(&fresh),
+            Arc::new(sample_pairs()),
+            None,
+        );
+        main.advance_epoch(1);
+        main.absorb(worker);
+        // The epoch-1 entry from the worker displaced the stale epoch-0 one.
+        assert!(main.contains_fresh_rtc("k"));
     }
 }

@@ -1,11 +1,12 @@
 //! The [`Engine`] facade: one graph, one strategy, shared caches, timings.
 
-use crate::breakdown::{Breakdown, EliminationStats};
+use crate::breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
 use crate::cache::SharedCache;
 use crate::error::EngineError;
 use crate::sharing::{eval_query, EvalCtx, SharingKind};
 use rpq_eval::ProductEvaluator;
-use rpq_graph::{LabeledMultigraph, PairSet};
+use rpq_graph::{DeltaSummary, GraphDelta, LabeledMultigraph, PairSet, VersionedGraph};
+use rpq_reduction::MaintenanceConfig;
 use rpq_regex::{Regex, DEFAULT_CLAUSE_LIMIT};
 use std::time::Instant;
 
@@ -68,6 +69,10 @@ pub struct EngineConfig {
     /// shared-structure construction/expansion inside each evaluation.
     /// Results are identical at any thread count (property-tested).
     pub threads: usize,
+    /// Tuning for incremental maintenance of stale shared structures
+    /// after [`Engine::apply_delta`]. Results are identical at any
+    /// setting (property-tested); only the refresh cost profile changes.
+    pub maintenance: MaintenanceConfig,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +82,7 @@ impl Default for EngineConfig {
             dnf_clause_limit: DEFAULT_CLAUSE_LIMIT,
             enable_fast_paths: true,
             threads: 1,
+            maintenance: MaintenanceConfig::default(),
         }
     }
 }
@@ -111,11 +117,19 @@ pub struct PrepareReport {
 /// assert_eq!(result.len(), 2);
 /// ```
 pub struct Engine<'g> {
-    graph: &'g LabeledMultigraph,
+    store: GraphStore<'g>,
     config: EngineConfig,
     cache: SharedCache,
     breakdown: Breakdown,
     stats: EliminationStats,
+    maintenance: MaintenanceMetrics,
+}
+
+/// How the engine holds its graph: borrowed (the classic static setup) or
+/// owned and versioned (the dynamic setup, where deltas can be applied).
+enum GraphStore<'g> {
+    Borrowed(&'g LabeledMultigraph),
+    Owned(Box<VersionedGraph>),
 }
 
 impl<'g> Engine<'g> {
@@ -137,18 +151,80 @@ impl<'g> Engine<'g> {
 
     /// An engine with an explicit configuration.
     pub fn with_config(graph: &'g LabeledMultigraph, config: EngineConfig) -> Self {
+        Self::from_store(GraphStore::Borrowed(graph), config)
+    }
+
+    /// An engine that **owns** its graph, ready for [`Engine::apply_delta`]
+    /// without the one-time copy a borrowed engine pays on its first delta.
+    pub fn new_dynamic(graph: LabeledMultigraph) -> Engine<'static> {
+        Engine::from_versioned(VersionedGraph::new(graph))
+    }
+
+    /// An engine over an existing versioned graph (the cache starts at the
+    /// graph's current epoch).
+    pub fn from_versioned(graph: VersionedGraph) -> Engine<'static> {
+        Engine::with_config_versioned(graph, EngineConfig::default())
+    }
+
+    /// [`Engine::from_versioned`] with an explicit configuration.
+    pub fn with_config_versioned(graph: VersionedGraph, config: EngineConfig) -> Engine<'static> {
+        let epoch = graph.epoch();
+        let mut engine = Engine::from_store(GraphStore::Owned(Box::new(graph)), config);
+        engine.cache.advance_epoch(epoch);
+        engine
+    }
+
+    fn from_store(store: GraphStore<'g>, config: EngineConfig) -> Self {
         Self {
-            graph,
+            store,
             config,
             cache: SharedCache::new(),
             breakdown: Breakdown::default(),
             stats: EliminationStats::default(),
+            maintenance: MaintenanceMetrics::default(),
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g LabeledMultigraph {
-        self.graph
+    /// The underlying graph (the current snapshot, for a dynamic engine).
+    pub fn graph(&self) -> &LabeledMultigraph {
+        match &self.store {
+            GraphStore::Borrowed(g) => g,
+            GraphStore::Owned(vg) => vg.graph(),
+        }
+    }
+
+    /// The graph epoch this engine serves: 0 for a borrowed (static)
+    /// graph, the versioned graph's epoch otherwise.
+    pub fn epoch(&self) -> u64 {
+        match &self.store {
+            GraphStore::Borrowed(_) => 0,
+            GraphStore::Owned(vg) => vg.epoch(),
+        }
+    }
+
+    /// Applies a mutation batch to the graph and advances the epoch, so
+    /// cached shared structures become stale and refresh — incrementally
+    /// where the damage is contained — on their next use.
+    ///
+    /// A borrowed engine upgrades to an owned graph on its first delta by
+    /// cloning the borrowed snapshot once (the borrowed graph itself is
+    /// never mutated); construct with [`Engine::new_dynamic`] to avoid
+    /// that copy.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> DeltaSummary {
+        let borrowed: Option<&'g LabeledMultigraph> = match &self.store {
+            GraphStore::Borrowed(g) => Some(g),
+            GraphStore::Owned(_) => None,
+        };
+        if let Some(g) = borrowed {
+            self.store = GraphStore::Owned(Box::new(VersionedGraph::new(g.clone())));
+        }
+        let GraphStore::Owned(vg) = &mut self.store else {
+            unreachable!("store was just upgraded to owned");
+        };
+        let summary = vg.apply(delta);
+        self.cache.advance_epoch(summary.epoch);
+        self.maintenance.deltas_applied += 1;
+        summary
     }
 
     /// The active configuration.
@@ -159,12 +235,18 @@ impl<'g> Engine<'g> {
     /// Evaluates one query, sharing structures with previous evaluations.
     pub fn evaluate(&mut self, query: &Regex) -> Result<PairSet, EngineError> {
         let t = Instant::now();
+        let config = self.config;
+        let graph = match &self.store {
+            GraphStore::Borrowed(g) => *g,
+            GraphStore::Owned(vg) => vg.graph(),
+        };
         let result = eval_one(
-            self.graph,
-            &self.config,
+            graph,
+            &config,
             &mut self.cache,
             &mut self.breakdown,
             &mut self.stats,
+            &mut self.maintenance,
             query,
         );
         self.breakdown.total += t.elapsed();
@@ -216,7 +298,7 @@ impl<'g> Engine<'g> {
         self.prepare(queries)?;
 
         let t = Instant::now();
-        let graph = self.graph;
+        let graph = self.graph();
         // Workers keep nested construction/expansion sequential: the batch
         // fan-out already owns the worker threads.
         let config = EngineConfig {
@@ -232,6 +314,7 @@ impl<'g> Engine<'g> {
             cache: SharedCache,
             breakdown: Breakdown,
             stats: EliminationStats,
+            maintenance: MaintenanceMetrics,
         }
         let (results, workers) = rpq_graph::par::par_map_chunks_with_state(
             threads,
@@ -241,6 +324,7 @@ impl<'g> Engine<'g> {
                 cache: snapshot.clone(),
                 breakdown: Breakdown::default(),
                 stats: EliminationStats::default(),
+                maintenance: MaintenanceMetrics::default(),
             },
             |w, range| {
                 eval_one(
@@ -249,6 +333,7 @@ impl<'g> Engine<'g> {
                     &mut w.cache,
                     &mut w.breakdown,
                     &mut w.stats,
+                    &mut w.maintenance,
                     &queries[range.start],
                 )
             },
@@ -257,6 +342,7 @@ impl<'g> Engine<'g> {
             self.breakdown.shared_data += w.breakdown.shared_data;
             self.breakdown.pre_join += w.breakdown.pre_join;
             self.stats += w.stats;
+            self.maintenance += w.maintenance;
             self.cache.absorb(w.cache);
         }
         let out: Result<Vec<PairSet>, EngineError> = results.into_iter().collect();
@@ -286,14 +372,21 @@ impl<'g> Engine<'g> {
         let plan = crate::explain::explain_set_with_limit(queries, self.config.dnf_clause_limit)?;
         let mut report = PrepareReport::default();
         let t = Instant::now();
+        let config = self.config;
+        let graph = match &self.store {
+            GraphStore::Borrowed(g) => *g,
+            GraphStore::Owned(vg) => vg.graph(),
+        };
         for (key, _) in &plan.shared_bodies {
             // Re-parse the canonical key back into the body expression and
             // evaluate the bare closure; the recursion fills the cache for
             // the body and everything nested inside it.
             let body = Regex::parse(key).map_err(EngineError::Parse)?;
+            // Stale entries do not count as reusable: the evaluation below
+            // refreshes them to the current epoch.
             let already = match kind {
-                SharingKind::Rtc => self.cache.get_rtc(key).is_some(),
-                SharingKind::Full => self.cache.get_full(key).is_some(),
+                SharingKind::Rtc => self.cache.contains_fresh_rtc(key),
+                SharingKind::Full => self.cache.contains_fresh_full(key),
             };
             if already {
                 report.bodies_reused += 1;
@@ -302,11 +395,12 @@ impl<'g> Engine<'g> {
             // Evaluating R+ populates the cache entry for R (and any
             // nested bodies) without retaining the expanded result.
             eval_one(
-                self.graph,
-                &self.config,
+                graph,
+                &config,
                 &mut self.cache,
                 &mut self.breakdown,
                 &mut self.stats,
+                &mut self.maintenance,
                 &Regex::plus(body),
             )?;
             report.bodies_computed += 1;
@@ -324,7 +418,7 @@ impl<'g> Engine<'g> {
         query: &Regex,
         source: rpq_graph::VertexId,
     ) -> Vec<rpq_graph::VertexId> {
-        ProductEvaluator::new(self.graph, query).ends_from(source)
+        ProductEvaluator::new(self.graph(), query).ends_from(source)
     }
 
     /// Start vertices of `query`-paths ending at `target` (selective
@@ -334,7 +428,7 @@ impl<'g> Engine<'g> {
         query: &Regex,
         target: rpq_graph::VertexId,
     ) -> Vec<rpq_graph::VertexId> {
-        ProductEvaluator::new(self.graph, query).starts_to(target)
+        ProductEvaluator::new(self.graph(), query).starts_to(target)
     }
 
     /// Whether a `query`-path from `source` to `target` exists (early-exit
@@ -345,7 +439,7 @@ impl<'g> Engine<'g> {
         source: rpq_graph::VertexId,
         target: rpq_graph::VertexId,
     ) -> bool {
-        rpq_eval::witness::find_witness(self.graph, query, source, target).is_some()
+        rpq_eval::witness::find_witness(self.graph(), query, source, target).is_some()
     }
 
     /// Accumulated stage timings since the last [`Engine::reset_metrics`].
@@ -356,6 +450,13 @@ impl<'g> Engine<'g> {
     /// Accumulated elimination counters.
     pub fn elimination_stats(&self) -> &EliminationStats {
         &self.stats
+    }
+
+    /// Accumulated dynamic-graph maintenance counters and timings
+    /// (deltas applied; incremental vs rebuild refreshes of stale shared
+    /// structures).
+    pub fn maintenance_metrics(&self) -> &MaintenanceMetrics {
+        &self.maintenance
     }
 
     /// The shared-structure cache (hit/miss counters, sizes).
@@ -374,10 +475,12 @@ impl<'g> Engine<'g> {
     }
 
     /// Clears timing/counter accumulators — including the cache's
-    /// hit/miss counters — but keeps cached structures.
+    /// hit/miss counters and the maintenance metrics — but keeps cached
+    /// structures (and the graph epoch).
     pub fn reset_metrics(&mut self) {
         self.breakdown.reset();
         self.stats.reset();
+        self.maintenance.reset();
         self.cache.reset_counters();
     }
 
@@ -398,6 +501,7 @@ fn eval_one(
     cache: &mut SharedCache,
     breakdown: &mut Breakdown,
     stats: &mut EliminationStats,
+    maintenance: &mut MaintenanceMetrics,
     query: &Regex,
 ) -> Result<PairSet, EngineError> {
     let kind = match config.strategy {
@@ -414,8 +518,10 @@ fn eval_one(
         clause_limit: config.dnf_clause_limit,
         fast_paths: config.enable_fast_paths,
         threads: config.threads,
+        maintenance_config: config.maintenance,
         breakdown,
         stats,
+        maintenance,
     };
     eval_query(&mut ctx, query)
 }
@@ -733,6 +839,128 @@ mod tests {
         // Identity Pre over 10 vertices, 5 outside V_{b·c}.
         assert_eq!(s.useless1_skipped, 5);
         assert!(s.useless2_unchecked_inserts > 0);
+    }
+
+    #[test]
+    fn apply_delta_refreshes_stale_rtc_incrementally() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        let q = Regex::parse("d.(b.c)+.c").unwrap();
+        e.evaluate(&q).unwrap();
+        assert_eq!(e.epoch(), 0);
+
+        // Add a b/c two-cycle hanging off v6: (b·c)+ gains pairs.
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta.insert(6, "b", 8).insert(8, "c", 6);
+        let summary = e.apply_delta(&delta);
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(e.epoch(), 1);
+
+        let after = e.evaluate(&q).unwrap();
+        // Oracle: a fresh engine over an equivalently mutated graph.
+        let mut b = rpq_graph::GraphBuilder::new();
+        b.ensure_vertices(g.vertex_count());
+        for (s, l, d) in g.all_edges() {
+            b.add_edge(s.raw(), g.labels().name(l), d.raw());
+        }
+        b.add_edge(6, "b", 8).add_edge(8, "c", 6);
+        let mutated = b.build();
+        let expect = Engine::new(&mutated).evaluate(&q).unwrap();
+        assert_eq!(after, expect);
+        // The stale entry was refreshed, not recomputed blind.
+        let m = *e.maintenance_metrics();
+        assert_eq!(m.deltas_applied, 1);
+        assert!(
+            m.incremental_refreshes + m.unchanged_refreshes + m.rebuild_refreshes >= 1,
+            "refresh not recorded: {m:?}"
+        );
+        assert!(e.cache().stale_hits() >= 1);
+    }
+
+    #[test]
+    fn apply_delta_unrelated_label_is_an_unchanged_refresh() {
+        let g = paper_graph();
+        let mut e = Engine::new(&g);
+        e.evaluate_str("(b.c)+").unwrap();
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta.insert(0, "zzz", 9); // never touches b/c
+        e.apply_delta(&delta);
+        let before_pairs = e.shared_data_pairs();
+        e.evaluate_str("(b.c)+").unwrap();
+        assert_eq!(e.maintenance_metrics().unchanged_refreshes, 1);
+        assert_eq!(e.maintenance_metrics().incremental_refreshes, 0);
+        assert_eq!(e.shared_data_pairs(), before_pairs);
+    }
+
+    #[test]
+    fn dynamic_engine_owns_its_graph() {
+        let mut e = Engine::new_dynamic(paper_graph());
+        let q = Regex::parse("(b.c)+").unwrap();
+        let before = e.evaluate(&q).unwrap();
+        assert_eq!(before.len(), 10);
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta.delete(2, "b", 5);
+        let s = e.apply_delta(&delta);
+        assert_eq!((s.edges_deleted, s.edges_inserted), (1, 0));
+        let after = e.evaluate(&q).unwrap();
+        assert!(after.len() < before.len());
+        // Delete-then-reinsert restores the original result bitwise.
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta.insert(2, "b", 5);
+        e.apply_delta(&delta);
+        assert_eq!(e.evaluate(&q).unwrap(), before);
+        assert_eq!(e.epoch(), 2);
+    }
+
+    #[test]
+    fn apply_delta_agrees_with_rebuild_for_all_strategies() {
+        let g = paper_graph();
+        let queries = [
+            Regex::parse("d.(b.c)+.c").unwrap(),
+            Regex::parse("(a.b)+|(b.c)+").unwrap(),
+            Regex::parse("a.(b.c)*").unwrap(),
+        ];
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta
+            .insert(6, "b", 8)
+            .insert(8, "c", 2)
+            .delete(3, "c", 5)
+            .insert(9, "d", 7);
+        // Oracle graph with the same final edge set.
+        let mut vg = rpq_graph::VersionedGraph::new(g.clone());
+        vg.apply(&delta);
+        let mutated = vg.into_graph();
+        for strategy in Strategy::ALL {
+            for threads in [1usize, 2] {
+                let config = EngineConfig {
+                    strategy,
+                    threads,
+                    ..EngineConfig::default()
+                };
+                let mut e = Engine::with_config(&g, config);
+                e.evaluate_set(&queries).unwrap(); // warm at epoch 0
+                e.apply_delta(&delta);
+                let dynamic = e.evaluate_set(&queries).unwrap();
+                let fresh = Engine::with_config(&mutated, config)
+                    .evaluate_set(&queries)
+                    .unwrap();
+                assert_eq!(dynamic, fresh, "{strategy} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn fullsharing_stale_entries_rebuild() {
+        let g = paper_graph();
+        let mut e = Engine::with_strategy(&g, Strategy::FullSharing);
+        e.evaluate_str("(b.c)+").unwrap();
+        let mut delta = rpq_graph::GraphDelta::new();
+        delta.insert(6, "b", 8).insert(8, "c", 6);
+        e.apply_delta(&delta);
+        e.evaluate_str("(b.c)+").unwrap();
+        let m = *e.maintenance_metrics();
+        assert_eq!(m.rebuild_refreshes, 1);
+        assert_eq!(m.incremental_refreshes, 0);
     }
 
     #[test]

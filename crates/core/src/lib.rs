@@ -30,8 +30,8 @@ pub mod pre_relation;
 pub mod sharing;
 
 pub use batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
-pub use breakdown::{Breakdown, EliminationStats};
-pub use cache::SharedCache;
+pub use breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
+pub use cache::{FullLookup, RtcLookup, SharedCache, StaleFull, StaleRtc};
 pub use engine::{Engine, EngineConfig, PrepareReport, Strategy};
 pub use error::EngineError;
 pub use explain::{

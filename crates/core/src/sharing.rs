@@ -17,13 +17,13 @@
 //! join — exactly the delta the paper measures.
 
 use crate::batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
-use crate::breakdown::{Breakdown, EliminationStats};
-use crate::cache::SharedCache;
+use crate::breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
+use crate::cache::{FullLookup, RtcLookup, SharedCache, StaleFull, StaleRtc};
 use crate::error::EngineError;
 use crate::pre_relation::PreRelation;
 use rpq_eval::label_seq::eval_label_names;
 use rpq_graph::{LabeledMultigraph, PairSet};
-use rpq_reduction::{FullTc, Rtc};
+use rpq_reduction::{DynamicRtc, FullTc, MaintenanceConfig, MaintenanceOutcome, Rtc};
 use rpq_regex::{decompose, to_dnf_with_limit, Regex};
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,8 +45,11 @@ pub(crate) struct EvalCtx<'g, 'c> {
     /// Worker threads for parallel shared-structure construction and
     /// expansion (1 = sequential, 0 = all cores).
     pub threads: usize,
+    /// Damage threshold etc. for incremental refresh of stale entries.
+    pub maintenance_config: MaintenanceConfig,
     pub breakdown: &'c mut Breakdown,
     pub stats: &'c mut EliminationStats,
+    pub maintenance: &'c mut MaintenanceMetrics,
 }
 
 /// Algorithm 1, parameterized by the sharing kind.
@@ -65,21 +68,12 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                 } else {
                     PreRelation::Pairs(eval_query(ctx, &unit.pre)?)
                 };
-                // Lines 9–11: fetch or compute the shared structure for R.
+                // Lines 9–11: fetch, refresh or compute the shared
+                // structure for R.
                 let key = r.canonical_key();
                 match ctx.kind {
                     SharingKind::Rtc => {
-                        let rtc = match ctx.cache.get_rtc(&key) {
-                            Some(rtc) => rtc,
-                            None => {
-                                let r_g = eval_query(ctx, &r)?;
-                                let t = Instant::now();
-                                let rtc = Arc::new(Rtc::from_pairs(&r_g));
-                                ctx.breakdown.shared_data += t.elapsed();
-                                ctx.cache.insert_rtc(key, Arc::clone(&rtc));
-                                rtc
-                            }
-                        };
+                        let rtc = obtain_rtc(ctx, &key, &r)?;
                         // Theorem 2 fast path: a bare closure (`Pre = ε`,
                         // `Post = ε`) is exactly the RTC expansion, with the
                         // identity relation unioned in for `R*`.
@@ -109,17 +103,7 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
                         }
                     }
                     SharingKind::Full => {
-                        let full = match ctx.cache.get_full(&key) {
-                            Some(full) => full,
-                            None => {
-                                let r_g = eval_query(ctx, &r)?;
-                                let t = Instant::now();
-                                let full = Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads));
-                                ctx.breakdown.shared_data += t.elapsed();
-                                ctx.cache.insert_full(key, Arc::clone(&full));
-                                full
-                            }
-                        };
+                        let full = obtain_full(ctx, &key, &r)?;
                         let out = eval_batch_unit_full(
                             ctx.graph,
                             &pre,
@@ -140,6 +124,115 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
     Ok(q_g)
 }
 
+/// Fetches the RTC for `key` — fresh from the cache, refreshed from a
+/// stale entry (incrementally where possible), or computed from scratch on
+/// a miss. The cache ends up holding a current-epoch entry either way.
+fn obtain_rtc(ctx: &mut EvalCtx<'_, '_>, key: &str, r: &Regex) -> Result<Arc<Rtc>, EngineError> {
+    let stale = match ctx.cache.lookup_rtc(key) {
+        RtcLookup::Fresh(rtc) => return Ok(rtc),
+        RtcLookup::Stale(stale) => Some(stale),
+        RtcLookup::Miss => None,
+    };
+    // Both the refresh and the miss path need the current R_G, which is
+    // itself evaluated by recursion (nested closure bodies refresh first).
+    let r_g = eval_query(ctx, r)?;
+    let t = Instant::now();
+    let (rtc, r_g, dynamic) = match stale {
+        Some(stale) => refresh_rtc(stale, r_g, &ctx.maintenance_config, ctx.maintenance),
+        None => {
+            let rtc = Arc::new(Rtc::from_pairs(&r_g));
+            (rtc, Arc::new(r_g), None)
+        }
+    };
+    ctx.breakdown.shared_data += t.elapsed();
+    ctx.cache
+        .insert_rtc_entry(key.to_owned(), Arc::clone(&rtc), r_g, dynamic);
+    Ok(rtc)
+}
+
+/// Brings a stale RTC entry up to date against the freshly evaluated
+/// `R_G`: re-stamp when the relation is unchanged, otherwise diff the base
+/// relations and hand the pair delta to [`DynamicRtc`] (upgrading the
+/// static entry to maintainable form on first refresh). Falls back to a
+/// from-scratch rebuild when no base relation was recorded or the
+/// structure's own damage threshold trips.
+fn refresh_rtc(
+    stale: StaleRtc,
+    new_r_g: PairSet,
+    config: &MaintenanceConfig,
+    metrics: &mut MaintenanceMetrics,
+) -> (Arc<Rtc>, Arc<PairSet>, Option<Arc<DynamicRtc>>) {
+    let t = Instant::now();
+    let Some(old_r_g) = stale.r_g else {
+        let rtc = Arc::new(Rtc::from_pairs(&new_r_g));
+        metrics.rebuild_refreshes += 1;
+        metrics.rebuild_time += t.elapsed();
+        return (rtc, Arc::new(new_r_g), None);
+    };
+    if *old_r_g == new_r_g {
+        metrics.unchanged_refreshes += 1;
+        return (stale.rtc, old_r_g, stale.dynamic);
+    }
+    let inserted = new_r_g.difference(&old_r_g);
+    let deleted = old_r_g.difference(&new_r_g);
+    let mut dynamic = match stale.dynamic {
+        Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()),
+        None => DynamicRtc::from_rtc(&stale.rtc, &old_r_g),
+    };
+    let outcome = dynamic.apply(inserted.as_slice(), deleted.as_slice(), config);
+    let rtc = Arc::new(dynamic.snapshot());
+    match outcome {
+        MaintenanceOutcome::Rebuilt(_) => {
+            metrics.rebuild_refreshes += 1;
+            metrics.rebuild_time += t.elapsed();
+        }
+        MaintenanceOutcome::Incremental(_) | MaintenanceOutcome::Unchanged => {
+            metrics.incremental_refreshes += 1;
+            metrics.incremental_time += t.elapsed();
+        }
+    }
+    (rtc, Arc::new(new_r_g), Some(Arc::new(dynamic)))
+}
+
+/// Fetches the materialized `R⁺_G` for `key` — fresh, refreshed, or
+/// computed. `FullTc` has no incremental maintenance path (it is the
+/// baseline's structure); a stale entry whose base relation changed is
+/// rebuilt, which is exactly the cost asymmetry the dynamic ablation
+/// measures against RTC maintenance.
+fn obtain_full(
+    ctx: &mut EvalCtx<'_, '_>,
+    key: &str,
+    r: &Regex,
+) -> Result<Arc<FullTc>, EngineError> {
+    let stale = match ctx.cache.lookup_full(key) {
+        FullLookup::Fresh(full) => return Ok(full),
+        FullLookup::Stale(stale) => Some(stale),
+        FullLookup::Miss => None,
+    };
+    let r_g = eval_query(ctx, r)?;
+    let t = Instant::now();
+    let full = match stale {
+        Some(StaleFull {
+            full,
+            r_g: Some(old_r_g),
+        }) if *old_r_g == r_g => {
+            ctx.maintenance.unchanged_refreshes += 1;
+            full
+        }
+        Some(_) => {
+            let rebuilt = Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads));
+            ctx.maintenance.rebuild_refreshes += 1;
+            ctx.maintenance.rebuild_time += t.elapsed();
+            rebuilt
+        }
+        None => Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads)),
+    };
+    ctx.breakdown.shared_data += t.elapsed();
+    ctx.cache
+        .insert_full_entry(key.to_owned(), Arc::clone(&full), Arc::new(r_g));
+    Ok(full)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +244,7 @@ mod tests {
         let mut cache = SharedCache::new();
         let mut breakdown = Breakdown::default();
         let mut stats = EliminationStats::default();
+        let mut maintenance = MaintenanceMetrics::default();
         let mut ctx = EvalCtx {
             graph: &g,
             cache: &mut cache,
@@ -158,8 +252,10 @@ mod tests {
             clause_limit: 1024,
             fast_paths: false,
             threads: 1,
+            maintenance_config: MaintenanceConfig::default(),
             breakdown: &mut breakdown,
             stats: &mut stats,
+            maintenance: &mut maintenance,
         };
         let q = Regex::parse(src).unwrap();
         let r = eval_query(&mut ctx, &q).unwrap();

@@ -3,6 +3,17 @@
 //! Format: one `src label dst` triple per line, whitespace-separated;
 //! `#`-prefixed lines and blank lines are ignored. An optional header
 //! `# vertices N` pins the vertex count (for trailing isolated vertices).
+//!
+//! Header semantics (pinned by tests):
+//!
+//! * the header may appear anywhere in the file; when it appears more
+//!   than once, the **last occurrence wins** (a writer appending to a
+//!   dump can restate it);
+//! * a header is a *declaration*, not a minimum: once declared, any edge
+//!   referencing a vertex id `≥ N` is a [`GraphError::VertexOutOfBounds`]
+//!   error — out-of-range ids no longer silently grow the vertex set;
+//! * a malformed header (`# vertices x`) is treated as an ordinary
+//!   comment, like every other `#` line.
 
 use rpq_graph::{GraphBuilder, GraphError, LabeledMultigraph};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -29,6 +40,9 @@ pub fn write_edge_list<W: Write>(graph: &LabeledMultigraph, writer: W) -> Result
 pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledMultigraph, GraphError> {
     let mut builder = GraphBuilder::new();
     let r = BufReader::new(reader);
+    // Declared vertex count: last `# vertices N` header wins; validated
+    // against every edge once the whole file is read.
+    let mut declared: Option<usize> = None;
     for (idx, line) in r.lines().enumerate() {
         let line_no = idx + 1;
         let line = line?;
@@ -40,7 +54,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledMultigraph, GraphErro
             let mut parts = rest.split_whitespace();
             if parts.next() == Some("vertices") {
                 if let Some(n) = parts.next().and_then(|s| s.parse::<usize>().ok()) {
-                    builder.ensure_vertices(n);
+                    declared = Some(n);
                 }
             }
             continue;
@@ -65,7 +79,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledMultigraph, GraphErro
         })?;
         builder.add_edge(src, label, dst);
     }
-    Ok(builder.build())
+    match declared {
+        Some(n) => builder.build_with_vertex_count(n),
+        None => Ok(builder.build()),
+    }
 }
 
 /// Writes `graph` to a file.
@@ -136,6 +153,67 @@ mod tests {
             read_edge_list(text.as_bytes()),
             Err(GraphError::Parse { line: 1, .. })
         ));
+    }
+
+    #[test]
+    fn duplicated_header_last_wins() {
+        // Two headers: the later (larger) one is authoritative.
+        let text = "# vertices 5\n0 a 1\n# vertices 50\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 50);
+        // And the later one wins even when it *shrinks* the declaration.
+        let text = "# vertices 50\n0 a 1\n# vertices 5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 5);
+    }
+
+    #[test]
+    fn mid_file_header_applies_to_the_whole_file() {
+        // A header after some edges still pins the count for all of them.
+        let text = "0 a 1\n# vertices 9\n1 b 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_vertex_ids_error_when_declared() {
+        let text = "# vertices 5\n0 a 7\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfBounds {
+                vertex: 7,
+                vertex_count: 5
+            }
+        );
+        // Validation uses the *last* header: a later, larger one repairs it.
+        let text = "# vertices 5\n0 a 7\n# vertices 8\n";
+        assert!(read_edge_list(text.as_bytes()).is_ok());
+        // A later, smaller one breaks previously fine edges.
+        let text = "# vertices 8\n0 a 7\n# vertices 5\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::VertexOutOfBounds { vertex: 7, .. })
+        ));
+        // Boundary id N-1 is fine.
+        let text = "# vertices 8\n0 a 7\n";
+        assert_eq!(read_edge_list(text.as_bytes()).unwrap().vertex_count(), 8);
+    }
+
+    #[test]
+    fn without_header_vertex_count_is_inferred() {
+        let text = "0 a 7\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 8);
+    }
+
+    #[test]
+    fn malformed_header_is_an_ordinary_comment() {
+        let text = "# vertices x\n# vertices\n0 a 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

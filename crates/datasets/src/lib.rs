@@ -20,6 +20,11 @@
 //!   clusters, paths, uniform random), the knob behind the
 //!   `scc_sensitivity` ablation.
 //! * [`io`] — a plain-text edge-list format for persisting datasets.
+//! * [`dynamic`] — interleaved update/query streams ([`GraphDelta`]
+//!   batches) for exercising `Engine::apply_delta` and incremental RTC
+//!   maintenance.
+//!
+//! [`GraphDelta`]: rpq_graph::GraphDelta
 //!
 //! ```
 //! use rpq_datasets::rmat::rmat_n_scaled;
@@ -31,12 +36,14 @@
 //! assert_eq!(sets.len(), 30); // 10 Rs per length, lengths 1–3
 //! ```
 
+pub mod dynamic;
 pub mod io;
 pub mod rmat;
 pub mod structured;
 pub mod surrogate;
 pub mod workload;
 
+pub use dynamic::{generate_dynamic_workload, DynamicStep, DynamicWorkload, DynamicWorkloadConfig};
 pub use rmat::{rmat_graph, rmat_n, RmatConfig};
 pub use structured::{cycle_clusters, cycle_graph, erdos_renyi, path_graph, CycleClusterConfig};
 pub use surrogate::{

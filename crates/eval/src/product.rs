@@ -16,6 +16,7 @@
 use rpq_automata::{build_glushkov, Nfa};
 use rpq_graph::{EpochVisited, LabeledMultigraph, PairSet, VertexId};
 use rpq_regex::Regex;
+use std::cell::OnceCell;
 
 /// A reusable evaluator binding a query automaton to a graph's alphabet.
 ///
@@ -28,6 +29,10 @@ pub struct ProductEvaluator<'g> {
     /// graph label id → local NFA symbol (u32::MAX = not in query alphabet).
     sym_of_label: Vec<u32>,
     nullable: bool,
+    /// The identity relation over `V`, built on first nullable use and
+    /// reused across evaluations (it is `O(|V|)` to build and nullable
+    /// queries union it in on *every* full evaluation).
+    identity: OnceCell<PairSet>,
 }
 
 const NO_SYM: u32 = u32::MAX;
@@ -48,7 +53,14 @@ impl<'g> ProductEvaluator<'g> {
             nfa,
             sym_of_label,
             nullable,
+            identity: OnceCell::new(),
         }
+    }
+
+    /// The cached identity relation `ε_G` over the graph's vertex set.
+    fn identity(&self) -> &PairSet {
+        self.identity
+            .get_or_init(|| PairSet::identity(self.graph.vertex_count()))
     }
 
     /// The compiled automaton.
@@ -77,7 +89,7 @@ impl<'g> ProductEvaluator<'g> {
         let sources = self.candidate_sources();
         let mut result = self.evaluate_from_sources(&sources);
         if self.nullable {
-            result.union_in_place(&PairSet::identity(self.graph.vertex_count()));
+            result.union_in_place(self.identity());
         }
         result
     }
@@ -150,7 +162,7 @@ impl<'g> ProductEvaluator<'g> {
         }
         let mut result = PairSet::from_pairs(pairs);
         if self.nullable {
-            result.union_in_place(&PairSet::identity(self.graph.vertex_count()));
+            result.union_in_place(self.identity());
         }
         result
     }
@@ -476,6 +488,23 @@ mod tests {
         let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
         let starts = ev.starts_to(VertexId(9));
         assert_eq!(starts, vec![VertexId(9)]);
+    }
+
+    #[test]
+    fn nullable_identity_is_cached_across_evaluations() {
+        // Regression: every nullable evaluation used to rebuild the O(|V|)
+        // identity relation; it is now built once per evaluator and reused.
+        let g = paper_graph();
+        let ev = ProductEvaluator::new(&g, &Regex::parse("(b.c)*").unwrap());
+        let first = ev.evaluate();
+        assert!(ev.identity.get().is_some(), "identity not materialized");
+        let second = ev.evaluate();
+        assert_eq!(first, second);
+        assert_eq!(ev.evaluate_bounded(0), PairSet::identity(10));
+        // Non-nullable queries never pay for it.
+        let plus = ProductEvaluator::new(&g, &Regex::parse("(b.c)+").unwrap());
+        plus.evaluate();
+        assert!(plus.identity.get().is_none());
     }
 
     #[test]

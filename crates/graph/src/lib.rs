@@ -36,6 +36,7 @@ pub mod pairset;
 pub mod par;
 pub mod scc;
 pub mod stats;
+pub mod versioned;
 
 pub use bfs::EpochVisited;
 pub use bitmatrix::BitMatrix;
@@ -50,3 +51,4 @@ pub use multigraph::{GraphBuilder, LabeledMultigraph};
 pub use pairset::PairSet;
 pub use scc::{tarjan_scc, Scc};
 pub use stats::GraphStats;
+pub use versioned::{DeltaSummary, GraphDelta, VersionedGraph};

@@ -5,8 +5,9 @@
 //! vertex pair are allowed but must carry **distinct labels** — the builder
 //! enforces this by deduplicating `(src, label, dst)` triples.
 //!
-//! Storage is CSR in three orientations so that every access pattern the
-//! evaluator needs is a contiguous scan or a binary search:
+//! Storage is row-per-vertex (and row-per-label) sorted adjacency in three
+//! orientations so that every access pattern the evaluator needs is a
+//! contiguous scan or a binary search:
 //!
 //! * `out_adj[v]` — out-edges of `v`, sorted by `(label, dst)`; lets the
 //!   product-graph traversal fetch `σ_{label}(out(v))` with two
@@ -15,20 +16,29 @@
 //! * `label_edges[l]` — the full edge list of label `l`, sorted by
 //!   `(src, dst)`; this is the base relation `l_G` used by closure-free
 //!   clause evaluation and by first-label source pruning.
+//!
+//! Each row is its own vector (rather than one flat CSR) so that the
+//! versioned-mutation layer ([`crate::VersionedGraph`]) can apply a single
+//! edge insert/delete by touching only the three rows involved —
+//! `O(row length)` per edge instead of a full rebuild.
 
-use crate::csr::Csr;
 use crate::error::GraphError;
 use crate::ids::{LabelId, VertexId};
 use crate::label_dict::LabelDict;
 
-/// An immutable edge-labeled directed multigraph (the paper's `G`).
+/// An edge-labeled directed multigraph (the paper's `G`).
+///
+/// Immutable through its public API; in-place single-edge mutation is
+/// reserved for [`crate::VersionedGraph`], which pairs it with epoch
+/// stamping so downstream caches can detect staleness.
 #[derive(Clone, Debug)]
 pub struct LabeledMultigraph {
     vertex_count: usize,
     labels: LabelDict,
-    out_adj: Csr<(LabelId, VertexId)>,
-    in_adj: Csr<(LabelId, VertexId)>,
-    label_edges: Csr<(VertexId, VertexId)>,
+    out_adj: Vec<Vec<(LabelId, VertexId)>>,
+    in_adj: Vec<Vec<(LabelId, VertexId)>>,
+    label_edges: Vec<Vec<(VertexId, VertexId)>>,
+    edge_count: usize,
 }
 
 impl LabeledMultigraph {
@@ -41,7 +51,7 @@ impl LabeledMultigraph {
     /// Number of edges `|E|` (after label-level deduplication).
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.out_adj.len()
+        self.edge_count
     }
 
     /// The alphabet `Σ`.
@@ -64,36 +74,34 @@ impl LabeledMultigraph {
     /// Out-edges of `v` as `(label, dst)`, sorted by `(label, dst)`.
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> &[(LabelId, VertexId)] {
-        self.out_adj.row(v.index())
+        &self.out_adj[v.index()]
     }
 
     /// In-edges of `v` as `(label, src)`, sorted by `(label, src)`.
     #[inline]
     pub fn in_edges(&self, v: VertexId) -> &[(LabelId, VertexId)] {
-        self.in_adj.row(v.index())
+        &self.in_adj[v.index()]
     }
 
     /// Out-neighbors of `v` through edges labeled `label`, as a sorted
     /// sub-slice of the adjacency row.
     pub fn out_with_label(&self, v: VertexId, label: LabelId) -> &[(LabelId, VertexId)] {
-        let row = self.out_adj.row(v.index());
-        label_range(row, label)
+        label_range(&self.out_adj[v.index()], label)
     }
 
     /// In-neighbors of `v` through edges labeled `label`.
     pub fn in_with_label(&self, v: VertexId, label: LabelId) -> &[(LabelId, VertexId)] {
-        let row = self.in_adj.row(v.index());
-        label_range(row, label)
+        label_range(&self.in_adj[v.index()], label)
     }
 
     /// The full edge relation of `label`: `{(src, dst)}` sorted ascending.
     pub fn edges_with_label(&self, label: LabelId) -> &[(VertexId, VertexId)] {
-        self.label_edges.row(label.index())
+        &self.label_edges[label.index()]
     }
 
     /// Number of edges carrying `label`.
     pub fn label_edge_count(&self, label: LabelId) -> usize {
-        self.label_edges.row_len(label.index())
+        self.label_edges[label.index()].len()
     }
 
     /// Distinct source vertices of edges labeled `label`, ascending.
@@ -109,10 +117,10 @@ impl LabeledMultigraph {
 
     /// Whether the edge `e(src, label, dst)` exists.
     pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
-        self.out_adj
-            .row(src.index())
-            .binary_search(&(label, dst))
-            .is_ok()
+        src.index() < self.vertex_count
+            && self.out_adj[src.index()]
+                .binary_search(&(label, dst))
+                .is_ok()
     }
 
     /// Average vertex degree per label, `|E| / (|V|·|Σ|)` — the x-axis of
@@ -132,6 +140,81 @@ impl LabeledMultigraph {
                 .iter()
                 .map(move |&(s, d)| (s, label, d))
         })
+    }
+
+    // ---- mutation primitives (crate-private: used by `VersionedGraph`) ----
+
+    /// Grows the vertex set to at least `n` vertices (never shrinks).
+    pub(crate) fn grow_vertices(&mut self, n: usize) {
+        if n > self.vertex_count {
+            self.out_adj.resize_with(n, Vec::new);
+            self.in_adj.resize_with(n, Vec::new);
+            self.vertex_count = n;
+        }
+    }
+
+    /// Interns a label name, growing the per-label edge table for new ids.
+    pub(crate) fn intern_label_mut(&mut self, name: &str) -> LabelId {
+        let id = self.labels.intern(name);
+        if id.index() >= self.label_edges.len() {
+            self.label_edges.resize_with(id.index() + 1, Vec::new);
+        }
+        id
+    }
+
+    /// Inserts edge `e(src, label, dst)`, growing the vertex set as needed.
+    ///
+    /// Returns `false` (and changes nothing) if the edge already exists.
+    /// Cost: `O(log + len)` of the three rows touched.
+    pub(crate) fn insert_edge_raw(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        debug_assert!(label.index() < self.label_edges.len(), "unknown label id");
+        self.grow_vertices(src.index().max(dst.index()) + 1);
+        let row = &mut self.out_adj[src.index()];
+        match row.binary_search(&(label, dst)) {
+            Ok(_) => return false,
+            Err(at) => row.insert(at, (label, dst)),
+        }
+        let row = &mut self.in_adj[dst.index()];
+        let at = row.binary_search(&(label, src)).unwrap_err();
+        row.insert(at, (label, src));
+        let row = &mut self.label_edges[label.index()];
+        let at = row.binary_search(&(src, dst)).unwrap_err();
+        row.insert(at, (src, dst));
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes edge `e(src, label, dst)`.
+    ///
+    /// Returns `false` (and changes nothing) if the edge does not exist.
+    /// The vertex set and alphabet never shrink — vertex ids and label ids
+    /// stay stable across deletions.
+    pub(crate) fn remove_edge_raw(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        if src.index() >= self.vertex_count
+            || dst.index() >= self.vertex_count
+            || label.index() >= self.label_edges.len()
+        {
+            return false;
+        }
+        let row = &mut self.out_adj[src.index()];
+        match row.binary_search(&(label, dst)) {
+            Ok(at) => {
+                row.remove(at);
+            }
+            Err(_) => return false,
+        }
+        let row = &mut self.in_adj[dst.index()];
+        let at = row
+            .binary_search(&(label, src))
+            .expect("in_adj out of sync");
+        row.remove(at);
+        let row = &mut self.label_edges[label.index()];
+        let at = row
+            .binary_search(&(src, dst))
+            .expect("label_edges out of sync");
+        row.remove(at);
+        self.edge_count -= 1;
+        true
     }
 }
 
@@ -218,25 +301,27 @@ impl GraphBuilder {
 
         triples.sort_unstable();
         triples.dedup();
+        let edge_count = triples.len();
 
-        let out_adj = Csr::from_items(
-            vertex_count,
-            triples.iter().map(|&(s, l, d)| (s.index(), (l, d))),
-        );
         // out rows arrive sorted by (src, label, dst) -> already (label, dst) sorted.
-        let mut in_items: Vec<(usize, (LabelId, VertexId))> = triples
-            .iter()
-            .map(|&(s, l, d)| (d.index(), (l, s)))
-            .collect();
-        in_items.sort_unstable_by_key(|&(d, (l, s))| (d, l, s));
-        let in_adj = Csr::from_items(vertex_count, in_items);
-
-        let mut label_items: Vec<(usize, (VertexId, VertexId))> = triples
-            .iter()
-            .map(|&(s, l, d)| (l.index(), (s, d)))
-            .collect();
-        label_items.sort_unstable_by_key(|&(l, (s, d))| (l, s, d));
-        let label_edges = Csr::from_items(labels.len(), label_items);
+        let mut out_adj: Vec<Vec<(LabelId, VertexId)>> = vec![Vec::new(); vertex_count];
+        for &(s, l, d) in &triples {
+            out_adj[s.index()].push((l, d));
+        }
+        let mut in_adj: Vec<Vec<(LabelId, VertexId)>> = vec![Vec::new(); vertex_count];
+        for &(s, l, d) in &triples {
+            in_adj[d.index()].push((l, s));
+        }
+        for row in &mut in_adj {
+            row.sort_unstable();
+        }
+        let mut label_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); labels.len()];
+        for &(s, l, d) in &triples {
+            label_edges[l.index()].push((s, d));
+        }
+        for row in &mut label_edges {
+            row.sort_unstable();
+        }
 
         LabeledMultigraph {
             vertex_count,
@@ -244,6 +329,7 @@ impl GraphBuilder {
             out_adj,
             in_adj,
             label_edges,
+            edge_count,
         }
     }
 

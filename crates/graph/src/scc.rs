@@ -71,6 +71,24 @@ impl Scc {
     pub fn iter(&self) -> impl Iterator<Item = (SccId, &[u32])> + '_ {
         (0..self.count()).map(move |i| (SccId::from_usize(i), self.members.row(i)))
     }
+
+    /// Builds a decomposition directly from a `vertex → SCC id` table.
+    ///
+    /// Unlike [`tarjan_scc`], the ids carry **no** topological-order
+    /// guarantee — this constructor exists so incremental maintenance code
+    /// (which renumbers SCCs as they merge and split) can hand back a
+    /// decomposition without re-running Tarjan. Every entry must be
+    /// `< scc_count` and every id in `0..scc_count` must appear (each SCC
+    /// is non-empty); both are debug-asserted.
+    pub fn from_component_table(comp_of: Vec<u32>, scc_count: usize) -> Scc {
+        debug_assert!(comp_of.iter().all(|&c| (c as usize) < scc_count));
+        let members = Csr::from_items(
+            scc_count,
+            (0..comp_of.len() as u32).map(|v| (comp_of[v as usize] as usize, v)),
+        );
+        debug_assert!((0..scc_count).all(|s| members.row_len(s) > 0), "empty SCC");
+        Scc { comp_of, members }
+    }
 }
 
 /// Computes SCCs of `g` with an iterative Tarjan DFS.

@@ -36,11 +36,15 @@
 
 pub mod edge_level;
 pub mod full_tc;
+pub mod incremental;
 pub mod rtc;
 pub mod tc;
 
 pub use edge_level::{reduce_edge_level, reduce_for};
 pub use full_tc::FullTc;
+pub use incremental::{
+    DynamicRtc, MaintenanceConfig, MaintenanceOutcome, MaintenanceStats, RebuildReason,
+};
 pub use rtc::{Rtc, RtcStats};
 pub use tc::{
     closure_of_condensation, closure_of_condensation_bitset, expand_scc_closure,

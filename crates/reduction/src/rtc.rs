@@ -74,6 +74,34 @@ impl Rtc {
         }
     }
 
+    /// Assembles an RTC from pre-computed parts — the snapshot path of
+    /// incremental maintenance ([`crate::incremental::DynamicRtc`]), which
+    /// renumbers SCCs itself and must not pay for a Tarjan + closure
+    /// recompute. `closure` rows must be sorted ascending and indexed by
+    /// the same SCC ids as `scc` (no topological-order requirement —
+    /// nothing downstream of construction relies on one).
+    pub(crate) fn from_parts(
+        mapping: VertexMapping,
+        scc: Scc,
+        closure: Csr<u32>,
+        er_edges: usize,
+        ebar_edges: usize,
+    ) -> Rtc {
+        let stats = RtcStats {
+            vr_vertices: mapping.len(),
+            er_edges,
+            scc_count: scc.count(),
+            ebar_edges,
+            closure_pairs: closure.len(),
+        };
+        Rtc {
+            mapping,
+            scc,
+            closure,
+            stats,
+        }
+    }
+
     /// Size statistics.
     pub fn stats(&self) -> &RtcStats {
         &self.stats

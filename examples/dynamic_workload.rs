@@ -1,0 +1,123 @@
+//! Dynamic graphs end to end: an interleaved update/query stream driven
+//! through `Engine::apply_delta`, comparing incremental maintenance of
+//! the shared RTC against rebuilding a fresh engine per update batch.
+//!
+//! ```text
+//! cargo run --release --example dynamic_workload
+//! ```
+
+use rtc_rpq::core::{Engine, EngineConfig, Strategy};
+use rtc_rpq::datasets::dynamic::{generate_dynamic_workload, DynamicStep, DynamicWorkloadConfig};
+use rtc_rpq::datasets::rmat::rmat_n_scaled;
+use rtc_rpq::datasets::workload::{alphabet_of, generate_workload, WorkloadConfig};
+use rtc_rpq::graph::VersionedGraph;
+use std::time::Instant;
+
+fn main() {
+    // RMAT_3-shaped graph at 2^10 vertices, same scale as the static
+    // multi_query_workload example.
+    let graph = rmat_n_scaled(3, 10, 45);
+    println!(
+        "graph: |V|={} |E|={} |Σ|={}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    // One multiple-RPQ set sharing a closure body.
+    let set = generate_workload(
+        &alphabet_of(&graph),
+        &WorkloadConfig {
+            rs_per_length: 1,
+            r_lengths: vec![2],
+            queries_per_set: 4,
+            ..WorkloadConfig::default()
+        },
+    )
+    .remove(0);
+    println!(
+        "shared sub-query R = {}, {} queries",
+        set.r,
+        set.queries.len()
+    );
+
+    // Small-delta stream: each batch touches ~0.5% of the edges.
+    let updates_per_round = (graph.edge_count() / 200).max(4);
+    let stream_config = DynamicWorkloadConfig {
+        rounds: 8,
+        updates_per_round,
+        insert_fraction: 0.5,
+        reinsert_fraction: 0.25,
+        new_label_every: 0,
+        seed: 7,
+    };
+    let stream = generate_dynamic_workload(&graph, &stream_config);
+    println!(
+        "stream: {} rounds × {} updates (≈{:.2}% of |E| per delta)\n",
+        stream_config.rounds,
+        updates_per_round,
+        100.0 * updates_per_round as f64 / graph.edge_count() as f64
+    );
+
+    // Strategy A — dynamic engine: apply each delta, let stale RTCs
+    // refresh incrementally, evaluate.
+    let mut dynamic =
+        Engine::with_config_versioned(VersionedGraph::new(graph.clone()), EngineConfig::default());
+    dynamic.evaluate_set(&set.queries).unwrap(); // warm at epoch 0
+
+    // Strategy B — rebuild: a fresh engine (cold cache) over the mutated
+    // graph for every query round.
+    let mut rebuilt_graph = VersionedGraph::new(graph);
+
+    println!(
+        "{:<7} {:>14} {:>14} {:>10}  (results verified equal)",
+        "round", "incremental", "rebuild", "speedup"
+    );
+    let mut inc_total = std::time::Duration::default();
+    let mut reb_total = std::time::Duration::default();
+    for step in &stream.steps {
+        match step {
+            DynamicStep::Update(delta) => {
+                dynamic.apply_delta(delta);
+                rebuilt_graph.apply(delta);
+            }
+            DynamicStep::QueryRound(round) => {
+                let t = Instant::now();
+                let incremental_results = dynamic.evaluate_set(&set.queries).unwrap();
+                let inc = t.elapsed();
+
+                let t = Instant::now();
+                let mut cold = Engine::with_strategy(rebuilt_graph.graph(), Strategy::RtcSharing);
+                let rebuild_results = cold.evaluate_set(&set.queries).unwrap();
+                let reb = t.elapsed();
+
+                assert_eq!(incremental_results, rebuild_results, "round {round}");
+                inc_total += inc;
+                reb_total += reb;
+                println!(
+                    "{:<7} {:>14.3?} {:>14.3?} {:>9.2}x",
+                    round,
+                    inc,
+                    reb,
+                    reb.as_secs_f64() / inc.as_secs_f64().max(1e-9)
+                );
+            }
+        }
+    }
+
+    let m = dynamic.maintenance_metrics();
+    println!(
+        "\ntotals: incremental {:.3?} vs rebuild {:.3?} ({:.2}x)",
+        inc_total,
+        reb_total,
+        reb_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "maintenance: {} deltas, {} incremental / {} unchanged / {} rebuild refreshes",
+        m.deltas_applied, m.incremental_refreshes, m.unchanged_refreshes, m.rebuild_refreshes
+    );
+    println!(
+        "refresh time: incremental {:.3?}, rebuild {:.3?}",
+        m.incremental_time, m.rebuild_time
+    );
+}

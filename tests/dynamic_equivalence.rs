@@ -1,0 +1,291 @@
+//! Dynamic-graph correctness: incremental maintenance must be *bitwise
+//! identical* to rebuild-from-scratch — the same `Rtc` expansion/stats,
+//! the same `FullTc` pairs, and the same `Engine::evaluate` results across
+//! all three strategies and thread counts {1, 2} — over random delta
+//! sequences (insert-only, delete-only and mixed), including the
+//! delete-then-reinsert and SCC-split/merge patterns.
+
+mod common;
+
+use common::{random_graph, rng, ALPHABET};
+use proptest::prelude::*;
+use rand::Rng;
+use rtc_rpq::core::{Engine, EngineConfig, Strategy};
+use rtc_rpq::graph::{GraphBuilder, GraphDelta, PairSet, VertexId};
+use rtc_rpq::reduction::{DynamicRtc, FullTc, MaintenanceConfig, Rtc};
+use rtc_rpq::regex::Regex;
+
+/// Damage thresholds covering both maintenance paths plus the default.
+const THRESHOLDS: [f64; 3] = [2.0, 0.0, 0.25];
+
+fn vid(pairs: &[(u32, u32)]) -> Vec<(VertexId, VertexId)> {
+    pairs
+        .iter()
+        .map(|&(a, b)| (VertexId(a), VertexId(b)))
+        .collect()
+}
+
+/// Asserts a maintained structure equals a from-scratch rebuild of the
+/// same relation, at `Rtc` level (expansion + all stats) and `FullTc`
+/// level (Lemma 1 ties them together).
+fn assert_rtc_equivalent(dynamic: &DynamicRtc, label: &str) {
+    let pairs = dynamic.pairs();
+    let fresh = Rtc::from_pairs(&pairs);
+    let snap = dynamic.snapshot();
+    assert_eq!(snap.expand(), fresh.expand(), "{label}: expansion");
+    assert_eq!(snap.stats(), fresh.stats(), "{label}: stats");
+    let full = FullTc::from_pairs(&pairs);
+    assert_eq!(snap.expand(), full.expand(), "{label}: Lemma 1");
+}
+
+// `rtc_rpq::core::Strategy` (the engine enum) shadows proptest's trait of
+// the same name, so spell the trait path out.
+fn arb_batches(
+    n: u32,
+    batches: usize,
+    batch_len: usize,
+) -> impl proptest::strategy::Strategy<Value = Vec<Vec<(u32, u32, u32)>>> {
+    // First element: 0 = delete, 1 = insert (the vendored proptest shim
+    // has no bool strategy).
+    prop::collection::vec(
+        prop::collection::vec((0u32..2, 0..n, 0..n), 1..batch_len),
+        1..batches,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mixed random delta sequences: after every batch the maintained
+    /// structure equals rebuild-from-scratch, at every damage threshold.
+    #[test]
+    fn random_mixed_deltas_match_rebuild(
+        base in prop::collection::vec((0u32..16, 0u32..16), 0..40),
+        batches in arb_batches(16, 6, 10),
+    ) {
+        for &threshold in &THRESHOLDS {
+            let config = MaintenanceConfig { damage_threshold: threshold };
+            let base_pairs: PairSet = base.iter().copied().collect();
+            let mut dynamic = DynamicRtc::from_pairs(&base_pairs);
+            for (i, batch) in batches.iter().enumerate() {
+                let inserts: Vec<(u32, u32)> =
+                    batch.iter().filter(|b| b.0 == 1).map(|b| (b.1, b.2)).collect();
+                let deletes: Vec<(u32, u32)> =
+                    batch.iter().filter(|b| b.0 == 0).map(|b| (b.1, b.2)).collect();
+                dynamic.apply(&vid(&inserts), &vid(&deletes), &config);
+                assert_rtc_equivalent(&dynamic, &format!("t={threshold} batch {i}"));
+            }
+        }
+    }
+
+    /// Insert-only growth from an arbitrary base.
+    #[test]
+    fn insert_only_deltas_match_rebuild(
+        base in prop::collection::vec((0u32..12, 0u32..12), 0..25),
+        adds in prop::collection::vec((0u32..12, 0u32..12), 1..30),
+    ) {
+        let base_pairs: PairSet = base.iter().copied().collect();
+        let config = MaintenanceConfig { damage_threshold: 2.0 };
+        // One pair at a time (maximal merge coverage)...
+        let mut one_by_one = DynamicRtc::from_pairs(&base_pairs);
+        for &p in &adds {
+            one_by_one.apply(&vid(&[p]), &[], &config);
+        }
+        assert_rtc_equivalent(&one_by_one, "insert one-by-one");
+        // ...and as a single batch.
+        let mut batched = DynamicRtc::from_pairs(&base_pairs);
+        batched.apply(&vid(&adds), &[], &config);
+        assert_rtc_equivalent(&batched, "insert batched");
+        prop_assert_eq!(one_by_one.pairs(), batched.pairs());
+    }
+
+    /// Delete-only shrinkage down to (possibly) empty, then reinsert
+    /// everything — the structure must round-trip exactly.
+    #[test]
+    fn delete_then_reinsert_round_trips(
+        base in prop::collection::vec((0u32..12, 0u32..12), 1..30),
+        order in prop::collection::vec(0usize..1000, 1..30),
+    ) {
+        let base_pairs: PairSet = base.iter().copied().collect();
+        let config = MaintenanceConfig { damage_threshold: 2.0 };
+        let mut dynamic = DynamicRtc::from_pairs(&base_pairs);
+        let all: Vec<(u32, u32)> = base_pairs.iter().map(|(a, b)| (a.raw(), b.raw())).collect();
+        // Delete in a scrambled order, checking equivalence as we go.
+        let mut remaining = all.clone();
+        for &o in &order {
+            if remaining.is_empty() {
+                break;
+            }
+            let victim = remaining.swap_remove(o % remaining.len());
+            dynamic.apply(&[], &vid(&[victim]), &config);
+        }
+        assert_rtc_equivalent(&dynamic, "after deletes");
+        // Reinsert everything: bitwise identical to the original build.
+        dynamic.apply(&vid(&all), &[], &config);
+        assert_rtc_equivalent(&dynamic, "after reinsert");
+        let fresh = Rtc::from_pairs(&base_pairs);
+        let snap = dynamic.snapshot();
+        prop_assert_eq!(snap.expand(), fresh.expand());
+        prop_assert_eq!(snap.stats(), fresh.stats());
+    }
+}
+
+/// SCC split/merge stress: cycles repeatedly broken and re-closed.
+#[test]
+fn scc_split_and_merge_cycles() {
+    let config = MaintenanceConfig {
+        damage_threshold: 2.0,
+    };
+    // A ring of three 3-cycles chained through bridges, all collapsed into
+    // one big SCC by a closing edge.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for c in 0..3u32 {
+        let o = c * 3;
+        pairs.extend([(o, o + 1), (o + 1, o + 2), (o + 2, o)]);
+        pairs.push((o + 2, (o + 3) % 9)); // bridge to the next cluster
+    }
+    let base: PairSet = pairs.iter().copied().collect();
+    let mut dynamic = DynamicRtc::from_pairs(&base);
+    assert_eq!(dynamic.scc_count(), 1, "ring of rings is one SCC");
+
+    // Break the outer ring: three separate SCCs again.
+    dynamic.apply(&[], &vid(&[(8, 0)]), &config);
+    assert_rtc_equivalent(&dynamic, "outer ring broken");
+    assert_eq!(dynamic.snapshot().scc_count(), 3);
+
+    // Break an inner cycle: its members become singletons.
+    dynamic.apply(&[], &vid(&[(2, 0)]), &config);
+    assert_rtc_equivalent(&dynamic, "inner cycle broken");
+
+    // Re-close both: back to one SCC, bitwise identical to fresh.
+    dynamic.apply(&vid(&[(2, 0), (8, 0)]), &[], &config);
+    assert_rtc_equivalent(&dynamic, "re-closed");
+    assert_eq!(dynamic.scc_count(), 1);
+    assert_eq!(dynamic.snapshot().expand(), Rtc::from_pairs(&base).expand());
+}
+
+/// Engine-level equivalence: a dynamic engine absorbing update streams
+/// answers every query exactly like a fresh engine over the rebuilt
+/// graph — for every strategy, at 1 and 2 worker threads.
+#[test]
+fn engine_apply_delta_matches_fresh_engine() {
+    let queries: Vec<Regex> = ["(a.b)+", "a.(b.c)+.c", "(a|b)+", "c*.(a.b)*", "b+"]
+        .iter()
+        .map(|q| Regex::parse(q).unwrap())
+        .collect();
+    let mut r = rng(0xD15C0);
+    for case in 0..8 {
+        let n = r.gen_range(5..16);
+        let m = r.gen_range(6..40);
+        let g = random_graph(&mut r, n, m);
+        // Plan a shared update stream: 4 rounds of mixed ops.
+        type Edges = Vec<(u32, String, u32)>;
+        let mut rounds: Vec<(Edges, Edges)> = Vec::new();
+        let mut edges: Vec<(u32, String, u32)> = g
+            .all_edges()
+            .map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw()))
+            .collect();
+        for _ in 0..4 {
+            let mut deletes = Vec::new();
+            for _ in 0..r.gen_range(0..4) {
+                if edges.is_empty() {
+                    break;
+                }
+                let at = r.gen_range(0..edges.len());
+                deletes.push(edges.swap_remove(at));
+            }
+            let mut inserts = Vec::new();
+            for _ in 0..r.gen_range(1..5) {
+                let e = (
+                    r.gen_range(0..n),
+                    ALPHABET[r.gen_range(0..ALPHABET.len())].to_owned(),
+                    r.gen_range(0..n),
+                );
+                if !edges.contains(&e) {
+                    edges.push(e.clone());
+                }
+                inserts.push(e);
+            }
+            rounds.push((deletes, inserts));
+        }
+
+        for strategy in Strategy::ALL {
+            for threads in [1usize, 2] {
+                let config = EngineConfig {
+                    strategy,
+                    threads,
+                    ..EngineConfig::default()
+                };
+                let mut dynamic = Engine::with_config(&g, config);
+                // Warm the cache at epoch 0 so refreshes actually happen.
+                dynamic.evaluate_set(&queries).unwrap();
+                // Independently tracked edge state for the oracle build.
+                let mut oracle_edges: Vec<(u32, String, u32)> = g
+                    .all_edges()
+                    .map(|(s, l, d)| (s.raw(), g.labels().name(l).to_owned(), d.raw()))
+                    .collect();
+                for (round, (deletes, inserts)) in rounds.iter().enumerate() {
+                    let mut delta = GraphDelta::new();
+                    for (s, l, d) in deletes {
+                        delta.delete(*s, l, *d);
+                        oracle_edges.retain(|e| e != &(*s, l.clone(), *d));
+                    }
+                    for (s, l, d) in inserts {
+                        delta.insert(*s, l, *d);
+                        if !oracle_edges.contains(&(*s, l.clone(), *d)) {
+                            oracle_edges.push((*s, l.clone(), *d));
+                        }
+                    }
+                    dynamic.apply_delta(&delta);
+                    let got = dynamic.evaluate_set(&queries).unwrap();
+
+                    // The oracle: a fresh build of the tracked edge set
+                    // (GraphBuilder path — independent of VersionedGraph).
+                    let mut b = GraphBuilder::new();
+                    b.ensure_vertices(dynamic.graph().vertex_count());
+                    for (s, l, d) in &oracle_edges {
+                        b.add_edge(*s, l, *d);
+                    }
+                    let rebuilt = b.build();
+                    let expect = Engine::with_config(&rebuilt, config)
+                        .evaluate_set(&queries)
+                        .unwrap();
+                    assert_eq!(
+                        got, expect,
+                        "case {case}, {strategy}, {threads} threads, round {round}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A delta stream can make a query's relation grow, vanish and reappear;
+/// the engine must track it through delete-then-reinsert exactly.
+#[test]
+fn engine_delete_then_reinsert_is_exact() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, "a", 1)
+        .add_edge(1, "b", 2)
+        .add_edge(2, "a", 3)
+        .add_edge(3, "b", 0); // (a·b)+ has a 4-cycle core
+    let g = b.build();
+    let q = Regex::parse("(a.b)+").unwrap();
+    for strategy in Strategy::ALL {
+        let mut e = Engine::with_strategy(&g, strategy);
+        let original = e.evaluate(&q).unwrap();
+        assert!(original.contains(VertexId(0), VertexId(0)), "{strategy}");
+
+        let mut cut = GraphDelta::new();
+        cut.delete(3, "b", 0);
+        e.apply_delta(&cut);
+        let broken = e.evaluate(&q).unwrap();
+        assert!(!broken.contains(VertexId(0), VertexId(0)), "{strategy}");
+
+        let mut heal = GraphDelta::new();
+        heal.insert(3, "b", 0);
+        e.apply_delta(&heal);
+        assert_eq!(e.evaluate(&q).unwrap(), original, "{strategy}");
+        assert_eq!(e.epoch(), 2);
+    }
+}
