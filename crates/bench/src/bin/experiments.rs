@@ -118,6 +118,19 @@ fn print_usage() {
         "usage: experiments [--profile fast|default|paper] [--csv DIR] [--json DIR] [--threads N] [{}]...",
         COMMANDS.join("|")
     );
+    eprintln!();
+    eprintln!("flags:");
+    eprintln!("  --profile P   experiment scale: fast (seconds), default, paper (TABLE IV sizes)");
+    eprintln!("  --csv DIR     additionally write each table as DIR/<table-slug>.csv");
+    eprintln!("  --json DIR    additionally write each table as DIR/<table-slug>.json —");
+    eprintln!("                the machine-readable form the nightly bench workflow");
+    eprintln!("                (.github/workflows/nightly-bench.yml) uploads as artifacts");
+    eprintln!(
+        "  --threads N   engine worker threads for exp1/exp2 (1 = sequential, 0 = all cores)"
+    );
+    eprintln!();
+    eprintln!("Commands may be combined; duplicates are deduplicated and 'all' subsumes");
+    eprintln!("everything. With no command, 'all' runs.");
 }
 
 fn emit(table: &Table, opts: &Options) {

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Experiment harness regenerating the paper's evaluation (Section V).
 //!
 //! The [`profiles`] module defines three experiment scales (`fast`,

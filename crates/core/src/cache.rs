@@ -278,6 +278,31 @@ impl SharedCache {
             .is_some_and(|entry| entry.epoch == self.epoch)
     }
 
+    /// Iterates the **fresh** (current-epoch) RTC entries as
+    /// `(key, rtc, recorded base relation)` — the persistence surface used
+    /// by the engine snapshot ([`crate::snapshot`]). Stale entries are
+    /// skipped: they would need a refresh before being served anyway, so a
+    /// snapshot simply drops them.
+    pub fn fresh_rtc_entries(
+        &self,
+    ) -> impl Iterator<Item = (&str, &Arc<Rtc>, Option<&Arc<PairSet>>)> {
+        self.rtcs
+            .iter()
+            .filter(|(_, e)| e.epoch == self.epoch)
+            .map(|(k, e)| (k.as_str(), &e.rtc, e.r_g.as_ref()))
+    }
+
+    /// Iterates the fresh full-closure entries (see
+    /// [`SharedCache::fresh_rtc_entries`]).
+    pub fn fresh_full_entries(
+        &self,
+    ) -> impl Iterator<Item = (&str, &Arc<FullTc>, Option<&Arc<PairSet>>)> {
+        self.fulls
+            .iter()
+            .filter(|(_, e)| e.epoch == self.epoch)
+            .map(|(k, e)| (k.as_str(), &e.full, e.r_g.as_ref()))
+    }
+
     /// Number of cached RTCs (fresh or stale).
     pub fn rtc_count(&self) -> usize {
         self.rtcs.len()

@@ -232,6 +232,29 @@ impl<'g> Engine<'g> {
         &self.config
     }
 
+    /// Switches the evaluation strategy of a *live* engine — the serving
+    /// front-end's `strategy` command. Cached structures survive: the RTC
+    /// and full-closure namespaces are independent, so flipping between
+    /// [`Strategy::RtcSharing`] and [`Strategy::FullSharing`] re-uses
+    /// whatever the other strategy already paid for on its next visit
+    /// back, and [`Strategy::NoSharing`] simply bypasses the cache.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.config.strategy = strategy;
+    }
+
+    /// Sets the worker-thread count of a live engine (see
+    /// [`EngineConfig::threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
+    /// Mutable cache access for the snapshot restore path
+    /// ([`crate::snapshot`]), which re-inserts persisted entries at the
+    /// restored graph epoch.
+    pub(crate) fn cache_mut(&mut self) -> &mut SharedCache {
+        &mut self.cache
+    }
+
     /// Evaluates one query, sharing structures with previous evaluations.
     pub fn evaluate(&mut self, query: &Regex) -> Result<PairSet, EngineError> {
         let t = Instant::now();

@@ -11,6 +11,12 @@ pub enum EngineError {
     /// A query string failed to parse (only from the string-accepting
     /// convenience APIs).
     Parse(ParseError),
+    /// A graph-layer error surfaced through the engine (snapshot
+    /// embedding, graph loading).
+    Graph(rpq_graph::GraphError),
+    /// A malformed, truncated or version-incompatible engine snapshot
+    /// (see [`crate::snapshot`]).
+    Snapshot(String),
 }
 
 impl fmt::Display for EngineError {
@@ -18,6 +24,8 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Dnf(e) => write!(f, "{e}"),
             EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }
@@ -27,6 +35,8 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Dnf(e) => Some(e),
             EngineError::Parse(e) => Some(e),
+            EngineError::Graph(e) => Some(e),
+            EngineError::Snapshot(_) => None,
         }
     }
 }
@@ -40,6 +50,12 @@ impl From<DnfError> for EngineError {
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {
         EngineError::Parse(e)
+    }
+}
+
+impl From<rpq_graph::GraphError> for EngineError {
+    fn from(e: rpq_graph::GraphError) -> Self {
+        EngineError::Graph(e)
     }
 }
 

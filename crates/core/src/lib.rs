@@ -28,6 +28,7 @@ pub mod error;
 pub mod explain;
 pub mod pre_relation;
 pub mod sharing;
+pub mod snapshot;
 
 pub use batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
 pub use breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};

@@ -1,0 +1,536 @@
+//! Engine snapshots: graph + warm shared-structure cache, on disk.
+//!
+//! A long-lived [`Engine`] earns its keep by amortizing shared RTCs across
+//! a query stream; a restart that only persisted the *graph* would still
+//! pay Tarjan and the closure sweep again for every shared body before the
+//! first warm answer. An **engine snapshot** therefore persists both
+//! halves of the serving state:
+//!
+//! 1. the graph at its current epoch (the [`rpq_graph::snapshot`] section,
+//!    embedded verbatim), and
+//! 2. every **fresh** cache entry — key, recorded base relation `R_G`, and
+//!    the complete structural tables of the shared [`rpq_reduction::Rtc`] /
+//!    [`rpq_reduction::FullTc`] (via [`rpq_reduction::snapshot`]) — so the
+//!    restored cache serves
+//!    `Fresh` hits immediately, with zero recomputation.
+//!
+//! Stale entries (built at an older epoch than the graph) are *dropped* on
+//! save: they would need a refresh before being served anyway, and the
+//! refresh needs live evaluation state a snapshot cannot carry.
+//!
+//! Layout, after the 8-byte magic `b"RPQESNP1"`: the graph section, then
+//! the RTC entry table, then the full-closure entry table, then the end
+//! marker `b"RPQEEND."`. All integers are little-endian; see the field
+//! comments in [`write_snapshot`] for the exact order. Loads re-validate
+//! everything — magic, embedded graph, structural invariants of every
+//! cached structure, `R_G` pair ordering, and the end marker — so a
+//! truncated or corrupted file fails with [`EngineError::Snapshot`]
+//! instead of serving garbage.
+//!
+//! ```
+//! use rpq_core::{snapshot, Engine, EngineConfig};
+//! use rpq_graph::fixtures::paper_graph;
+//!
+//! let mut engine = Engine::new_dynamic(paper_graph());
+//! engine.evaluate_str("d.(b.c)+.c").unwrap(); // caches the (b.c) RTC
+//!
+//! let mut bytes = Vec::new();
+//! snapshot::write_snapshot(&engine, &mut bytes).unwrap();
+//!
+//! let mut warm = snapshot::read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+//! warm.evaluate_str("d.(b.c)+.c").unwrap();
+//! assert_eq!(warm.cache().misses(), 0); // the restored entry was Fresh
+//! assert!(warm.cache().hits() >= 1);
+//! ```
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::EngineError;
+use rpq_graph::{PairSet, VertexId};
+use rpq_reduction::{FullTcParts, RtcParts};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Leading magic of an engine snapshot; the trailing byte is the format
+/// version.
+pub const MAGIC: [u8; 8] = *b"RPQESNP1";
+
+/// Trailing end marker: present iff the file was written to completion.
+pub const END_MARKER: [u8; 8] = *b"RPQEEND.";
+
+/// Whether `head` starts with the engine-snapshot magic (any version) —
+/// the sniffing rule for front-ends whose `load` accepts engine
+/// snapshots alongside the graph-level formats.
+pub fn matches_magic(head: &[u8]) -> bool {
+    head.len() >= 7 && head[..7] == MAGIC[..7]
+}
+
+/// Writes the engine's full serving state (graph + fresh cache entries).
+pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), EngineError> {
+    w.write_all(&MAGIC).map_err(io_err)?;
+    rpq_graph::snapshot::write_graph_snapshot(engine.graph(), engine.epoch(), &mut w)?;
+
+    let cache = engine.cache();
+    // Collect and sort by key so snapshots of equal state are byte-equal
+    // (hash-map iteration order is not deterministic).
+    let mut rtcs: Vec<_> = cache.fresh_rtc_entries().collect();
+    rtcs.sort_by_key(|&(k, _, _)| k);
+    write_u32(&mut w, rtcs.len() as u32)?;
+    for (key, rtc, r_g) in rtcs {
+        write_str(&mut w, key)?;
+        write_opt_pairs(&mut w, r_g)?;
+        let parts = RtcParts::of(rtc);
+        write_u64(&mut w, parts.originals.len() as u64)?;
+        write_all_u32(&mut w, &parts.originals)?;
+        write_u32(&mut w, parts.scc_count)?;
+        write_all_u32(&mut w, &parts.component_of)?;
+        for row in &parts.closure_rows {
+            write_u32(&mut w, row.len() as u32)?;
+            write_all_u32(&mut w, row)?;
+        }
+        write_u64(&mut w, parts.er_edges)?;
+        write_u64(&mut w, parts.ebar_edges)?;
+    }
+
+    let mut fulls: Vec<_> = cache.fresh_full_entries().collect();
+    fulls.sort_by_key(|&(k, _, _)| k);
+    write_u32(&mut w, fulls.len() as u32)?;
+    for (key, full, r_g) in fulls {
+        write_str(&mut w, key)?;
+        write_opt_pairs(&mut w, r_g)?;
+        let parts = FullTcParts::of(full);
+        write_u64(&mut w, parts.originals.len() as u64)?;
+        write_all_u32(&mut w, &parts.originals)?;
+        for row in &parts.rows {
+            write_u32(&mut w, row.len() as u32)?;
+            write_all_u32(&mut w, row)?;
+        }
+    }
+
+    w.write_all(&END_MARKER).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads an engine snapshot, returning a warm engine that owns its graph
+/// (so deltas apply without an upgrade copy) and serves `Fresh` cache hits
+/// for every persisted shared structure.
+pub fn read_snapshot<R: Read>(
+    mut r: R,
+    config: EngineConfig,
+) -> Result<Engine<'static>, EngineError> {
+    let mut magic = [0u8; 8];
+    read_exact(&mut r, &mut magic, "magic")?;
+    if !matches_magic(&magic) {
+        return Err(EngineError::Snapshot(
+            "bad magic: not an engine snapshot file".into(),
+        ));
+    }
+    if magic[7] != MAGIC[7] {
+        return Err(EngineError::Snapshot(format!(
+            "unsupported engine snapshot version '{}' (this build reads version '{}')",
+            magic[7] as char, MAGIC[7] as char,
+        )));
+    }
+    let graph = rpq_graph::snapshot::read_snapshot(&mut r)?;
+    let mut engine = Engine::with_config_versioned(graph, config);
+
+    let rtc_count = read_u32(&mut r, "RTC entry count")?;
+    for _ in 0..rtc_count {
+        let key = read_str(&mut r, "RTC entry key")?;
+        let r_g = read_opt_pairs(&mut r)?;
+        let n = read_u64(&mut r, "RTC vertex count")? as usize;
+        let originals = read_vec_u32(&mut r, n, "RTC originals")?;
+        let scc_count = read_u32(&mut r, "RTC scc count")?;
+        let component_of = read_vec_u32(&mut r, n, "RTC component table")?;
+        let mut closure_rows = Vec::with_capacity((scc_count as usize).min(CAP));
+        for _ in 0..scc_count {
+            let len = read_u32(&mut r, "RTC closure row length")? as usize;
+            closure_rows.push(read_vec_u32(&mut r, len, "RTC closure row")?);
+        }
+        let er_edges = read_u64(&mut r, "RTC |E_R|")?;
+        let ebar_edges = read_u64(&mut r, "RTC |Ē_R|")?;
+        let parts = RtcParts {
+            originals,
+            component_of,
+            scc_count,
+            closure_rows,
+            er_edges,
+            ebar_edges,
+        };
+        let rtc = Arc::new(
+            parts
+                .assemble()
+                .map_err(|e| EngineError::Snapshot(format!("entry '{key}': {e}")))?,
+        );
+        match r_g {
+            Some(r_g) => engine
+                .cache_mut()
+                .insert_rtc_entry(key, rtc, Arc::new(r_g), None),
+            None => engine.cache_mut().insert_rtc(key, rtc),
+        }
+    }
+
+    let full_count = read_u32(&mut r, "full-closure entry count")?;
+    for _ in 0..full_count {
+        let key = read_str(&mut r, "full entry key")?;
+        let r_g = read_opt_pairs(&mut r)?;
+        let n = read_u64(&mut r, "full vertex count")? as usize;
+        let originals = read_vec_u32(&mut r, n, "full originals")?;
+        let mut rows = Vec::with_capacity(n.min(CAP));
+        for _ in 0..n {
+            let len = read_u32(&mut r, "full row length")? as usize;
+            rows.push(read_vec_u32(&mut r, len, "full row")?);
+        }
+        let parts = FullTcParts { originals, rows };
+        let full = Arc::new(
+            parts
+                .assemble()
+                .map_err(|e| EngineError::Snapshot(format!("entry '{key}': {e}")))?,
+        );
+        match r_g {
+            Some(r_g) => engine
+                .cache_mut()
+                .insert_full_entry(key, full, Arc::new(r_g)),
+            None => engine.cache_mut().insert_full(key, full),
+        }
+    }
+
+    let mut end = [0u8; 8];
+    read_exact(&mut r, &mut end, "end marker")?;
+    if end != END_MARKER {
+        return Err(EngineError::Snapshot(
+            "missing end marker: snapshot was not written to completion".into(),
+        ));
+    }
+    Ok(engine)
+}
+
+/// Writes the engine's serving state to a snapshot file.
+pub fn save_snapshot(engine: &Engine<'_>, path: &Path) -> Result<(), EngineError> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    write_snapshot(engine, std::io::BufWriter::new(file))
+}
+
+/// Loads a warm engine from a snapshot file.
+pub fn load_snapshot(path: &Path, config: EngineConfig) -> Result<Engine<'static>, EngineError> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    read_snapshot(std::io::BufReader::new(file), config)
+}
+
+/// Cap for pre-allocation from length fields a corrupt file controls.
+const CAP: usize = 1 << 16;
+
+fn io_err(e: std::io::Error) -> EngineError {
+    EngineError::Snapshot(format!("i/o error: {e}"))
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), EngineError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), EngineError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_all_u32<W: Write>(w: &mut W, vs: &[u32]) -> Result<(), EngineError> {
+    for &v in vs {
+        write_u32(w, v)?;
+    }
+    Ok(())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), EngineError> {
+    // Same cap as read_str: a save must never produce a file its own
+    // reader rejects (an over-long cache key fails loudly here instead).
+    if s.len() > CAP {
+        return Err(EngineError::Snapshot(format!(
+            "cache key of {} bytes exceeds the {CAP}-byte snapshot cap",
+            s.len()
+        )));
+    }
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+fn write_opt_pairs<W: Write>(w: &mut W, pairs: Option<&Arc<PairSet>>) -> Result<(), EngineError> {
+    match pairs {
+        None => w.write_all(&[0u8]).map_err(io_err),
+        Some(p) => {
+            w.write_all(&[1u8]).map_err(io_err)?;
+            write_u64(w, p.len() as u64)?;
+            for (a, b) in p.iter() {
+                write_u32(w, a.raw())?;
+                write_u32(w, b.raw())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), EngineError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            EngineError::Snapshot(format!("truncated snapshot: unexpected EOF reading {what}"))
+        } else {
+            io_err(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, EngineError> {
+    let mut buf = [0u8; 4];
+    read_exact(r, &mut buf, what)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, EngineError> {
+    let mut buf = [0u8; 8];
+    read_exact(r, &mut buf, what)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_vec_u32<R: Read>(r: &mut R, n: usize, what: &str) -> Result<Vec<u32>, EngineError> {
+    let mut out = Vec::with_capacity(n.min(CAP));
+    for _ in 0..n {
+        out.push(read_u32(r, what)?);
+    }
+    Ok(out)
+}
+
+fn read_str<R: Read>(r: &mut R, what: &str) -> Result<String, EngineError> {
+    let len = read_u32(r, what)? as usize;
+    if len > CAP {
+        return Err(EngineError::Snapshot(format!(
+            "{what} length {len} exceeds the {CAP}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    read_exact(r, &mut buf, what)?;
+    String::from_utf8(buf).map_err(|_| EngineError::Snapshot(format!("{what} is not valid UTF-8")))
+}
+
+fn read_opt_pairs<R: Read>(r: &mut R) -> Result<Option<PairSet>, EngineError> {
+    let mut tag = [0u8; 1];
+    read_exact(r, &mut tag, "base-relation tag")?;
+    match tag[0] {
+        0 => Ok(None),
+        1 => {
+            let n = read_u64(r, "base-relation pair count")? as usize;
+            let mut pairs = Vec::with_capacity(n.min(CAP));
+            for _ in 0..n {
+                let a = read_u32(r, "base-relation pair")?;
+                let b = read_u32(r, "base-relation pair")?;
+                pairs.push((VertexId(a), VertexId(b)));
+            }
+            if !pairs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(EngineError::Snapshot(
+                    "base relation pairs are not strictly ascending".into(),
+                ));
+            }
+            Ok(Some(PairSet::from_sorted_unique(pairs)))
+        }
+        t => Err(EngineError::Snapshot(format!(
+            "bad base-relation tag {t} (expected 0 or 1)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Strategy;
+    use rpq_graph::fixtures::paper_graph;
+    use rpq_graph::GraphDelta;
+
+    fn snapshot_bytes(engine: &Engine<'_>) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_snapshot(engine, &mut bytes).unwrap();
+        bytes
+    }
+
+    /// `unwrap_err` without requiring `Engine: Debug`.
+    fn expect_err(r: Result<Engine<'static>, EngineError>) -> EngineError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected a snapshot error, got a working engine"),
+        }
+    }
+
+    #[test]
+    fn warm_restart_serves_fresh_hits_without_recompute() {
+        let mut engine = Engine::new_dynamic(paper_graph());
+        let expected = engine.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(engine.cache().rtc_count(), 1);
+
+        let bytes = snapshot_bytes(&engine);
+        let mut warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(warm.epoch(), engine.epoch());
+        assert_eq!(warm.cache().rtc_count(), 1);
+        // The restored entry is Fresh: the very first evaluation hits it.
+        let result = warm.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(result, expected);
+        assert_eq!(warm.cache().misses(), 0, "warm cache must not miss");
+        assert_eq!(
+            warm.cache().stale_hits(),
+            0,
+            "entry must be Fresh, not stale"
+        );
+        assert!(warm.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_epoch_and_supports_further_deltas() {
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("(b.c)+").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert(6, "b", 8).insert(8, "c", 6);
+        engine.apply_delta(&delta);
+        let after_delta = engine.evaluate_str("(b.c)+").unwrap(); // refresh at epoch 1
+
+        let bytes = snapshot_bytes(&engine);
+        let mut warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(warm.epoch(), 1);
+        assert_eq!(warm.evaluate_str("(b.c)+").unwrap(), after_delta);
+        assert_eq!(warm.cache().misses(), 0);
+
+        // The warm engine keeps mutating: the restored entry goes stale
+        // and refreshes (r_g was persisted, so incrementally).
+        let mut delta = GraphDelta::new();
+        delta.delete(6, "b", 8);
+        warm.apply_delta(&delta);
+        let reverted = warm.evaluate_str("(b.c)+").unwrap();
+        let oracle = Engine::new(&paper_graph()).evaluate_str("(b.c)+").unwrap();
+        assert_eq!(reverted, oracle);
+        assert!(warm.cache().stale_hits() >= 1);
+    }
+
+    #[test]
+    fn stale_entries_are_dropped_on_save() {
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("(b.c)+").unwrap();
+        // Advance the epoch without refreshing: the entry is now stale.
+        engine.apply_delta(&GraphDelta::new());
+        let bytes = snapshot_bytes(&engine);
+        let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(warm.cache().rtc_count(), 0);
+        assert_eq!(warm.epoch(), 1);
+    }
+
+    #[test]
+    fn full_sharing_entries_roundtrip() {
+        let g = paper_graph();
+        let mut engine = Engine::with_strategy(&g, Strategy::FullSharing);
+        let expected = engine.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(engine.cache().full_count(), 1);
+
+        let bytes = snapshot_bytes(&engine);
+        let config = EngineConfig {
+            strategy: Strategy::FullSharing,
+            ..EngineConfig::default()
+        };
+        let mut warm = read_snapshot(&bytes[..], config).unwrap();
+        assert_eq!(warm.cache().full_count(), 1);
+        assert_eq!(warm.evaluate_str("d.(b.c)+.c").unwrap(), expected);
+        assert_eq!(warm.cache().misses(), 0);
+        assert!(warm.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("d.(b.c)+.c").unwrap();
+        engine.evaluate_str("(a.b)+").unwrap();
+        engine.evaluate_str("c.(a.b)*").unwrap();
+        assert!(engine.cache().rtc_count() >= 2);
+        assert_eq!(snapshot_bytes(&engine), snapshot_bytes(&engine));
+    }
+
+    #[test]
+    fn borrowed_engine_snapshots_at_epoch_zero() {
+        let g = paper_graph();
+        let mut engine = Engine::new(&g);
+        engine.evaluate_str("(b.c)+").unwrap();
+        let bytes = snapshot_bytes(&engine);
+        let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(warm.epoch(), 0);
+        assert_eq!(warm.cache().rtc_count(), 1);
+        assert_eq!(warm.graph().edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let err = expect_err(read_snapshot(&b"GARBAGE_"[..], EngineConfig::default()));
+        assert!(
+            matches!(err, EngineError::Snapshot(ref m) if m.contains("magic")),
+            "{err}"
+        );
+
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("d.(b.c)+.c").unwrap();
+        let bytes = snapshot_bytes(&engine);
+        for cut in [0, 4, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = expect_err(read_snapshot(&bytes[..cut], EngineConfig::default()));
+            // Truncation inside the embedded graph section surfaces as a
+            // graph-layer snapshot error; everywhere else as the engine's.
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Snapshot(_)
+                        | EngineError::Graph(rpq_graph::GraphError::Snapshot(_))
+                ),
+                "prefix {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_structure_tables_are_rejected_at_assembly() {
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("d.(b.c)+.c").unwrap();
+        let bytes = snapshot_bytes(&engine);
+        // Flip one byte at a time over the cache section; every outcome
+        // must be a clean error or a successful parse — never a panic.
+        let mut rejected = 0;
+        for at in (bytes.len().saturating_sub(120))..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x5a;
+            if read_snapshot(&corrupt[..], EngineConfig::default()).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "no corruption detected at all");
+    }
+
+    #[test]
+    fn oversized_cache_key_fails_at_save_not_load() {
+        // Write/read symmetry: a key past the reader's cap must make the
+        // *write* fail loudly, never produce an unloadable file.
+        let mut engine = Engine::new_dynamic(paper_graph());
+        let huge_key = "k".repeat(CAP + 1);
+        engine.cache_mut().insert_rtc(
+            huge_key,
+            Arc::new(rpq_reduction::Rtc::from_pairs(&PairSet::new())),
+        );
+        let mut bytes = Vec::new();
+        let err = write_snapshot(&engine, &mut bytes).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Snapshot(ref m) if m.contains("cap")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rpq_engine_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        let mut engine = Engine::new_dynamic(paper_graph());
+        engine.evaluate_str("d.(b.c)+.c").unwrap();
+        save_snapshot(&engine, &path).unwrap();
+        let mut warm = load_snapshot(&path, EngineConfig::default()).unwrap();
+        warm.evaluate_str("d.(b.c)+.c").unwrap();
+        assert_eq!(warm.cache().misses(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

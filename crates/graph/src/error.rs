@@ -21,6 +21,9 @@ pub enum GraphError {
     },
     /// An I/O error message (stringified to keep the error type `Clone + Eq`).
     Io(String),
+    /// A malformed, truncated or version-incompatible binary snapshot
+    /// (see [`crate::snapshot`]).
+    Snapshot(String),
 }
 
 impl fmt::Display for GraphError {
@@ -37,6 +40,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod multigraph;
 pub mod pairset;
 pub mod par;
 pub mod scc;
+pub mod snapshot;
 pub mod stats;
 pub mod versioned;
 

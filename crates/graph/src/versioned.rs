@@ -173,6 +173,14 @@ impl VersionedGraph {
         Self { graph, epoch: 0 }
     }
 
+    /// Wraps a graph at an explicit epoch — the deserialization path of
+    /// [`crate::snapshot`], where the restored graph must keep the epoch
+    /// it was saved at so caches stamped before the save stay *fresh*
+    /// rather than restarting the epoch clock at 0.
+    pub fn restore(graph: LabeledMultigraph, epoch: u64) -> Self {
+        Self { graph, epoch }
+    }
+
     /// The current graph snapshot.
     #[inline]
     pub fn graph(&self) -> &LabeledMultigraph {

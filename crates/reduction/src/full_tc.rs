@@ -45,6 +45,23 @@ impl FullTc {
         }
     }
 
+    /// Borrows the internal tables for serialization
+    /// ([`crate::snapshot::FullTcParts`]).
+    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &Csr<u32>) {
+        (&self.mapping, &self.rows)
+    }
+
+    /// Reassembles a closure from deserialized tables (validated by
+    /// [`crate::snapshot::FullTcParts::assemble`]).
+    pub(crate) fn from_raw_parts(mapping: VertexMapping, rows: Csr<u32>) -> FullTc {
+        let pair_count = rows.len();
+        FullTc {
+            mapping,
+            rows,
+            pair_count,
+        }
+    }
+
     /// Number of pairs in `R⁺_G` — FullSharing's shared-data size (Fig. 12).
     pub fn pair_count(&self) -> usize {
         self.pair_count

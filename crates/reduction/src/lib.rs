@@ -38,6 +38,7 @@ pub mod edge_level;
 pub mod full_tc;
 pub mod incremental;
 pub mod rtc;
+pub mod snapshot;
 pub mod tc;
 
 pub use edge_level::{reduce_edge_level, reduce_for};
@@ -46,6 +47,7 @@ pub use incremental::{
     DynamicRtc, MaintenanceConfig, MaintenanceOutcome, MaintenanceStats, RebuildReason,
 };
 pub use rtc::{Rtc, RtcStats};
+pub use snapshot::{FullTcParts, PartsError, RtcParts};
 pub use tc::{
     closure_of_condensation, closure_of_condensation_bitset, expand_scc_closure,
     expand_scc_closure_parallel, nuutila_closure, tc_condensation, tc_condensation_parallel,

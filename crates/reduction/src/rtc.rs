@@ -102,6 +102,12 @@ impl Rtc {
         }
     }
 
+    /// Borrows the internal tables for serialization
+    /// ([`crate::snapshot::RtcParts`]).
+    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &Scc, &Csr<u32>, &RtcStats) {
+        (&self.mapping, &self.scc, &self.closure, &self.stats)
+    }
+
     /// Size statistics.
     pub fn stats(&self) -> &RtcStats {
         &self.stats

@@ -1,0 +1,166 @@
+//! The `rpq` binary: REPL and TCP front-ends over one serving engine.
+//!
+//! ```text
+//! rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]
+//! rpq serve --addr HOST:PORT [--load PATH] [--strategy rtc|full|none] [--threads N]
+//! ```
+//!
+//! `repl` reads commands from stdin (interactive prompt on a TTY, silent
+//! in pipes) and writes responses to stdout. `serve` speaks the same
+//! command language as a line-delimited TCP protocol; all connections
+//! share one engine and one epoch-aware cache. `--load` accepts an edge
+//! list, a graph snapshot, or an engine snapshot (warm restart) — the
+//! format is auto-detected. See `docs/QUERY_LANGUAGE.md` for the command
+//! reference.
+
+use rpq_server::session::{parse_strategy_flag, startup_config, Session};
+use std::process::ExitCode;
+
+struct Options {
+    mode: Mode,
+    load: Option<String>,
+    strategy: Option<rpq_core::Strategy>,
+    threads: Option<usize>,
+}
+
+enum Mode {
+    Repl,
+    Serve { addr: String },
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mode = match args.next().as_deref() {
+        Some("repl") => Mode::Repl,
+        Some("serve") => Mode::Serve {
+            addr: String::new(),
+        },
+        Some("--help" | "-h") | None => return Err(String::new()),
+        Some(other) => return Err(format!("unknown mode '{other}' (use repl or serve)")),
+    };
+    let mut opts = Options {
+        mode,
+        load: None,
+        strategy: None,
+        threads: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--load" => opts.load = Some(args.next().ok_or("--load needs a PATH")?),
+            "--strategy" => {
+                let v = args.next().ok_or("--strategy needs rtc|full|none")?;
+                opts.strategy =
+                    Some(parse_strategy_flag(&v).ok_or(format!("unknown strategy '{v}'"))?);
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads =
+                    Some(v.parse().map_err(|_| {
+                        format!("--threads needs a non-negative integer, got '{v}'")
+                    })?);
+            }
+            "--addr" => {
+                let v = args.next().ok_or("--addr needs HOST:PORT")?;
+                match &mut opts.mode {
+                    Mode::Serve { addr } => *addr = v,
+                    Mode::Repl => return Err("--addr only applies to serve".into()),
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if let Mode::Serve { addr } = &opts.mode {
+        if addr.is_empty() {
+            return Err("serve needs --addr HOST:PORT".into());
+        }
+    }
+    Ok(opts)
+}
+
+fn print_usage() {
+    eprintln!("usage: rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]");
+    eprintln!(
+        "       rpq serve --addr HOST:PORT [--load PATH] [--strategy rtc|full|none] [--threads N]"
+    );
+    eprintln!();
+    eprintln!("--load accepts an edge list, a graph snapshot, or an engine snapshot");
+    eprintln!("(warm restart) — the format is auto-detected. Commands: see 'help' in");
+    eprintln!("the session or docs/QUERY_LANGUAGE.md.");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut session = Session::new();
+    // Apply startup configuration before any load, so an engine-snapshot
+    // load inherits the requested strategy/threads.
+    let config = startup_config(opts.strategy, opts.threads);
+    session.execute(&format!("strategy {}", strategy_name(config.strategy)));
+    session.execute(&format!("threads {}", config.threads));
+    if let Some(path) = &opts.load {
+        match session.execute(&format!("load {path}")) {
+            Some(r) if matches!(r.status, rpq_server::Status::Ok(_)) => {
+                eprint!("{}", r.render());
+            }
+            Some(r) => {
+                eprint!("{}", r.render());
+                return ExitCode::FAILURE;
+            }
+            None => unreachable!("load always responds"),
+        }
+    }
+
+    match opts.mode {
+        Mode::Repl => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            match rpq_server::run_repl(&mut session, stdin.lock(), stdout.lock()) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Serve { addr } => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "listening on {} (line protocol; try: echo 'info' | nc {addr})",
+                listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or(addr.clone()),
+            );
+            match rpq_server::serve(listener, rpq_server::shared(session)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: accept loop failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+fn strategy_name(s: rpq_core::Strategy) -> &'static str {
+    match s {
+        rpq_core::Strategy::RtcSharing => "rtc",
+        rpq_core::Strategy::FullSharing => "full",
+        rpq_core::Strategy::NoSharing => "none",
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Serving front-end for the RTC-RPQ engine.
+//!
+//! The paper's headline win — sharing one reduced transitive closure
+//! across many RPQs — only pays off operationally when a *long-lived*
+//! engine amortizes the RTC over a stream of queries. This crate turns
+//! the workspace's library stack into that servable system:
+//!
+//! * [`command`] — the request language shared by every front-end: load
+//!   and generate graphs, evaluate RPQ text through the
+//!   `rpq_regex` parser → `rpq_automata`/`rpq_core` pipeline, apply
+//!   `GraphDelta` mutations online, switch strategies, inspect metrics
+//!   and cache state, and save/load snapshots.
+//! * [`session`] — one long-lived [`rpq_core::Engine`] (owning its graph,
+//!   epoch-aware cache attached) driven by command lines; the single
+//!   execution path behind both transports.
+//! * [`repl`] — the interactive/pipeable CLI loop (`rpq repl`).
+//! * [`tcp`] — the same commands as a line-delimited TCP protocol
+//!   (`rpq serve`), every connection sharing one session so client A's
+//!   RTC is client B's cache hit.
+//!
+//! Warm restarts ride on the two snapshot layers underneath:
+//! `rpq_graph::snapshot` persists the versioned graph (with epoch), and
+//! `rpq_core::snapshot` adds the fresh shared-structure cache entries, so
+//! `save` + restart + `load` answers the next query with a `Fresh` cache
+//! hit — no Tarjan, no closure sweep.
+//!
+//! ```
+//! use rpq_server::session::{Session, Status};
+//!
+//! let mut session = Session::new();
+//! session.execute("gen paper");
+//! let response = session.execute("query d.(b.c)+.c").unwrap();
+//! assert!(matches!(response.status, Status::Ok(ref m) if m.starts_with("2 pairs")));
+//! ```
+//!
+//! The command reference with worked examples is `docs/QUERY_LANGUAGE.md`;
+//! the serving quickstart is the README's "Serving" section.
+
+pub mod command;
+pub mod repl;
+pub mod session;
+pub mod tcp;
+
+pub use command::{parse_command, Command, DeltaOp};
+pub use repl::run_repl;
+pub use session::{Response, Session, Status};
+pub use tcp::{handle_connection, serve, shared, SharedSession};

@@ -1,0 +1,85 @@
+//! The interactive REPL: stdin lines in, wire-format responses out.
+//!
+//! The loop is transport-agnostic on purpose — it reads any `BufRead` and
+//! writes any `Write` — so the integration tests drive it end to end over
+//! an in-memory pipe, and `rpq repl < script.rpq` works for batch use.
+//! Responses use the same `payload lines + OK/ERR status line` framing as
+//! the TCP protocol ([`crate::tcp`]), so a script is portable between the
+//! two front-ends.
+//!
+//! When stdout is a terminal, a `rpq> ` prompt is written to **stderr**
+//! between commands; piped stdout therefore contains only responses.
+
+use crate::session::Session;
+use std::io::{BufRead, IsTerminal, Write};
+
+/// Runs the command loop until EOF or `quit`, returning the number of
+/// commands executed. Errors from the output sink end the loop (the
+/// consumer is gone); session-level command errors are reported in-band
+/// as `ERR` lines and do not end the loop.
+pub fn run_repl<R: BufRead, W: Write>(
+    session: &mut Session,
+    input: R,
+    mut output: W,
+) -> std::io::Result<u64> {
+    let interactive = std::io::stdout().is_terminal();
+    let mut executed = 0u64;
+    prompt(interactive);
+    for line in input.lines() {
+        let line = line?;
+        if let Some(response) = session.execute(&line) {
+            executed += 1;
+            output.write_all(response.render().as_bytes())?;
+            output.flush()?;
+            if response.quit {
+                break;
+            }
+        }
+        prompt(interactive);
+    }
+    Ok(executed)
+}
+
+fn prompt(interactive: bool) {
+    if interactive {
+        eprint!("rpq> ");
+        let _ = std::io::stderr().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_loop_over_a_pipe() {
+        let script = "\
+gen paper
+query d.(b.c)+.c
+# a comment and a blank line are skipped
+
+cache
+quit
+query never.reached
+";
+        let mut session = Session::new();
+        let mut out = Vec::new();
+        let executed = run_repl(&mut session, script.as_bytes(), &mut out).unwrap();
+        assert_eq!(executed, 4); // gen, query, cache, quit — comment/blank skipped
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("v7 -> v5"));
+        assert!(text.contains("OK bye"));
+        assert!(!text.contains("never"));
+    }
+
+    #[test]
+    fn eof_ends_the_loop_cleanly() {
+        let mut session = Session::new();
+        let mut out = Vec::new();
+        let executed = run_repl(&mut session, &b"info\n"[..], &mut out).unwrap();
+        assert_eq!(executed, 1);
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("OK graph 'empty'"));
+    }
+}

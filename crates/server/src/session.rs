@@ -1,0 +1,628 @@
+//! A serving session: one long-lived [`Engine`] driven by command lines.
+//!
+//! [`Session::execute`] is the single entry point both front-ends call —
+//! the REPL feeds it stdin lines, the TCP server feeds it socket lines —
+//! so behaviour (and therefore scripts) are identical across transports.
+//! The engine **owns** its graph ([`Engine::new_dynamic`]), so `delta`
+//! commands mutate in place and every query after the first shares the
+//! epoch-aware cache the paper's Experiment 2 is about.
+
+use crate::command::{parse_command, Command, DeltaOp, HELP};
+use rpq_core::{Engine, EngineConfig, Strategy};
+use rpq_graph::{GraphBuilder, GraphDelta, VersionedGraph};
+use std::path::Path;
+use std::time::Instant;
+
+/// Result of executing one command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Payload lines (never starting with `OK`/`ERR` — the framing
+    /// invariant of the line protocol).
+    pub lines: Vec<String>,
+    /// Final status line, without its `OK `/`ERR ` prefix.
+    pub status: Status,
+    /// Whether the session asked to end (`quit`).
+    pub quit: bool,
+}
+
+/// Success or failure of one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// The command succeeded; the string is a one-line summary.
+    Ok(String),
+    /// The command failed; nothing changed beyond what the message says.
+    Err(String),
+}
+
+impl Response {
+    fn ok(summary: impl Into<String>) -> Response {
+        Response {
+            lines: Vec::new(),
+            status: Status::Ok(summary.into()),
+            quit: false,
+        }
+    }
+
+    fn err(message: impl Into<String>) -> Response {
+        Response {
+            lines: Vec::new(),
+            status: Status::Err(message.into()),
+            quit: false,
+        }
+    }
+
+    fn with_lines(mut self, lines: Vec<String>) -> Response {
+        self.lines = lines;
+        self
+    }
+
+    /// Renders the response in wire format: payload lines, then one
+    /// `OK ...` / `ERR ...` status line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            debug_assert!(
+                !line.starts_with("OK") && !line.starts_with("ERR"),
+                "payload line breaks the framing invariant: {line}"
+            );
+            out.push_str(line);
+            out.push('\n');
+        }
+        match &self.status {
+            Status::Ok(s) => {
+                out.push_str("OK ");
+                out.push_str(s);
+            }
+            Status::Err(s) => {
+                out.push_str("ERR ");
+                out.push_str(s);
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// A long-lived serving session over an owning engine.
+pub struct Session {
+    engine: Engine<'static>,
+    /// Result pairs printed per query (0 = print none, count only).
+    limit: usize,
+    /// Name of the loaded graph (path, generator tag, or "empty").
+    source: String,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session over an empty graph with the default configuration.
+    pub fn new() -> Session {
+        Session::from_engine(
+            Engine::new_dynamic(GraphBuilder::new().build()),
+            "empty".to_string(),
+        )
+    }
+
+    /// A session over an existing engine (used by `--load` startup and by
+    /// tests).
+    pub fn from_engine(engine: Engine<'static>, source: String) -> Session {
+        Session {
+            engine,
+            limit: 10,
+            source,
+        }
+    }
+
+    /// The engine, for inspection.
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.engine
+    }
+
+    /// Parses and executes one request line.
+    pub fn execute(&mut self, line: &str) -> Option<Response> {
+        match parse_command(line) {
+            Ok(None) => None,
+            Ok(Some(cmd)) => Some(self.run(cmd)),
+            Err(e) => Some(Response::err(e)),
+        }
+    }
+
+    fn run(&mut self, cmd: Command) -> Response {
+        match cmd {
+            Command::Help => Response::ok(format!("{} commands", HELP.len()))
+                .with_lines(HELP.iter().map(|s| s.to_string()).collect()),
+            Command::Info => self.info(),
+            Command::Epoch => Response::ok(format!("epoch {}", self.engine.epoch())),
+            Command::Load(path) => self.load(&path),
+            Command::Save(path) => self.save(&path),
+            Command::Export(path) => self.export(&path),
+            Command::GenPaper => {
+                self.replace_graph(
+                    VersionedGraph::new(rpq_graph::fixtures::paper_graph()),
+                    "paper".to_string(),
+                );
+                self.info_summary("loaded paper graph")
+            }
+            Command::GenRmat { n, scale, seed } => {
+                let g = rpq_datasets::rmat::rmat_n_scaled(n, scale, seed);
+                self.replace_graph(VersionedGraph::new(g), format!("rmat_{n}@2^{scale}#{seed}"));
+                self.info_summary("generated RMAT graph")
+            }
+            Command::Query(text) => self.query(&text),
+            Command::Check { src, dst, query } => self.check(src, dst, &query),
+            Command::Ends { src, query } => self.ends(src, &query),
+            Command::Prepare(text) => self.prepare(&text),
+            Command::Delta(ops) => self.delta(&ops),
+            Command::SetStrategy(s) => {
+                self.engine.set_strategy(s);
+                Response::ok(format!("strategy {s}"))
+            }
+            Command::SetThreads(n) => {
+                self.engine.set_threads(n);
+                Response::ok(format!("threads {n}"))
+            }
+            Command::SetLimit(n) => {
+                self.limit = n;
+                Response::ok(format!("limit {n}"))
+            }
+            Command::Metrics => self.metrics(),
+            Command::Cache => self.cache(),
+            Command::Reset { cache_too } => {
+                if cache_too {
+                    self.engine.clear_cache();
+                    Response::ok("cache cleared (structures dropped, counters reset)")
+                } else {
+                    self.engine.reset_metrics();
+                    Response::ok("metrics reset (cached structures kept)")
+                }
+            }
+            Command::Quit => {
+                let mut r = Response::ok("bye");
+                r.quit = true;
+                r
+            }
+        }
+    }
+
+    fn info(&self) -> Response {
+        let g = self.engine.graph();
+        let c = self.engine.config();
+        Response::ok(format!(
+            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}",
+            self.source,
+            g.vertex_count(),
+            g.edge_count(),
+            g.label_count(),
+            self.engine.epoch(),
+            c.strategy,
+            c.threads,
+        ))
+    }
+
+    fn info_summary(&self, what: &str) -> Response {
+        let g = self.engine.graph();
+        Response::ok(format!(
+            "{what}: {} vertices, {} edges, {} labels",
+            g.vertex_count(),
+            g.edge_count(),
+            g.label_count(),
+        ))
+    }
+
+    /// Replaces the engine's graph, keeping the session configuration
+    /// (strategy, threads, clause limit) but dropping cached structures —
+    /// they describe the old graph.
+    fn replace_graph(&mut self, graph: VersionedGraph, source: String) {
+        let config = *self.engine.config();
+        self.engine = Engine::with_config_versioned(graph, config);
+        self.source = source;
+    }
+
+    fn load(&mut self, path: &str) -> Response {
+        let p = Path::new(path);
+        // Sniff for an *engine* snapshot first (graph + warm cache); fall
+        // back to the graph-level auto-detection (snapshot or edge list).
+        // The magic rules themselves live with their formats
+        // (`matches_magic`), not here.
+        let head = match std::fs::File::open(p) {
+            Ok(mut f) => {
+                use std::io::Read;
+                let mut head = [0u8; 8];
+                let n = f.read(&mut head).unwrap_or(0);
+                head[..n].to_vec()
+            }
+            Err(e) => return Response::err(format!("cannot open '{path}': {e}")),
+        };
+        if rpq_core::snapshot::matches_magic(&head) {
+            let config = *self.engine.config();
+            match rpq_core::snapshot::load_snapshot(p, config) {
+                Ok(engine) => {
+                    let warm = engine.cache().rtc_count() + engine.cache().full_count();
+                    let epoch = engine.epoch();
+                    self.engine = engine;
+                    self.source = path.to_string();
+                    let g = self.engine.graph();
+                    Response::ok(format!(
+                        "warm restart: {} vertices, {} edges, epoch {epoch}, {warm} cached structures",
+                        g.vertex_count(),
+                        g.edge_count(),
+                    ))
+                }
+                Err(e) => Response::err(format!("cannot load engine snapshot '{path}': {e}")),
+            }
+        } else {
+            match rpq_datasets::io::load_versioned(p) {
+                Ok(vg) => {
+                    self.replace_graph(vg, path.to_string());
+                    self.info_summary(&format!("loaded '{path}'"))
+                }
+                Err(e) => Response::err(format!("cannot load '{path}': {e}")),
+            }
+        }
+    }
+
+    fn save(&mut self, path: &str) -> Response {
+        match rpq_core::snapshot::save_snapshot(&self.engine, Path::new(path)) {
+            Ok(()) => {
+                // Report what was actually persisted: only *fresh*
+                // entries survive a save (stale ones are dropped).
+                let cache = self.engine.cache();
+                let fresh = cache.fresh_rtc_entries().count() + cache.fresh_full_entries().count();
+                let stale = cache.rtc_count() + cache.full_count() - fresh;
+                let dropped = if stale > 0 {
+                    format!(" ({stale} stale dropped)")
+                } else {
+                    String::new()
+                };
+                Response::ok(format!(
+                    "snapshot '{path}': epoch {}, {fresh} cached structures{dropped}",
+                    self.engine.epoch(),
+                ))
+            }
+            Err(e) => Response::err(format!("cannot save '{path}': {e}")),
+        }
+    }
+
+    fn export(&mut self, path: &str) -> Response {
+        match rpq_datasets::io::save_graph(self.engine.graph(), Path::new(path)) {
+            Ok(()) => Response::ok(format!(
+                "edge list '{path}': {} edges",
+                self.engine.graph().edge_count()
+            )),
+            Err(e) => Response::err(format!("cannot export '{path}': {e}")),
+        }
+    }
+
+    fn query(&mut self, text: &str) -> Response {
+        let t = Instant::now();
+        match self.engine.evaluate_str(text) {
+            Ok(result) => {
+                let elapsed = t.elapsed();
+                let shown = result.len().min(self.limit);
+                let mut lines: Vec<String> = result
+                    .iter()
+                    .take(shown)
+                    .map(|(s, d)| format!("  v{} -> v{}", s.raw(), d.raw()))
+                    .collect();
+                if self.limit > 0 && result.len() > shown {
+                    lines.push(format!(
+                        "  ... {} more (raise with 'limit N')",
+                        result.len() - shown
+                    ));
+                }
+                Response::ok(format!("{} pairs in {elapsed:.2?}", result.len())).with_lines(lines)
+            }
+            Err(e) => Response::err(format!("query failed: {e}")),
+        }
+    }
+
+    fn check(&mut self, src: u32, dst: u32, text: &str) -> Response {
+        match rpq_regex::Regex::parse(text) {
+            Ok(q) => {
+                let found =
+                    self.engine
+                        .check(&q, rpq_graph::VertexId(src), rpq_graph::VertexId(dst));
+                Response::ok(format!(
+                    "{} path v{src} -> v{dst} for {q}",
+                    if found { "found" } else { "no" }
+                ))
+            }
+            Err(e) => Response::err(format!("bad RPQ: {e}")),
+        }
+    }
+
+    fn ends(&mut self, src: u32, text: &str) -> Response {
+        match rpq_regex::Regex::parse(text) {
+            Ok(q) => {
+                let ends = self.engine.ends_from(&q, rpq_graph::VertexId(src));
+                // `limit 0` means count-only, same as `query`.
+                let shown = ends.len().min(self.limit);
+                let line = ends
+                    .iter()
+                    .take(shown)
+                    .map(|v| format!("v{}", v.raw()))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let mut lines = Vec::new();
+                if shown > 0 {
+                    let more = if ends.len() > shown {
+                        format!(" ... {} more (raise with 'limit N')", ends.len() - shown)
+                    } else {
+                        String::new()
+                    };
+                    lines.push(format!("  {line}{more}"));
+                }
+                Response::ok(format!("{} end vertices from v{src}", ends.len())).with_lines(lines)
+            }
+            Err(e) => Response::err(format!("bad RPQ: {e}")),
+        }
+    }
+
+    fn prepare(&mut self, text: &str) -> Response {
+        match rpq_regex::Regex::parse(text) {
+            Ok(q) => match self.engine.prepare(std::slice::from_ref(&q)) {
+                Ok(report) => Response::ok(format!(
+                    "prepared: {} bodies computed, {} reused, {} shared pairs",
+                    report.bodies_computed, report.bodies_reused, report.shared_pairs
+                )),
+                Err(e) => Response::err(format!("prepare failed: {e}")),
+            },
+            Err(e) => Response::err(format!("bad RPQ: {e}")),
+        }
+    }
+
+    fn delta(&mut self, ops: &[DeltaOp]) -> Response {
+        let mut delta = GraphDelta::new();
+        for op in ops {
+            match op {
+                DeltaOp::Insert(s, l, d) => {
+                    delta.insert(*s, l, *d);
+                }
+                DeltaOp::Delete(s, l, d) => {
+                    delta.delete(*s, l, *d);
+                }
+                DeltaOp::Grow(n) => {
+                    delta.ensure_vertices(*n);
+                }
+            }
+        }
+        let summary = self.engine.apply_delta(&delta);
+        Response::ok(format!(
+            "epoch {}: +{} -{} edges, {} new labels, {} new vertices",
+            summary.epoch,
+            summary.edges_inserted,
+            summary.edges_deleted,
+            summary.new_labels,
+            summary.new_vertices,
+        ))
+    }
+
+    fn metrics(&self) -> Response {
+        let b = self.engine.breakdown();
+        let s = self.engine.elimination_stats();
+        let m = self.engine.maintenance_metrics();
+        let lines = vec![
+            format!(
+                "  breakdown: shared_data={:.2?} pre_join={:.2?} remainder={:.2?} total={:.2?}",
+                b.shared_data,
+                b.pre_join,
+                b.remainder(),
+                b.total
+            ),
+            format!(
+                "  elimination: useless1={} redundant1={} redundant2={} useless2_inserts={} full_dup_hits={}",
+                s.useless1_skipped,
+                s.redundant1_skipped,
+                s.redundant2_skipped,
+                s.useless2_unchecked_inserts,
+                s.full_duplicate_hits
+            ),
+            format!(
+                "  maintenance: deltas={} unchanged={} incremental={} rebuild={} inc_time={:.2?} rebuild_time={:.2?}",
+                m.deltas_applied,
+                m.unchanged_refreshes,
+                m.incremental_refreshes,
+                m.rebuild_refreshes,
+                m.incremental_time,
+                m.rebuild_time
+            ),
+        ];
+        Response::ok("metrics".to_string()).with_lines(lines)
+    }
+
+    fn cache(&self) -> Response {
+        let c = self.engine.cache();
+        let lines = vec![
+            format!(
+                "  entries: {} rtc ({} pairs, {} sccs), {} full ({} pairs)",
+                c.rtc_count(),
+                c.rtc_shared_pairs(),
+                c.rtc_total_sccs(),
+                c.full_count(),
+                c.full_shared_pairs()
+            ),
+            format!(
+                "  lookups: {} hits, {} misses, {} stale hits (epoch {})",
+                c.hits(),
+                c.misses(),
+                c.stale_hits(),
+                c.epoch()
+            ),
+        ];
+        Response::ok(format!(
+            "{} shared pairs held",
+            self.engine.shared_data_pairs()
+        ))
+        .with_lines(lines)
+    }
+}
+
+/// The strategy flag value accepted by the `rpq` binary (`--strategy`).
+pub fn parse_strategy_flag(v: &str) -> Option<Strategy> {
+    match v {
+        "rtc" => Some(Strategy::RtcSharing),
+        "full" => Some(Strategy::FullSharing),
+        "none" | "no" => Some(Strategy::NoSharing),
+        _ => None,
+    }
+}
+
+/// Builds the startup engine config from the binary's flags.
+pub fn startup_config(strategy: Option<Strategy>, threads: Option<usize>) -> EngineConfig {
+    let mut config = EngineConfig::default();
+    if let Some(s) = strategy {
+        config.strategy = s;
+    }
+    if let Some(t) = threads {
+        config.threads = t;
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_summary(r: Option<Response>) -> String {
+        match r.expect("command produced a response").status {
+            Status::Ok(s) => s,
+            Status::Err(e) => panic!("expected OK, got ERR {e}"),
+        }
+    }
+
+    #[test]
+    fn paper_graph_query_flow() {
+        let mut s = Session::new();
+        ok_summary(s.execute("gen paper"));
+        let r = s.execute("query d.(b.c)+.c").unwrap();
+        assert_eq!(r.lines, vec!["  v7 -> v3", "  v7 -> v5"]);
+        assert!(matches!(r.status, Status::Ok(ref m) if m.starts_with("2 pairs")));
+        // Second evaluation shares the cached RTC.
+        ok_summary(s.execute("query d.(b.c)+.c"));
+        assert!(s.engine().cache().hits() >= 1);
+    }
+
+    #[test]
+    fn limit_caps_printed_pairs() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        ok_summary(s.execute("limit 1"));
+        let r = s.execute("query d.(b.c)+.c").unwrap();
+        assert_eq!(r.lines.len(), 2); // one pair + the "... more" line
+        assert!(r.lines[1].contains("1 more"));
+    }
+
+    #[test]
+    fn limit_zero_is_count_only_for_query_and_ends() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        ok_summary(s.execute("limit 0"));
+        let r = s.execute("query d.(b.c)+.c").unwrap();
+        assert!(r.lines.is_empty(), "{:?}", r.lines);
+        assert!(matches!(r.status, Status::Ok(ref m) if m.starts_with("2 pairs")));
+        let r = s.execute("ends 7 d.(b.c)+.c").unwrap();
+        assert!(r.lines.is_empty(), "{:?}", r.lines);
+        assert!(matches!(r.status, Status::Ok(ref m) if m.starts_with("2 end vertices")));
+    }
+
+    #[test]
+    fn delta_then_query_sees_the_mutation() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        ok_summary(s.execute("query (b.c)+"));
+        let summary = ok_summary(s.execute("delta ins 6 b 8 ins 8 c 6"));
+        assert!(summary.starts_with("epoch 1: +2 -0"), "{summary}");
+        let r = s.execute("query (b.c)+").unwrap();
+        assert!(matches!(r.status, Status::Ok(ref m) if !m.starts_with("10 pairs")));
+        assert!(s.engine().cache().stale_hits() >= 1);
+    }
+
+    #[test]
+    fn strategy_switch_keeps_serving() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        let rtc = s.execute("query d.(b.c)+.c").unwrap();
+        ok_summary(s.execute("strategy full"));
+        let full = s.execute("query d.(b.c)+.c").unwrap();
+        ok_summary(s.execute("strategy none"));
+        let none = s.execute("query d.(b.c)+.c").unwrap();
+        assert_eq!(rtc.lines, full.lines);
+        assert_eq!(rtc.lines, none.lines);
+    }
+
+    #[test]
+    fn check_and_ends() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        assert!(ok_summary(s.execute("check 7 5 d.(b.c)+.c")).starts_with("found path"));
+        assert!(ok_summary(s.execute("check 7 4 d.(b.c)+.c")).starts_with("no path"));
+        let r = s.execute("ends 7 d.(b.c)+.c").unwrap();
+        assert_eq!(r.lines, vec!["  v3 v5"]);
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_warm() {
+        let dir = std::env::temp_dir().join("rpq_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+        let path_str = path.to_str().unwrap();
+
+        let mut s = Session::new();
+        s.execute("gen paper");
+        s.execute("query d.(b.c)+.c");
+        let summary = ok_summary(s.execute(&format!("save {path_str}")));
+        assert!(summary.contains("1 cached structures"), "{summary}");
+
+        let mut fresh = Session::new();
+        let summary = ok_summary(fresh.execute(&format!("load {path_str}")));
+        assert!(summary.starts_with("warm restart"), "{summary}");
+        fresh.execute("query d.(b.c)+.c");
+        assert_eq!(fresh.engine().cache().misses(), 0);
+        assert!(fresh.engine().cache().hits() >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        assert!(matches!(
+            s.execute("query (((").unwrap().status,
+            Status::Err(_)
+        ));
+        assert!(matches!(
+            s.execute("load /no/such/file").unwrap().status,
+            Status::Err(_)
+        ));
+        assert!(matches!(
+            s.execute("bogus command").unwrap().status,
+            Status::Err(_)
+        ));
+        // Still serving.
+        ok_summary(s.execute("query d.(b.c)+.c"));
+    }
+
+    #[test]
+    fn quit_sets_the_flag() {
+        let mut s = Session::new();
+        let r = s.execute("quit").unwrap();
+        assert!(r.quit);
+        assert!(matches!(r.status, Status::Ok(ref m) if m == "bye"));
+    }
+
+    #[test]
+    fn render_framing() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        let rendered = s.execute("query d.(b.c)+.c").unwrap().render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with("OK "));
+        let rendered = s.execute("nope").unwrap().render();
+        assert!(rendered.starts_with("ERR "));
+    }
+}

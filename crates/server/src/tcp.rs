@@ -1,0 +1,191 @@
+//! The line-delimited TCP protocol: the REPL command language over a
+//! socket, for scripted and multi-client use.
+//!
+//! ## Protocol
+//!
+//! * On connect the server sends one greeting line: `OK rtc-rpq ready`.
+//! * Each request is **one line** in the [`crate::command`] language.
+//! * Each response is zero or more payload lines followed by exactly one
+//!   status line starting with `OK ` or `ERR ` — read lines until one of
+//!   those prefixes and the response is complete (payload lines are
+//!   guaranteed not to start with either prefix).
+//! * `quit` answers `OK bye` and closes **the connection**; the server
+//!   keeps listening.
+//!
+//! ## Sharing
+//!
+//! All connections serve one [`Session`] — one long-lived engine, one
+//! epoch-aware `SharedCache` — behind a mutex: commands from concurrent
+//! clients interleave at command granularity, and an RTC computed for one
+//! client's query is a `Fresh` cache hit for every other client (the
+//! cross-query sharing of the paper, stretched across connections).
+//! Because the engine is shared, graph-level commands (`load`, `delta`,
+//! `strategy`) affect every client; this is the intended semantics — the
+//! server fronts *one* graph.
+
+use crate::session::Session;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// The greeting sent to every new connection.
+pub const GREETING: &str = "OK rtc-rpq ready";
+
+/// Shared serving state: one session for all connections.
+pub type SharedSession = Arc<Mutex<Session>>;
+
+/// Wraps a session for sharing across connection threads.
+pub fn shared(session: Session) -> SharedSession {
+    Arc::new(Mutex::new(session))
+}
+
+/// Serves connections from `listener` forever, one thread per client.
+/// Never returns under normal operation; returns the accept-loop error if
+/// the listener dies.
+pub fn serve(listener: TcpListener, session: SharedSession) -> std::io::Result<()> {
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            // A dropped client mid-response is that client's problem only.
+            let _ = handle_connection(stream, &session);
+        });
+    }
+}
+
+/// Drives one client connection to completion (EOF or `quit`). Returns
+/// the number of commands executed on behalf of this client.
+pub fn handle_connection(stream: TcpStream, session: &SharedSession) -> std::io::Result<u64> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    writeln!(writer, "{GREETING}")?;
+    writer.flush()?;
+    let mut executed = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        // Parse outside the lock is impossible (responses need the
+        // engine), but the lock is held per command, not per connection:
+        // other clients proceed between this client's commands.
+        //
+        // Poisoning is deliberately cleared: a panic inside one command
+        // would otherwise kill *every* future connection at this lock.
+        // Session state is consistent at command granularity (the panicked
+        // command's response was simply never sent), so serving continues.
+        let response = {
+            let mut s = session
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            s.execute(&line)
+        };
+        if let Some(response) = response {
+            executed += 1;
+            writer.write_all(response.render().as_bytes())?;
+            writer.flush()?;
+            if response.quit {
+                break;
+            }
+        }
+    }
+    Ok(executed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// Binds an ephemeral-port server over a fresh session, returning the
+    /// address to connect to.
+    fn spawn_server() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let session = shared(Session::new());
+        std::thread::spawn(move || serve(listener, session));
+        addr
+    }
+
+    /// Sends one command line, reading payload lines until the status line.
+    fn roundtrip(
+        reader: &mut impl BufRead,
+        writer: &mut impl Write,
+        command: &str,
+    ) -> (Vec<String>, String) {
+        writeln!(writer, "{command}").unwrap();
+        writer.flush().unwrap();
+        read_response(reader)
+    }
+
+    fn read_response(reader: &mut impl BufRead) -> (Vec<String>, String) {
+        let mut payload = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            let line = line.trim_end().to_string();
+            if line.starts_with("OK ") || line.starts_with("ERR ") {
+                return (payload, line);
+            }
+            payload.push(line);
+        }
+    }
+
+    fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Greeting.
+        let (_, status) = read_response(&mut reader);
+        assert_eq!(status, GREETING);
+        (reader, writer)
+    }
+
+    #[test]
+    fn single_client_query_flow() {
+        let addr = spawn_server();
+        let (mut r, mut w) = connect(addr);
+        let (_, status) = roundtrip(&mut r, &mut w, "gen paper");
+        assert!(status.starts_with("OK loaded paper graph"), "{status}");
+        let (payload, status) = roundtrip(&mut r, &mut w, "query d.(b.c)+.c");
+        assert_eq!(payload, vec!["  v7 -> v3", "  v7 -> v5"]);
+        assert!(status.starts_with("OK 2 pairs"), "{status}");
+        let (_, status) = roundtrip(&mut r, &mut w, "bogus");
+        assert!(status.starts_with("ERR unknown command"), "{status}");
+        let (_, status) = roundtrip(&mut r, &mut w, "quit");
+        assert_eq!(status, "OK bye");
+    }
+
+    #[test]
+    fn two_clients_share_one_cache() {
+        let addr = spawn_server();
+        let (mut r1, mut w1) = connect(addr);
+        roundtrip(&mut r1, &mut w1, "gen paper");
+        roundtrip(&mut r1, &mut w1, "query d.(b.c)+.c"); // computes the (b.c) RTC
+
+        // A second client sees the same graph and hits the shared cache.
+        let (mut r2, mut w2) = connect(addr);
+        let (_, status) = roundtrip(&mut r2, &mut w2, "query a.(b.c)+"); // same closure body
+        assert!(status.starts_with("OK "), "{status}");
+        let (payload, _) = roundtrip(&mut r2, &mut w2, "cache");
+        let entries_line = &payload[0];
+        assert!(entries_line.contains("1 rtc"), "{entries_line}");
+        let lookups_line = &payload[1];
+        // At least one hit came from client 2 reusing client 1's RTC.
+        assert!(!lookups_line.contains("0 hits"), "{lookups_line}");
+
+        // A delta from client 2 is visible to client 1 (shared epoch).
+        roundtrip(&mut r2, &mut w2, "delta ins 6 b 8 ins 8 c 6");
+        let (_, status) = roundtrip(&mut r1, &mut w1, "epoch");
+        assert_eq!(status, "OK epoch 1");
+    }
+
+    #[test]
+    fn quit_closes_only_that_connection() {
+        let addr = spawn_server();
+        let (mut r1, mut w1) = connect(addr);
+        roundtrip(&mut r1, &mut w1, "gen paper");
+        roundtrip(&mut r1, &mut w1, "quit");
+        // The server still accepts and serves.
+        let (mut r2, mut w2) = connect(addr);
+        let (_, status) = roundtrip(&mut r2, &mut w2, "info");
+        assert!(status.starts_with("OK graph 'paper'"), "{status}");
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`core`] — the `Engine` with the RTCSharing / FullSharing / NoSharing
 //!   strategies.
 //! * [`datasets`] — RMAT generators, real-dataset surrogates, workloads.
+//! * [`server`] — the serving front-end: CLI REPL, line-delimited TCP
+//!   protocol, and snapshot warm restarts over a long-lived `Engine`.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use rpq_eval as eval;
 pub use rpq_graph as graph;
 pub use rpq_reduction as reduction;
 pub use rpq_regex as regex;
+pub use rpq_server as server;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {

@@ -2,7 +2,7 @@
 //!
 //! The build container has no network access to crates.io, so this vendored
 //! crate implements the subset of proptest the workspace's property tests
-//! use: the [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`),
+//! use: the [`strategy::Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`),
 //! range/tuple/`Just`/`select`/`vec` strategies, the `proptest!`,
 //! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
 //! `prop_assume!` macros, and [`test_runner::ProptestConfig`].
