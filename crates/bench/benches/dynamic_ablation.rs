@@ -262,14 +262,14 @@ fn bench_engine_churn(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("rebuild_engine", &label), |b| {
         b.iter(|| {
             let mut vg = VersionedGraph::new(graph.clone());
-            let mut warm = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
+            let warm = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
             warm.evaluate_set(&queries).unwrap();
             drop(warm);
             let mut total = 0usize;
             for delta in &deltas {
                 vg.apply(delta);
                 // Cold cache: the graph changed, rebuild everything.
-                let mut engine = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
+                let engine = Engine::with_strategy(vg.graph(), Strategy::RtcSharing);
                 total += engine
                     .evaluate_set(&queries)
                     .unwrap()

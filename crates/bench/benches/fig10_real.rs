@@ -34,7 +34,7 @@ fn bench_fig10_real(c: &mut Criterion) {
                 &queries,
                 |b, queries| {
                     b.iter(|| {
-                        let mut engine = rpq_core::Engine::with_strategy(graph, strategy);
+                        let engine = rpq_core::Engine::with_strategy(graph, strategy);
                         engine.evaluate_set(queries).unwrap()
                     })
                 },

@@ -35,7 +35,7 @@ fn bench_fig10_synthetic(c: &mut Criterion) {
                 &queries,
                 |b, queries| {
                     b.iter(|| {
-                        let mut engine = rpq_core::Engine::with_strategy(&graph, strategy);
+                        let engine = rpq_core::Engine::with_strategy(&graph, strategy);
                         engine.evaluate_set(queries).unwrap()
                     })
                 },

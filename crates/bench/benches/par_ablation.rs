@@ -102,7 +102,7 @@ fn bench_par_batch(c: &mut Criterion) {
                 queries,
                 |b, queries| {
                     b.iter(|| {
-                        let mut e = Engine::with_config(
+                        let e = Engine::with_config(
                             &graph,
                             EngineConfig {
                                 strategy,

@@ -40,7 +40,7 @@ fn bench_scc_sensitivity(c: &mut Criterion) {
                 &queries,
                 |b, queries| {
                     b.iter(|| {
-                        let mut engine = rpq_core::Engine::with_strategy(&graph, strategy);
+                        let engine = rpq_core::Engine::with_strategy(&graph, strategy);
                         engine.evaluate_set(queries).unwrap()
                     })
                 },

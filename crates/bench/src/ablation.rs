@@ -167,11 +167,11 @@ pub fn scc_sensitivity_table() -> Table {
         let full = FullTc::from_pairs(&r_g);
 
         let full_time = time_min(2, || {
-            let mut e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::FullSharing);
+            let e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::FullSharing);
             e.evaluate_set(&queries).unwrap()
         });
         let rtc_time = time_min(2, || {
-            let mut e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::RtcSharing);
+            let e = rpq_core::Engine::with_strategy(&graph, rpq_core::Strategy::RtcSharing);
             e.evaluate_set(&queries).unwrap()
         });
         t.row(vec![

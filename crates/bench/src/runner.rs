@@ -45,7 +45,7 @@ pub fn run_query_set_threads(
     strategy: Strategy,
     threads: usize,
 ) -> Option<RunMetrics> {
-    let mut engine = Engine::with_config(
+    let engine = Engine::with_config(
         graph,
         EngineConfig {
             strategy,
@@ -55,7 +55,7 @@ pub fn run_query_set_threads(
     );
     let results = engine.evaluate_set(queries).ok()?;
     let result_pairs = results.iter().map(|r| r.len()).sum();
-    let breakdown = *engine.breakdown();
+    let breakdown = engine.breakdown();
     let shared_vertices = match strategy {
         Strategy::NoSharing => 0,
         Strategy::FullSharing => engine.cache().full_total_vertices(),
@@ -65,7 +65,7 @@ pub fn run_query_set_threads(
         strategy,
         total: breakdown.total,
         breakdown,
-        eliminations: *engine.elimination_stats(),
+        eliminations: engine.elimination_stats(),
         shared_pairs: engine.shared_data_pairs(),
         shared_vertices,
         result_pairs,
@@ -91,7 +91,7 @@ pub fn run_all_strategies_threads(
     let mut reference: Option<Vec<usize>> = None;
     let mut out = Vec::with_capacity(3);
     for strategy in Strategy::ALL {
-        let mut engine = Engine::with_config(
+        let engine = Engine::with_config(
             graph,
             EngineConfig {
                 strategy,
@@ -115,7 +115,7 @@ pub fn run_all_strategies_threads(
                 }
             }
         }
-        let breakdown = *engine.breakdown();
+        let breakdown = engine.breakdown();
         let shared_vertices = match strategy {
             Strategy::NoSharing => 0,
             Strategy::FullSharing => engine.cache().full_total_vertices(),
@@ -125,7 +125,7 @@ pub fn run_all_strategies_threads(
             strategy,
             total: breakdown.total,
             breakdown,
-            eliminations: *engine.elimination_stats(),
+            eliminations: engine.elimination_stats(),
             shared_pairs: engine.shared_data_pairs(),
             shared_vertices,
             result_pairs: results.iter().map(|r| r.len()).sum(),

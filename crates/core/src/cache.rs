@@ -1,4 +1,5 @@
-//! The shared-structure cache, epoch-aware for dynamic graphs.
+//! The shared-structure cache, epoch-aware for dynamic graphs and safe
+//! under concurrent readers.
 //!
 //! Algorithm 1 lines 9–11: "If the RTC for R exists, we reuse \[it\].
 //! Otherwise, we compute and store \[it\] to share." The cache key is the
@@ -14,11 +15,34 @@
 //! needed to refresh *incrementally* (diff the base relations, feed the
 //! delta to [`DynamicRtc`]) instead of silently serving a closure of a
 //! graph that no longer exists.
+//!
+//! ## Concurrency
+//!
+//! Every method takes `&self`: the interior is **sharded** — entries live
+//! in `SHARD_COUNT` (8) hash maps, each behind its own `RwLock`, selected
+//! by the key's hash — and the hit/miss/stale counters and the epoch are
+//! atomics. N threads evaluating disjoint closure bodies therefore insert
+//! and look up without contending on one lock, and a fresh-entry hit only
+//! ever takes a shard *read* lock, so the serving front-end's concurrent
+//! `query` connections all read one cache simultaneously. Two threads
+//! racing to fill the same miss both compute and insert; the structures
+//! are deterministic per `(key, epoch)`, so whichever insert lands last is
+//! immaterial. A stale entry is claimed (removed) under the shard write
+//! lock, so exactly one racer receives the refreshable state — the others
+//! see a plain miss and rebuild from scratch, which is correct, just not
+//! incremental.
 
 use rpq_graph::PairSet;
 use rpq_reduction::{DynamicRtc, FullTc, Rtc};
 use rustc_hash::FxHashMap;
-use std::sync::Arc;
+use std::hash::{BuildHasher, BuildHasherDefault};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Number of independent lock-protected map shards. A small power of two:
+/// enough to keep a handful of serving threads off each other's locks,
+/// small enough that whole-cache aggregates stay cheap.
+const SHARD_COUNT: usize = 8;
 
 /// A cached RTC with its provenance.
 #[derive(Clone)]
@@ -79,22 +103,58 @@ pub struct StaleFull {
     pub r_g: Option<Arc<PairSet>>,
 }
 
+/// One lock-protected shard of the cache interior.
+#[derive(Default)]
+struct Shard {
+    rtcs: RwLock<FxHashMap<String, RtcEntry>>,
+    fulls: RwLock<FxHashMap<String, FullEntry>>,
+}
+
 /// Cache of shared structures keyed by the canonical form of `R`.
 ///
 /// Structures are held behind [`Arc`], so a `clone()` of the cache is a
-/// cheap snapshot sharing the underlying RTCs/closures — this is what the
-/// engine hands each worker in parallel batch mode (`Send + Sync` all the
-/// way down).
-#[derive(Clone, Default)]
+/// cheap snapshot sharing the underlying RTCs/closures. All methods take
+/// `&self` (sharded lock-protected maps, atomic counters — see the module
+/// docs), so one cache can be read and filled by any number of threads at
+/// once: this is what lets the engine evaluate queries under a shared
+/// reference and the TCP front-end serve concurrent clients from one
+/// epoch-aware cache.
+#[derive(Default)]
 pub struct SharedCache {
-    rtcs: FxHashMap<String, RtcEntry>,
-    fulls: FxHashMap<String, FullEntry>,
+    shards: [Shard; SHARD_COUNT],
     /// The graph epoch this cache serves; entries with an older epoch are
     /// stale.
-    epoch: u64,
-    hits: u64,
-    misses: u64,
-    stale_hits: u64,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_hits: AtomicU64,
+}
+
+impl Clone for SharedCache {
+    fn clone(&self) -> Self {
+        let clone = SharedCache::new();
+        for (mine, theirs) in clone.shards.iter().zip(&self.shards) {
+            *write(&mine.rtcs) = read(&theirs.rtcs).clone();
+            *write(&mine.fulls) = read(&theirs.fulls).clone();
+        }
+        clone.epoch.store(self.epoch(), Ordering::Relaxed);
+        clone.hits.store(self.hits(), Ordering::Relaxed);
+        clone.misses.store(self.misses(), Ordering::Relaxed);
+        clone.stale_hits.store(self.stale_hits(), Ordering::Relaxed);
+        clone
+    }
+}
+
+/// Acquires a shard read lock, clearing poisoning: a panicked evaluation
+/// elsewhere leaves entries consistent (inserts are whole-entry), so
+/// serving continues.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a shard write lock, clearing poisoning (see [`read`]).
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SharedCache {
@@ -103,59 +163,91 @@ impl SharedCache {
         Self::default()
     }
 
+    fn shard(&self, key: &str) -> &Shard {
+        let hash = BuildHasherDefault::<rustc_hash::FxHasher>::default().hash_one(key);
+        &self.shards[(hash as usize) % SHARD_COUNT]
+    }
+
     /// The graph epoch this cache currently serves.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Moves the cache to a newer graph epoch; existing entries become
     /// stale and will be refreshed on their next lookup. Epochs are
     /// monotone — moving backward panics (it would un-stale entries).
-    pub fn advance_epoch(&mut self, epoch: u64) {
-        assert!(epoch >= self.epoch, "cache epoch must be monotone");
-        self.epoch = epoch;
+    pub fn advance_epoch(&self, epoch: u64) {
+        // fetch_max (not check-then-store) so racing callers can never
+        // move the epoch backward even transiently; the assert then
+        // reports the caller that *tried* to.
+        let previous = self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        assert!(epoch >= previous, "cache epoch must be monotone");
     }
 
     /// Epoch-aware RTC lookup. Counts a hit for [`RtcLookup::Fresh`], a
     /// stale hit for [`RtcLookup::Stale`] and a miss otherwise.
     ///
-    /// A stale entry is **removed** from the cache and handed to the
-    /// caller by value: the caller is expected to refresh it and
-    /// re-insert at the current epoch, and the ownership transfer lets
-    /// the refresh mutate the maintainable structure in place
-    /// (`Arc::try_unwrap` succeeds) instead of deep-cloning it.
-    pub fn lookup_rtc(&mut self, key: &str) -> RtcLookup {
-        match self.rtcs.get(key) {
-            Some(entry) if entry.epoch == self.epoch => {
-                self.hits += 1;
-                return RtcLookup::Fresh(Arc::clone(&entry.rtc));
-            }
-            Some(_) => {}
-            None => {
-                self.misses += 1;
-                return RtcLookup::Miss;
+    /// A fresh hit only takes the shard **read** lock, so concurrent
+    /// lookups of warm entries never serialize. A stale entry is
+    /// **removed** from the cache (under the shard write lock, re-checked
+    /// after the upgrade) and handed to the caller by value: the caller is
+    /// expected to refresh it and re-insert at the current epoch, and the
+    /// ownership transfer lets the refresh mutate the maintainable
+    /// structure in place (`Arc::try_unwrap` succeeds) instead of
+    /// deep-cloning it.
+    pub fn lookup_rtc(&self, key: &str) -> RtcLookup {
+        let epoch = self.epoch();
+        let shard = self.shard(key);
+        {
+            let map = read(&shard.rtcs);
+            match map.get(key) {
+                Some(entry) if entry.epoch == epoch => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return RtcLookup::Fresh(Arc::clone(&entry.rtc));
+                }
+                Some(_) => {} // stale: claim it below, under the write lock
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return RtcLookup::Miss;
+                }
             }
         }
-        self.stale_hits += 1;
-        let entry = self.rtcs.remove(key).expect("stale entry present");
-        RtcLookup::Stale(StaleRtc {
-            rtc: entry.rtc,
-            r_g: entry.r_g,
-            dynamic: entry.dynamic,
-        })
+        let mut map = write(&shard.rtcs);
+        // Re-check: between the two locks another thread may have
+        // refreshed the entry (now fresh) or claimed it (now gone).
+        match map.get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                RtcLookup::Fresh(Arc::clone(&entry.rtc))
+            }
+            Some(_) => {
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
+                let entry = map.remove(key).expect("stale entry present");
+                RtcLookup::Stale(StaleRtc {
+                    rtc: entry.rtc,
+                    r_g: entry.r_g,
+                    dynamic: entry.dynamic,
+                })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                RtcLookup::Miss
+            }
+        }
     }
 
     /// Looks up the RTC for `key`, counting hit/miss. Stale entries are
     /// *not* returned (and count as misses) — use [`SharedCache::lookup_rtc`]
     /// to refresh instead of recomputing.
-    pub fn get_rtc(&mut self, key: &str) -> Option<Arc<Rtc>> {
-        match self.rtcs.get(key) {
-            Some(entry) if entry.epoch == self.epoch => {
-                self.hits += 1;
+    pub fn get_rtc(&self, key: &str) -> Option<Arc<Rtc>> {
+        let epoch = self.epoch();
+        match read(&self.shard(key).rtcs).get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.rtc))
             }
             _ => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -164,9 +256,9 @@ impl SharedCache {
     /// Stores an RTC under `key` at the current epoch, with no recorded
     /// base relation (a later staleness can only be resolved by rebuild).
     /// Prefer [`SharedCache::insert_rtc_entry`] where `R_G` is at hand.
-    pub fn insert_rtc(&mut self, key: String, rtc: Arc<Rtc>) {
-        let epoch = self.epoch;
-        self.rtcs.insert(
+    pub fn insert_rtc(&self, key: String, rtc: Arc<Rtc>) {
+        let epoch = self.epoch();
+        write(&self.shard(&key).rtcs).insert(
             key,
             RtcEntry {
                 rtc,
@@ -180,19 +272,18 @@ impl SharedCache {
     /// Stores an RTC with its base relation (and optionally its
     /// maintainable form) at the current epoch.
     pub fn insert_rtc_entry(
-        &mut self,
+        &self,
         key: String,
         rtc: Arc<Rtc>,
         r_g: Arc<PairSet>,
         dynamic: Option<Arc<DynamicRtc>>,
     ) {
-        let r_g = Some(r_g);
-        let epoch = self.epoch;
-        self.rtcs.insert(
+        let epoch = self.epoch();
+        write(&self.shard(&key).rtcs).insert(
             key,
             RtcEntry {
                 rtc,
-                r_g,
+                r_g: Some(r_g),
                 dynamic,
                 epoch,
             },
@@ -202,27 +293,33 @@ impl SharedCache {
     /// Whether a fresh (current-epoch) RTC exists for `key`, without
     /// touching the hit/miss counters.
     pub fn contains_fresh_rtc(&self, key: &str) -> bool {
-        self.rtcs
+        let epoch = self.epoch();
+        read(&self.shard(key).rtcs)
             .get(key)
-            .is_some_and(|entry| entry.epoch == self.epoch)
+            .is_some_and(|entry| entry.epoch == epoch)
     }
 
     /// Epoch-aware full-closure lookup (see [`SharedCache::lookup_rtc`]).
-    pub fn lookup_full(&mut self, key: &str) -> FullLookup {
-        match self.fulls.get(key) {
-            Some(entry) if entry.epoch == self.epoch => {
-                self.hits += 1;
+    /// Unlike the RTC path, a stale full entry is returned by shared
+    /// reference (never claimed): `FullTc` has no in-place maintenance, so
+    /// there is nothing to mutate and concurrent refreshers can all rebuild
+    /// from the same stale base.
+    pub fn lookup_full(&self, key: &str) -> FullLookup {
+        let epoch = self.epoch();
+        match read(&self.shard(key).fulls).get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Fresh(Arc::clone(&entry.full))
             }
             Some(entry) => {
-                self.stale_hits += 1;
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Stale(StaleFull {
                     full: Arc::clone(&entry.full),
                     r_g: entry.r_g.clone(),
                 })
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Miss
             }
         }
@@ -230,14 +327,15 @@ impl SharedCache {
 
     /// Looks up the materialized `R⁺_G` for `key`, counting hit/miss.
     /// Stale entries are not returned (and count as misses).
-    pub fn get_full(&mut self, key: &str) -> Option<Arc<FullTc>> {
-        match self.fulls.get(key) {
-            Some(entry) if entry.epoch == self.epoch => {
-                self.hits += 1;
+    pub fn get_full(&self, key: &str) -> Option<Arc<FullTc>> {
+        let epoch = self.epoch();
+        match read(&self.shard(key).fulls).get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.full))
             }
             _ => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -245,9 +343,9 @@ impl SharedCache {
 
     /// Stores a materialized `R⁺_G` under `key` at the current epoch, with
     /// no recorded base relation.
-    pub fn insert_full(&mut self, key: String, full: Arc<FullTc>) {
-        let epoch = self.epoch;
-        self.fulls.insert(
+    pub fn insert_full(&self, key: String, full: Arc<FullTc>) {
+        let epoch = self.epoch();
+        write(&self.shard(&key).fulls).insert(
             key,
             FullEntry {
                 full,
@@ -258,9 +356,9 @@ impl SharedCache {
     }
 
     /// Stores a materialized `R⁺_G` with its base relation.
-    pub fn insert_full_entry(&mut self, key: String, full: Arc<FullTc>, r_g: Arc<PairSet>) {
-        let epoch = self.epoch;
-        self.fulls.insert(
+    pub fn insert_full_entry(&self, key: String, full: Arc<FullTc>, r_g: Arc<PairSet>) {
+        let epoch = self.epoch();
+        write(&self.shard(&key).fulls).insert(
             key,
             FullEntry {
                 full,
@@ -273,121 +371,168 @@ impl SharedCache {
     /// Whether a fresh (current-epoch) full closure exists for `key`,
     /// without touching the hit/miss counters.
     pub fn contains_fresh_full(&self, key: &str) -> bool {
-        self.fulls
+        let epoch = self.epoch();
+        read(&self.shard(key).fulls)
             .get(key)
-            .is_some_and(|entry| entry.epoch == self.epoch)
+            .is_some_and(|entry| entry.epoch == epoch)
     }
 
-    /// Iterates the **fresh** (current-epoch) RTC entries as
+    /// Collects the **fresh** (current-epoch) RTC entries as
     /// `(key, rtc, recorded base relation)` — the persistence surface used
     /// by the engine snapshot ([`crate::snapshot`]). Stale entries are
     /// skipped: they would need a refresh before being served anyway, so a
-    /// snapshot simply drops them.
-    pub fn fresh_rtc_entries(
-        &self,
-    ) -> impl Iterator<Item = (&str, &Arc<Rtc>, Option<&Arc<PairSet>>)> {
-        self.rtcs
+    /// snapshot simply drops them. Returns an owned point-in-time copy
+    /// (cheap `Arc` clones), since the interior is lock-protected.
+    pub fn fresh_rtc_entries(&self) -> Vec<(String, Arc<Rtc>, Option<Arc<PairSet>>)> {
+        let epoch = self.epoch();
+        self.shards
             .iter()
-            .filter(|(_, e)| e.epoch == self.epoch)
-            .map(|(k, e)| (k.as_str(), &e.rtc, e.r_g.as_ref()))
+            .flat_map(|s| {
+                read(&s.rtcs)
+                    .iter()
+                    .filter(|(_, e)| e.epoch == epoch)
+                    .map(|(k, e)| (k.clone(), Arc::clone(&e.rtc), e.r_g.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
-    /// Iterates the fresh full-closure entries (see
+    /// Collects the fresh full-closure entries (see
     /// [`SharedCache::fresh_rtc_entries`]).
-    pub fn fresh_full_entries(
-        &self,
-    ) -> impl Iterator<Item = (&str, &Arc<FullTc>, Option<&Arc<PairSet>>)> {
-        self.fulls
+    pub fn fresh_full_entries(&self) -> Vec<(String, Arc<FullTc>, Option<Arc<PairSet>>)> {
+        let epoch = self.epoch();
+        self.shards
             .iter()
-            .filter(|(_, e)| e.epoch == self.epoch)
-            .map(|(k, e)| (k.as_str(), &e.full, e.r_g.as_ref()))
+            .flat_map(|s| {
+                read(&s.fulls)
+                    .iter()
+                    .filter(|(_, e)| e.epoch == epoch)
+                    .map(|(k, e)| (k.clone(), Arc::clone(&e.full), e.r_g.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Sums `f` over every RTC entry, one shard read lock at a time — the
+    /// shared fold behind the aggregate metrics below.
+    fn sum_rtcs(&self, f: impl Fn(&RtcEntry) -> usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| read(&s.rtcs).values().map(&f).sum::<usize>())
+            .sum()
+    }
+
+    /// Sums `f` over every full-closure entry (see [`SharedCache::sum_rtcs`]).
+    fn sum_fulls(&self, f: impl Fn(&FullEntry) -> usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| read(&s.fulls).values().map(&f).sum::<usize>())
+            .sum()
     }
 
     /// Number of cached RTCs (fresh or stale).
     pub fn rtc_count(&self) -> usize {
-        self.rtcs.len()
+        self.sum_rtcs(|_| 1)
     }
 
     /// Number of cached full closures (fresh or stale).
     pub fn full_count(&self) -> usize {
-        self.fulls.len()
+        self.sum_fulls(|_| 1)
     }
 
     /// Cache hits since creation/clear (fresh entries only).
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses since creation/clear.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Lookups that found an entry from an older epoch (each one leads to
     /// a refresh, not a recompute-from-nothing).
     pub fn stale_hits(&self) -> u64 {
-        self.stale_hits
+        self.stale_hits.load(Ordering::Relaxed)
     }
 
     /// Total pairs held in cached RTCs (`Σ |TC(Ḡ_R)|`) — RTCSharing's
     /// shared-data size in Fig. 12.
     pub fn rtc_shared_pairs(&self) -> usize {
-        self.rtcs.values().map(|e| e.rtc.closure_pair_count()).sum()
+        self.sum_rtcs(|e| e.rtc.closure_pair_count())
     }
 
     /// Total pairs held in cached full closures (`Σ |R⁺_G|`) — FullSharing's
     /// shared-data size in Fig. 12.
     pub fn full_shared_pairs(&self) -> usize {
-        self.fulls.values().map(|e| e.full.pair_count()).sum()
+        self.sum_fulls(|e| e.full.pair_count())
     }
 
     /// Sum of `|V̄_R|` (SCC counts) across cached RTCs — RTCSharing's
     /// vertex-count metric in Fig. 13.
     pub fn rtc_total_sccs(&self) -> usize {
-        self.rtcs.values().map(|e| e.rtc.scc_count()).sum()
+        self.sum_rtcs(|e| e.rtc.scc_count())
     }
 
     /// Sum of `|V_R|` across cached RTCs.
     pub fn rtc_total_vr(&self) -> usize {
-        self.rtcs.values().map(|e| e.rtc.stats().vr_vertices).sum()
+        self.sum_rtcs(|e| e.rtc.stats().vr_vertices)
     }
 
     /// Sum of `|V_R|` across cached full closures — FullSharing's
     /// vertex-count metric in Fig. 13.
     pub fn full_total_vertices(&self) -> usize {
-        self.fulls.values().map(|e| e.full.vertex_count()).sum()
+        self.sum_fulls(|e| e.full.vertex_count())
     }
 
     /// Resets the hit/miss/stale counters while **preserving** every
     /// cached structure — the metric-reset half of [`SharedCache::clear`],
     /// used by `Engine::reset_metrics`.
-    pub fn reset_counters(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
-        self.stale_hits = 0;
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.stale_hits.store(0, Ordering::Relaxed);
     }
 
-    /// Merges a worker's cache back after a parallel batch: counters add
-    /// up, and per key the entry from the **newest epoch** wins (ties keep
-    /// the existing entry; structures are deterministic per `(key, epoch)`,
-    /// so which clone survives is immaterial).
-    pub fn absorb(&mut self, other: SharedCache) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.stale_hits += other.stale_hits;
-        for (key, entry) in other.rtcs {
-            match self.rtcs.get(&key) {
-                Some(existing) if existing.epoch >= entry.epoch => {}
-                _ => {
-                    self.rtcs.insert(key, entry);
+    /// Merges another cache's contents into this one: counters add up, and
+    /// per key the entry from the **newest epoch** wins (ties keep the
+    /// existing entry; structures are deterministic per `(key, epoch)`, so
+    /// which clone survives is immaterial). Kept for workers that evaluate
+    /// against a private snapshot; the engine's parallel batch mode now
+    /// shares one cache directly instead.
+    pub fn absorb(&self, other: SharedCache) {
+        self.hits.fetch_add(other.hits(), Ordering::Relaxed);
+        self.misses.fetch_add(other.misses(), Ordering::Relaxed);
+        self.stale_hits
+            .fetch_add(other.stale_hits(), Ordering::Relaxed);
+        // Shard selection depends only on the key, so shard i of `other`
+        // merges into shard i of `self`.
+        for (mine, theirs) in self.shards.iter().zip(other.shards) {
+            let rtcs = theirs
+                .rtcs
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut map = write(&mine.rtcs);
+            for (key, entry) in rtcs {
+                match map.get(&key) {
+                    Some(existing) if existing.epoch >= entry.epoch => {}
+                    _ => {
+                        map.insert(key, entry);
+                    }
                 }
             }
-        }
-        for (key, entry) in other.fulls {
-            match self.fulls.get(&key) {
-                Some(existing) if existing.epoch >= entry.epoch => {}
-                _ => {
-                    self.fulls.insert(key, entry);
+            drop(map);
+            let fulls = theirs
+                .fulls
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut map = write(&mine.fulls);
+            for (key, entry) in fulls {
+                match map.get(&key) {
+                    Some(existing) if existing.epoch >= entry.epoch => {}
+                    _ => {
+                        map.insert(key, entry);
+                    }
                 }
             }
         }
@@ -395,12 +540,12 @@ impl SharedCache {
 
     /// Drops all cached structures and resets counters (the epoch is
     /// preserved — it tracks the graph, not the contents).
-    pub fn clear(&mut self) {
-        self.rtcs.clear();
-        self.fulls.clear();
-        self.hits = 0;
-        self.misses = 0;
-        self.stale_hits = 0;
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            write(&shard.rtcs).clear();
+            write(&shard.fulls).clear();
+        }
+        self.reset_counters();
     }
 }
 
@@ -419,7 +564,7 @@ mod tests {
 
     #[test]
     fn hit_miss_accounting() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         assert!(c.get_rtc("a.b").is_none());
         assert_eq!(c.misses(), 1);
         c.insert_rtc("a.b".into(), sample_rtc());
@@ -430,7 +575,7 @@ mod tests {
 
     #[test]
     fn shared_pair_totals() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.insert_rtc("a.b".into(), sample_rtc());
         // One 2-cycle SCC with a self-reach: closure has 1 pair.
         assert_eq!(c.rtc_shared_pairs(), 1);
@@ -441,7 +586,7 @@ mod tests {
 
     #[test]
     fn clear_resets_everything() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.insert_rtc("x".into(), sample_rtc());
         let _ = c.get_rtc("x");
         c.clear();
@@ -452,7 +597,7 @@ mod tests {
 
     #[test]
     fn reset_counters_preserves_structures() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.insert_rtc("x".into(), sample_rtc());
         let _ = c.get_rtc("x");
         let _ = c.get_rtc("missing");
@@ -465,11 +610,11 @@ mod tests {
 
     #[test]
     fn absorb_merges_counters_and_missing_structures() {
-        let mut main = SharedCache::new();
+        let main = SharedCache::new();
         main.insert_rtc("shared".into(), sample_rtc());
         let _ = main.get_rtc("shared"); // 1 hit
 
-        let mut worker = main.clone();
+        let worker = main.clone();
         worker.reset_counters();
         let _ = worker.get_rtc("shared"); // 1 worker hit
         let _ = worker.get_rtc("extra"); // 1 worker miss
@@ -483,7 +628,7 @@ mod tests {
 
     #[test]
     fn clone_is_a_cheap_shared_snapshot() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         let rtc = sample_rtc();
         c.insert_rtc("k".into(), Arc::clone(&rtc));
         let snapshot = c.clone();
@@ -494,7 +639,7 @@ mod tests {
 
     #[test]
     fn rtc_and_full_are_independent_namespaces() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.insert_rtc("k".into(), sample_rtc());
         assert!(c.get_full("k").is_none());
         assert_eq!(c.full_count(), 0);
@@ -502,7 +647,7 @@ mod tests {
 
     #[test]
     fn entries_go_stale_when_the_epoch_advances() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         let r_g = Arc::new(sample_pairs());
         c.insert_rtc_entry("k".into(), sample_rtc(), Arc::clone(&r_g), None);
         assert!(c.contains_fresh_rtc("k"));
@@ -523,7 +668,7 @@ mod tests {
 
     #[test]
     fn full_entries_go_stale_too() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.insert_full_entry(
             "k".into(),
             Arc::new(FullTc::from_pairs(&sample_pairs())),
@@ -538,16 +683,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "monotone")]
     fn epoch_cannot_move_backward() {
-        let mut c = SharedCache::new();
+        let c = SharedCache::new();
         c.advance_epoch(2);
         c.advance_epoch(1);
     }
 
     #[test]
     fn absorb_prefers_newer_epochs() {
-        let mut main = SharedCache::new();
+        let main = SharedCache::new();
         main.insert_rtc("k".into(), sample_rtc());
-        let mut worker = main.clone();
+        let worker = main.clone();
         worker.advance_epoch(1);
         let fresh = sample_rtc();
         worker.insert_rtc_entry(
@@ -560,5 +705,74 @@ mod tests {
         main.absorb(worker);
         // The epoch-1 entry from the worker displaced the stale epoch-0 one.
         assert!(main.contains_fresh_rtc("k"));
+    }
+
+    #[test]
+    fn fresh_entries_are_point_in_time_copies() {
+        let c = SharedCache::new();
+        c.insert_rtc_entry("k".into(), sample_rtc(), Arc::new(sample_pairs()), None);
+        c.insert_rtc("stale-after-advance".into(), sample_rtc());
+        let fresh = c.fresh_rtc_entries();
+        assert_eq!(fresh.len(), 2);
+        c.advance_epoch(1);
+        assert!(c.fresh_rtc_entries().is_empty());
+        // The earlier copy is unaffected by the advance.
+        assert_eq!(fresh.len(), 2);
+    }
+
+    /// The counters are atomics precisely so `metrics`/`reset_metrics`
+    /// stay correct while concurrent readers hammer the cache — this
+    /// pins the accounting under real threads (ISSUE 5 satellite).
+    #[test]
+    fn counters_are_exact_under_concurrent_readers() {
+        const THREADS: usize = 8;
+        const LOOKUPS: u64 = 200;
+        let c = SharedCache::new();
+        c.insert_rtc("warm".into(), sample_rtc());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..LOOKUPS {
+                        // Every thread alternates one guaranteed hit and
+                        // one guaranteed miss (a key nobody inserts).
+                        assert!(c.get_rtc("warm").is_some());
+                        assert!(c.get_rtc(&format!("missing-{t}-{i}")).is_none());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.hits(), THREADS as u64 * LOOKUPS);
+        assert_eq!(c.misses(), THREADS as u64 * LOOKUPS);
+        c.reset_counters();
+        assert_eq!((c.hits(), c.misses(), c.stale_hits()), (0, 0, 0));
+        assert_eq!(c.rtc_count(), 1);
+    }
+
+    /// Concurrent fillers racing on the same and different keys leave the
+    /// cache consistent: every key present, every entry fresh.
+    #[test]
+    fn concurrent_inserts_and_lookups_stay_consistent() {
+        const THREADS: usize = 8;
+        let c = SharedCache::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let c = &c;
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let contended = format!("key-{}", round % 4);
+                        let private = format!("key-{t}-{round}");
+                        c.insert_rtc(contended.clone(), sample_rtc());
+                        c.insert_rtc(private.clone(), sample_rtc());
+                        assert!(c.get_rtc(&contended).is_some());
+                        assert!(c.get_rtc(&private).is_some());
+                    }
+                });
+            }
+        });
+        // 4 contended keys + one private key per (thread, round).
+        assert_eq!(c.rtc_count(), 4 + THREADS * 50);
+        assert_eq!(c.fresh_rtc_entries().len(), c.rtc_count());
+        assert_eq!(c.misses(), 0);
     }
 }

@@ -8,6 +8,7 @@ use rpq_eval::ProductEvaluator;
 use rpq_graph::{DeltaSummary, GraphDelta, LabeledMultigraph, PairSet, VersionedGraph};
 use rpq_reduction::MaintenanceConfig;
 use rpq_regex::{Regex, DEFAULT_CLAUSE_LIMIT};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Multiple-RPQ evaluation strategy (the comparison set of Section V).
@@ -106,13 +107,28 @@ pub struct PrepareReport {
 /// three-part timing split of Figs. 11/15 and
 /// [`Engine::elimination_stats`] the operation counters behind Section IV-B.
 ///
+/// ## Concurrency
+///
+/// The whole query path takes `&self`: [`Engine::evaluate`],
+/// [`Engine::evaluate_set`], [`Engine::prepare`], the selective APIs and
+/// every metric accessor. The cache interior is sharded and
+/// lock-protected with atomic counters ([`SharedCache`]) and the metric
+/// accumulators sit behind a private mutex, so any number of threads can
+/// evaluate against one shared `&Engine` simultaneously — this is what
+/// the serving front-end's read-write-locked sessions rely on. Only the
+/// operations that change what the engine *is* need `&mut self`: graph
+/// mutation ([`Engine::apply_delta`]) and configuration changes
+/// ([`Engine::set_strategy`], [`Engine::set_threads`]). Per-call
+/// configuration overrides that must not touch shared state go through
+/// [`Engine::evaluate_with`] / [`Engine::prepare_with`] instead.
+///
 /// ```
 /// use rpq_core::{Engine, Strategy};
 /// use rpq_graph::fixtures::paper_graph;
 /// use rpq_regex::Regex;
 ///
 /// let g = paper_graph();
-/// let mut engine = Engine::new(&g);
+/// let engine = Engine::new(&g);
 /// let result = engine.evaluate(&Regex::parse("d.(b.c)+.c").unwrap()).unwrap();
 /// assert_eq!(result.len(), 2);
 /// ```
@@ -120,6 +136,13 @@ pub struct Engine<'g> {
     store: GraphStore<'g>,
     config: EngineConfig,
     cache: SharedCache,
+    metrics: Mutex<EngineMetrics>,
+}
+
+/// The engine's metric accumulators, grouped so the query path can merge
+/// a whole evaluation's worth under one short lock acquisition.
+#[derive(Clone, Copy, Default)]
+struct EngineMetrics {
     breakdown: Breakdown,
     stats: EliminationStats,
     maintenance: MaintenanceMetrics,
@@ -169,7 +192,7 @@ impl<'g> Engine<'g> {
     /// [`Engine::from_versioned`] with an explicit configuration.
     pub fn with_config_versioned(graph: VersionedGraph, config: EngineConfig) -> Engine<'static> {
         let epoch = graph.epoch();
-        let mut engine = Engine::from_store(GraphStore::Owned(Box::new(graph)), config);
+        let engine = Engine::from_store(GraphStore::Owned(Box::new(graph)), config);
         engine.cache.advance_epoch(epoch);
         engine
     }
@@ -179,10 +202,23 @@ impl<'g> Engine<'g> {
             store,
             config,
             cache: SharedCache::new(),
-            breakdown: Breakdown::default(),
-            stats: EliminationStats::default(),
-            maintenance: MaintenanceMetrics::default(),
+            metrics: Mutex::new(EngineMetrics::default()),
         }
+    }
+
+    /// Locks the metric accumulators, clearing poisoning: the accumulators
+    /// are plain counters/durations, consistent after any panic.
+    fn metrics(&self) -> std::sync::MutexGuard<'_, EngineMetrics> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Folds one evaluation's locally-accumulated metrics into the shared
+    /// accumulators under a single short lock acquisition.
+    fn merge_metrics(&self, local: EngineMetrics) {
+        let mut m = self.metrics();
+        m.breakdown += local.breakdown;
+        m.stats += local.stats;
+        m.maintenance += local.maintenance;
     }
 
     /// The underlying graph (the current snapshot, for a dynamic engine).
@@ -223,7 +259,7 @@ impl<'g> Engine<'g> {
         };
         let summary = vg.apply(delta);
         self.cache.advance_epoch(summary.epoch);
-        self.maintenance.deltas_applied += 1;
+        self.metrics().maintenance.deltas_applied += 1;
         summary
     }
 
@@ -248,36 +284,45 @@ impl<'g> Engine<'g> {
         self.config.threads = threads;
     }
 
-    /// Mutable cache access for the snapshot restore path
-    /// ([`crate::snapshot`]), which re-inserts persisted entries at the
-    /// restored graph epoch.
-    pub(crate) fn cache_mut(&mut self) -> &mut SharedCache {
-        &mut self.cache
+    /// Evaluates one query, sharing structures with previous evaluations.
+    pub fn evaluate(&self, query: &Regex) -> Result<PairSet, EngineError> {
+        self.evaluate_with(query, self.config)
     }
 
-    /// Evaluates one query, sharing structures with previous evaluations.
-    pub fn evaluate(&mut self, query: &Regex) -> Result<PairSet, EngineError> {
+    /// [`Engine::evaluate`] under an explicit configuration, without
+    /// touching the engine's own. This is the per-connection overlay
+    /// entry point of the serving layer: N clients resolve their own
+    /// strategy/thread settings and evaluate concurrently against one
+    /// engine (and one shared cache) under plain `&self`.
+    ///
+    /// The configuration only shapes *how* this evaluation runs (strategy,
+    /// thread fan-out, clause budget); results are identical across
+    /// strategies and thread counts (property-tested), so overlays can
+    /// never leak observable state between connections.
+    pub fn evaluate_with(
+        &self,
+        query: &Regex,
+        config: EngineConfig,
+    ) -> Result<PairSet, EngineError> {
         let t = Instant::now();
-        let config = self.config;
-        let graph = match &self.store {
-            GraphStore::Borrowed(g) => *g,
-            GraphStore::Owned(vg) => vg.graph(),
-        };
+        let graph = self.graph();
+        let mut local = EngineMetrics::default();
         let result = eval_one(
             graph,
             &config,
-            &mut self.cache,
-            &mut self.breakdown,
-            &mut self.stats,
-            &mut self.maintenance,
+            &self.cache,
+            &mut local.breakdown,
+            &mut local.stats,
+            &mut local.maintenance,
             query,
         );
-        self.breakdown.total += t.elapsed();
+        local.breakdown.total = t.elapsed();
+        self.merge_metrics(local);
         result
     }
 
     /// Parses and evaluates a query string.
-    pub fn evaluate_str(&mut self, query: &str) -> Result<PairSet, EngineError> {
+    pub fn evaluate_str(&self, query: &str) -> Result<PairSet, EngineError> {
         let q = Regex::parse(query)?;
         self.evaluate(&q)
     }
@@ -289,7 +334,7 @@ impl<'g> Engine<'g> {
     /// (`0` = all cores, so on a single-core host it stays sequential;
     /// the parallel entry point itself also falls back to sequential for
     /// sets of fewer than two queries).
-    pub fn evaluate_set(&mut self, queries: &[Regex]) -> Result<Vec<PairSet>, EngineError> {
+    pub fn evaluate_set(&self, queries: &[Regex]) -> Result<Vec<PairSet>, EngineError> {
         if rpq_graph::par::effective_threads(self.config.threads) > 1 {
             self.evaluate_set_parallel(queries)
         } else {
@@ -299,61 +344,46 @@ impl<'g> Engine<'g> {
 
     /// Parallel batch evaluation: [`Engine::prepare`] runs once to warm
     /// the shared cache, then the (now independent) queries fan out over
-    /// up to [`EngineConfig::threads`] scoped workers, each holding a
-    /// cheap `Arc` snapshot of the cache. Results are returned in query
-    /// order and are identical to the sequential path (property-tested).
+    /// up to [`EngineConfig::threads`] scoped workers, all reading and
+    /// filling **the same** shared cache (its interior is lock-protected,
+    /// so no per-worker snapshot or merge-back is needed — an RTC one
+    /// worker computes is immediately a hit for the others). Results are
+    /// returned in query order and are identical to the sequential path
+    /// (property-tested).
     ///
     /// Metric semantics in this mode: `breakdown().total` advances by the
     /// *wall-clock* time of the whole batch, while the per-stage timers
     /// and the cache/elimination counters are *summed across workers*
     /// (CPU time), so stages can legitimately exceed the total on
     /// multi-core hosts.
-    pub fn evaluate_set_parallel(
-        &mut self,
-        queries: &[Regex],
-    ) -> Result<Vec<PairSet>, EngineError> {
+    pub fn evaluate_set_parallel(&self, queries: &[Regex]) -> Result<Vec<PairSet>, EngineError> {
         let threads = rpq_graph::par::effective_threads(self.config.threads).min(queries.len());
         if threads <= 1 {
             return queries.iter().map(|q| self.evaluate(q)).collect();
         }
         // Warm every shared closure body once, up front (sequentially) —
-        // after this, workers only read the cache.
+        // after this, workers mostly read the cache.
         self.prepare(queries)?;
 
         let t = Instant::now();
         let graph = self.graph();
+        let cache = &self.cache;
         // Workers keep nested construction/expansion sequential: the batch
         // fan-out already owns the worker threads.
         let config = EngineConfig {
             threads: 1,
             ..self.config
         };
-        let snapshot = {
-            let mut c = self.cache.clone();
-            c.reset_counters();
-            c
-        };
-        struct Worker {
-            cache: SharedCache,
-            breakdown: Breakdown,
-            stats: EliminationStats,
-            maintenance: MaintenanceMetrics,
-        }
         let (results, workers) = rpq_graph::par::par_map_chunks_with_state(
             threads,
             queries.len(),
             1,
-            || Worker {
-                cache: snapshot.clone(),
-                breakdown: Breakdown::default(),
-                stats: EliminationStats::default(),
-                maintenance: MaintenanceMetrics::default(),
-            },
-            |w, range| {
+            EngineMetrics::default,
+            |w: &mut EngineMetrics, range| {
                 eval_one(
                     graph,
                     &config,
-                    &mut w.cache,
+                    cache,
                     &mut w.breakdown,
                     &mut w.stats,
                     &mut w.maintenance,
@@ -361,15 +391,15 @@ impl<'g> Engine<'g> {
                 )
             },
         );
+        let mut m = self.metrics();
         for w in workers {
-            self.breakdown.shared_data += w.breakdown.shared_data;
-            self.breakdown.pre_join += w.breakdown.pre_join;
-            self.stats += w.stats;
-            self.maintenance += w.maintenance;
-            self.cache.absorb(w.cache);
+            m.breakdown.shared_data += w.breakdown.shared_data;
+            m.breakdown.pre_join += w.breakdown.pre_join;
+            m.stats += w.stats;
+            m.maintenance += w.maintenance;
         }
         let out: Result<Vec<PairSet>, EngineError> = results.into_iter().collect();
-        self.breakdown.total += t.elapsed();
+        m.breakdown.total += t.elapsed();
         out
     }
 
@@ -384,22 +414,31 @@ impl<'g> Engine<'g> {
     /// latency profile that Fig. 14 shows for set size 1).
     ///
     /// No-op for [`Strategy::NoSharing`].
-    pub fn prepare(&mut self, queries: &[Regex]) -> Result<PrepareReport, EngineError> {
-        let kind = match self.config.strategy {
+    pub fn prepare(&self, queries: &[Regex]) -> Result<PrepareReport, EngineError> {
+        self.prepare_with(queries, self.config)
+    }
+
+    /// [`Engine::prepare`] under an explicit configuration (the warming
+    /// half of [`Engine::evaluate_with`]): the serving layer's `prepare`
+    /// command warms the structure kind of the *connection's* resolved
+    /// strategy, not the engine default.
+    pub fn prepare_with(
+        &self,
+        queries: &[Regex],
+        config: EngineConfig,
+    ) -> Result<PrepareReport, EngineError> {
+        let kind = match config.strategy {
             Strategy::NoSharing => {
                 return Ok(PrepareReport::default());
             }
             Strategy::FullSharing => SharingKind::Full,
             Strategy::RtcSharing => SharingKind::Rtc,
         };
-        let plan = crate::explain::explain_set_with_limit(queries, self.config.dnf_clause_limit)?;
+        let plan = crate::explain::explain_set_with_limit(queries, config.dnf_clause_limit)?;
         let mut report = PrepareReport::default();
         let t = Instant::now();
-        let config = self.config;
-        let graph = match &self.store {
-            GraphStore::Borrowed(g) => *g,
-            GraphStore::Owned(vg) => vg.graph(),
-        };
+        let graph = self.graph();
+        let mut local = EngineMetrics::default();
         for (key, _) in &plan.shared_bodies {
             // Re-parse the canonical key back into the body expression and
             // evaluate the bare closure; the recursion fills the cache for
@@ -417,19 +456,25 @@ impl<'g> Engine<'g> {
             }
             // Evaluating R+ populates the cache entry for R (and any
             // nested bodies) without retaining the expanded result.
-            eval_one(
+            let result = eval_one(
                 graph,
                 &config,
-                &mut self.cache,
-                &mut self.breakdown,
-                &mut self.stats,
-                &mut self.maintenance,
+                &self.cache,
+                &mut local.breakdown,
+                &mut local.stats,
+                &mut local.maintenance,
                 &Regex::plus(body),
-            )?;
+            );
+            if let Err(e) = result {
+                local.breakdown.total = t.elapsed();
+                self.merge_metrics(local);
+                return Err(e);
+            }
             report.bodies_computed += 1;
         }
-        self.breakdown.total += t.elapsed();
-        report.shared_pairs = self.shared_data_pairs();
+        local.breakdown.total = t.elapsed();
+        self.merge_metrics(local);
+        report.shared_pairs = self.shared_data_pairs_with(config.strategy);
         Ok(report)
     }
 
@@ -466,20 +511,23 @@ impl<'g> Engine<'g> {
     }
 
     /// Accumulated stage timings since the last [`Engine::reset_metrics`].
-    pub fn breakdown(&self) -> &Breakdown {
-        &self.breakdown
+    /// Returned by value (it is `Copy`): the accumulators live behind the
+    /// engine's metric lock so concurrent evaluations can update them.
+    pub fn breakdown(&self) -> Breakdown {
+        self.metrics().breakdown
     }
 
-    /// Accumulated elimination counters.
-    pub fn elimination_stats(&self) -> &EliminationStats {
-        &self.stats
+    /// Accumulated elimination counters (by value — see
+    /// [`Engine::breakdown`]).
+    pub fn elimination_stats(&self) -> EliminationStats {
+        self.metrics().stats
     }
 
     /// Accumulated dynamic-graph maintenance counters and timings
     /// (deltas applied; incremental vs rebuild refreshes of stale shared
-    /// structures).
-    pub fn maintenance_metrics(&self) -> &MaintenanceMetrics {
-        &self.maintenance
+    /// structures). By value — see [`Engine::breakdown`].
+    pub fn maintenance_metrics(&self) -> MaintenanceMetrics {
+        self.metrics().maintenance
     }
 
     /// The shared-structure cache (hit/miss counters, sizes).
@@ -490,7 +538,13 @@ impl<'g> Engine<'g> {
     /// Total pairs held in shared structures — the "shared data size"
     /// metric of Fig. 12 for the active strategy.
     pub fn shared_data_pairs(&self) -> usize {
-        match self.config.strategy {
+        self.shared_data_pairs_with(self.config.strategy)
+    }
+
+    /// [`Engine::shared_data_pairs`] for an explicit strategy (the
+    /// overlay-resolved form).
+    pub fn shared_data_pairs_with(&self, strategy: Strategy) -> usize {
+        match strategy {
             Strategy::NoSharing => 0,
             Strategy::FullSharing => self.cache.full_shared_pairs(),
             Strategy::RtcSharing => self.cache.rtc_shared_pairs(),
@@ -500,15 +554,13 @@ impl<'g> Engine<'g> {
     /// Clears timing/counter accumulators — including the cache's
     /// hit/miss counters and the maintenance metrics — but keeps cached
     /// structures (and the graph epoch).
-    pub fn reset_metrics(&mut self) {
-        self.breakdown.reset();
-        self.stats.reset();
-        self.maintenance.reset();
+    pub fn reset_metrics(&self) {
+        *self.metrics() = EngineMetrics::default();
         self.cache.reset_counters();
     }
 
     /// Drops all cached shared structures (and resets metrics).
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.cache.clear();
         self.reset_metrics();
     }
@@ -521,7 +573,7 @@ impl<'g> Engine<'g> {
 fn eval_one(
     graph: &LabeledMultigraph,
     config: &EngineConfig,
-    cache: &mut SharedCache,
+    cache: &SharedCache,
     breakdown: &mut Breakdown,
     stats: &mut EliminationStats,
     maintenance: &mut MaintenanceMetrics,
@@ -559,7 +611,7 @@ mod tests {
     fn all_strategies_agree_on_example1() {
         let g = paper_graph();
         for strategy in Strategy::ALL {
-            let mut e = Engine::with_strategy(&g, strategy);
+            let e = Engine::with_strategy(&g, strategy);
             let r = e.evaluate_str("d.(b.c)+.c").unwrap();
             assert_eq!(r.len(), 2, "{strategy}");
             assert!(r.contains(VertexId(7), VertexId(5)));
@@ -571,7 +623,7 @@ mod tests {
     fn example7_query_sequence_shares_rtcs() {
         // The three queries of Example 7, evaluated as one set.
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         let queries = [
             Regex::parse("a").unwrap(),
             Regex::parse("a.(a.b)+.b").unwrap(),
@@ -593,7 +645,7 @@ mod tests {
     #[test]
     fn evaluate_set_amortizes_shared_data() {
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         let q = Regex::parse("d.(b.c)+.c").unwrap();
         e.evaluate(&q).unwrap();
         let misses_after_first = e.cache().misses();
@@ -606,9 +658,9 @@ mod tests {
     #[test]
     fn breakdown_accumulates() {
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         e.evaluate_str("d.(b.c)+.c").unwrap();
-        let b = *e.breakdown();
+        let b = e.breakdown();
         assert!(b.total > std::time::Duration::ZERO);
         assert!(b.total >= b.shared_data + b.pre_join);
         e.reset_metrics();
@@ -622,15 +674,15 @@ mod tests {
     #[test]
     fn shared_data_pairs_by_strategy() {
         let g = paper_graph();
-        let mut no = Engine::with_strategy(&g, Strategy::NoSharing);
+        let no = Engine::with_strategy(&g, Strategy::NoSharing);
         no.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(no.shared_data_pairs(), 0);
 
-        let mut rtc = Engine::with_strategy(&g, Strategy::RtcSharing);
+        let rtc = Engine::with_strategy(&g, Strategy::RtcSharing);
         rtc.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(rtc.shared_data_pairs(), 3); // TC(Ḡ_{b·c}) has 3 pairs
 
-        let mut full = Engine::with_strategy(&g, Strategy::FullSharing);
+        let full = Engine::with_strategy(&g, Strategy::FullSharing);
         full.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(full.shared_data_pairs(), 10); // |（b·c)+_G| = 10
     }
@@ -643,7 +695,7 @@ mod tests {
             Regex::parse("d.(b.c)*.c").unwrap(),
             Regex::parse("c.(a.b)+").unwrap(),
         ];
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         let report = e.prepare(&queries).unwrap();
         assert_eq!(report.bodies_computed, 2); // b·c and a·b
         assert_eq!(report.bodies_reused, 0);
@@ -664,7 +716,7 @@ mod tests {
     #[test]
     fn selective_apis_match_full_evaluation() {
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         let q = Regex::parse("d.(b.c)+.c").unwrap();
         let full = e.evaluate(&q).unwrap();
         // ends_from / starts_to / check agree with the materialized result.
@@ -690,7 +742,7 @@ mod tests {
     #[test]
     fn reset_metrics_clears_cache_counters_but_keeps_structures() {
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         e.evaluate_str("d.(b.c)+.c").unwrap();
         e.evaluate_str("d.(b.c)+.c").unwrap();
         assert!(e.cache().hits() > 0);
@@ -719,7 +771,7 @@ mod tests {
                 .evaluate_set(&queries)
                 .unwrap();
             for threads in [0usize, 2, 8] {
-                let mut e = Engine::with_config(
+                let e = Engine::with_config(
                     &g,
                     EngineConfig {
                         strategy,
@@ -738,7 +790,7 @@ mod tests {
     fn explicit_parallel_entry_point_handles_small_sets() {
         let g = paper_graph();
         let one = [Regex::parse("d.(b.c)+.c").unwrap()];
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         // A single query (or an empty set) falls back to the sequential
         // path regardless of the configured thread count.
         assert_eq!(e.evaluate_set_parallel(&one).unwrap().len(), 1);
@@ -753,7 +805,7 @@ mod tests {
             Regex::parse("a.(b.c)+").unwrap(),
             Regex::parse("(b.c)*").unwrap(),
         ];
-        let mut e = Engine::with_config(
+        let e = Engine::with_config(
             &g,
             EngineConfig {
                 threads: 2,
@@ -799,7 +851,7 @@ mod tests {
     #[test]
     fn parallel_batch_surfaces_dnf_errors() {
         let g = paper_graph();
-        let mut e = Engine::with_config(
+        let e = Engine::with_config(
             &g,
             EngineConfig {
                 dnf_clause_limit: 2,
@@ -817,7 +869,7 @@ mod tests {
     #[test]
     fn prepare_is_noop_for_nosharing() {
         let g = paper_graph();
-        let mut e = Engine::with_strategy(&g, Strategy::NoSharing);
+        let e = Engine::with_strategy(&g, Strategy::NoSharing);
         let report = e.prepare(&[Regex::parse("(b.c)+").unwrap()]).unwrap();
         assert_eq!(report, PrepareReport::default());
     }
@@ -825,14 +877,14 @@ mod tests {
     #[test]
     fn parse_errors_surface() {
         let g = paper_graph();
-        let mut e = Engine::new(&g);
+        let e = Engine::new(&g);
         assert!(matches!(e.evaluate_str("(a"), Err(EngineError::Parse(_))));
     }
 
     #[test]
     fn dnf_limit_respected() {
         let g = paper_graph();
-        let mut e = Engine::with_config(
+        let e = Engine::with_config(
             &g,
             EngineConfig {
                 strategy: Strategy::RtcSharing,
@@ -850,7 +902,7 @@ mod tests {
         let g = paper_graph();
         // Disable the Theorem-2 fast path so the bare closure runs through
         // the general Algorithm 2 join and populates the counters.
-        let mut e = Engine::with_config(
+        let e = Engine::with_config(
             &g,
             EngineConfig {
                 enable_fast_paths: false,
@@ -858,7 +910,7 @@ mod tests {
             },
         );
         e.evaluate_str("(b.c)+").unwrap();
-        let s = *e.elimination_stats();
+        let s = e.elimination_stats();
         // Identity Pre over 10 vertices, 5 outside V_{b·c}.
         assert_eq!(s.useless1_skipped, 5);
         assert!(s.useless2_unchecked_inserts > 0);
@@ -891,7 +943,7 @@ mod tests {
         let expect = Engine::new(&mutated).evaluate(&q).unwrap();
         assert_eq!(after, expect);
         // The stale entry was refreshed, not recomputed blind.
-        let m = *e.maintenance_metrics();
+        let m = e.maintenance_metrics();
         assert_eq!(m.deltas_applied, 1);
         assert!(
             m.incremental_refreshes + m.unchanged_refreshes + m.rebuild_refreshes >= 1,
@@ -981,7 +1033,7 @@ mod tests {
         delta.insert(6, "b", 8).insert(8, "c", 6);
         e.apply_delta(&delta);
         e.evaluate_str("(b.c)+").unwrap();
-        let m = *e.maintenance_metrics();
+        let m = e.maintenance_metrics();
         assert_eq!(m.rebuild_refreshes, 1);
         assert_eq!(m.incremental_refreshes, 0);
     }
@@ -1002,5 +1054,75 @@ mod tests {
             .unwrap();
             assert_eq!(fast, general, "fast path diverged on {q}");
         }
+    }
+
+    /// The serving contract of this refactor: N threads evaluate through
+    /// one `&Engine` simultaneously (no `&mut`, no external lock) and
+    /// every result matches a single-threaded oracle, while the shared
+    /// cache ends up with exactly one entry per closure body.
+    #[test]
+    fn concurrent_evaluation_through_a_shared_reference() {
+        let g = paper_graph();
+        let queries = [
+            "d.(b.c)+.c",
+            "a.(b.c)*",
+            "(a.b)+|(b.c)+",
+            "c.(a.b)+.b",
+            "(a.b)*.b+",
+            "b.c|d",
+        ];
+        let oracle: Vec<PairSet> = queries
+            .iter()
+            .map(|q| Engine::new(&g).evaluate_str(q).unwrap())
+            .collect();
+        let engine = Engine::new(&g);
+        for round in 0..3 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = queries
+                    .iter()
+                    .map(|q| {
+                        let engine = &engine;
+                        s.spawn(move || engine.evaluate_str(q).unwrap())
+                    })
+                    .collect();
+                for (h, expect) in handles.into_iter().zip(&oracle) {
+                    assert_eq!(&h.join().unwrap(), expect, "round {round}");
+                }
+            });
+        }
+        // One entry per distinct closure body (b·c and a·b, plus the
+        // nested bare b), no matter how many threads raced to fill it.
+        assert_eq!(engine.cache().rtc_count(), 3);
+        // Rounds 2 and 3 ran entirely warm.
+        assert!(engine.cache().hits() >= 2 * queries.len() as u64);
+    }
+
+    /// Metric accumulators stay consistent when updated from many threads:
+    /// totals add up across concurrent evaluations and reset under `&self`.
+    #[test]
+    fn metrics_accumulate_under_concurrent_evaluation() {
+        let g = paper_graph();
+        let engine = Engine::new(&g);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let engine = &engine;
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        engine.evaluate_str("d.(b.c)+.c").unwrap();
+                    }
+                });
+            }
+        });
+        let b = engine.breakdown();
+        assert!(b.total > std::time::Duration::ZERO);
+        assert!(b.total >= b.shared_data + b.pre_join);
+        // 32 evaluations, one lookup each; at worst each thread misses
+        // once (racing on the cold key) before the insert lands.
+        assert_eq!(engine.cache().hits() + engine.cache().misses(), 32);
+        assert!(engine.cache().misses() <= 4, "{}", engine.cache().misses());
+        engine.reset_metrics();
+        assert_eq!(engine.breakdown().total, std::time::Duration::ZERO);
+        assert_eq!(engine.cache().hits(), 0);
+        assert_eq!(engine.cache().rtc_count(), 1);
     }
 }

@@ -35,10 +35,14 @@ pub(crate) enum SharingKind {
     Full,
 }
 
-/// Mutable evaluation context threaded through the recursion.
+/// Evaluation context threaded through the recursion. The cache is a
+/// shared reference — its interior is lock-protected and its counters
+/// atomic, so many recursions (from many threads) fill one cache at once;
+/// the metric accumulators are exclusive, local to this evaluation, and
+/// merged into the engine's shared totals afterwards.
 pub(crate) struct EvalCtx<'g, 'c> {
     pub graph: &'g LabeledMultigraph,
-    pub cache: &'c mut SharedCache,
+    pub cache: &'c SharedCache,
     pub kind: SharingKind,
     pub clause_limit: usize,
     pub fast_paths: bool,
@@ -241,13 +245,13 @@ mod tests {
 
     fn run(kind: SharingKind, src: &str) -> (PairSet, SharedCache) {
         let g = paper_graph();
-        let mut cache = SharedCache::new();
+        let cache = SharedCache::new();
         let mut breakdown = Breakdown::default();
         let mut stats = EliminationStats::default();
         let mut maintenance = MaintenanceMetrics::default();
         let mut ctx = EvalCtx {
             graph: &g,
-            cache: &mut cache,
+            cache: &cache,
             kind,
             clause_limit: 1024,
             fast_paths: false,

@@ -73,12 +73,12 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
     let cache = engine.cache();
     // Collect and sort by key so snapshots of equal state are byte-equal
     // (hash-map iteration order is not deterministic).
-    let mut rtcs: Vec<_> = cache.fresh_rtc_entries().collect();
-    rtcs.sort_by_key(|&(k, _, _)| k);
+    let mut rtcs = cache.fresh_rtc_entries();
+    rtcs.sort_by(|a, b| a.0.cmp(&b.0));
     write_u32(&mut w, rtcs.len() as u32)?;
-    for (key, rtc, r_g) in rtcs {
+    for (key, rtc, r_g) in &rtcs {
         write_str(&mut w, key)?;
-        write_opt_pairs(&mut w, r_g)?;
+        write_opt_pairs(&mut w, r_g.as_ref())?;
         let parts = RtcParts::of(rtc);
         write_u64(&mut w, parts.originals.len() as u64)?;
         write_all_u32(&mut w, &parts.originals)?;
@@ -92,12 +92,12 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
         write_u64(&mut w, parts.ebar_edges)?;
     }
 
-    let mut fulls: Vec<_> = cache.fresh_full_entries().collect();
-    fulls.sort_by_key(|&(k, _, _)| k);
+    let mut fulls = cache.fresh_full_entries();
+    fulls.sort_by(|a, b| a.0.cmp(&b.0));
     write_u32(&mut w, fulls.len() as u32)?;
-    for (key, full, r_g) in fulls {
+    for (key, full, r_g) in &fulls {
         write_str(&mut w, key)?;
-        write_opt_pairs(&mut w, r_g)?;
+        write_opt_pairs(&mut w, r_g.as_ref())?;
         let parts = FullTcParts::of(full);
         write_u64(&mut w, parts.originals.len() as u64)?;
         write_all_u32(&mut w, &parts.originals)?;
@@ -133,7 +133,7 @@ pub fn read_snapshot<R: Read>(
         )));
     }
     let graph = rpq_graph::snapshot::read_snapshot(&mut r)?;
-    let mut engine = Engine::with_config_versioned(graph, config);
+    let engine = Engine::with_config_versioned(graph, config);
 
     let rtc_count = read_u32(&mut r, "RTC entry count")?;
     for _ in 0..rtc_count {
@@ -165,9 +165,9 @@ pub fn read_snapshot<R: Read>(
         );
         match r_g {
             Some(r_g) => engine
-                .cache_mut()
+                .cache()
                 .insert_rtc_entry(key, rtc, Arc::new(r_g), None),
-            None => engine.cache_mut().insert_rtc(key, rtc),
+            None => engine.cache().insert_rtc(key, rtc),
         }
     }
 
@@ -189,10 +189,8 @@ pub fn read_snapshot<R: Read>(
                 .map_err(|e| EngineError::Snapshot(format!("entry '{key}': {e}")))?,
         );
         match r_g {
-            Some(r_g) => engine
-                .cache_mut()
-                .insert_full_entry(key, full, Arc::new(r_g)),
-            None => engine.cache_mut().insert_full(key, full),
+            Some(r_g) => engine.cache().insert_full_entry(key, full, Arc::new(r_g)),
+            None => engine.cache().insert_full(key, full),
         }
     }
 
@@ -359,12 +357,12 @@ mod tests {
 
     #[test]
     fn warm_restart_serves_fresh_hits_without_recompute() {
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         let expected = engine.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(engine.cache().rtc_count(), 1);
 
         let bytes = snapshot_bytes(&engine);
-        let mut warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
         assert_eq!(warm.epoch(), engine.epoch());
         assert_eq!(warm.cache().rtc_count(), 1);
         // The restored entry is Fresh: the very first evaluation hits it.
@@ -420,7 +418,7 @@ mod tests {
     #[test]
     fn full_sharing_entries_roundtrip() {
         let g = paper_graph();
-        let mut engine = Engine::with_strategy(&g, Strategy::FullSharing);
+        let engine = Engine::with_strategy(&g, Strategy::FullSharing);
         let expected = engine.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(engine.cache().full_count(), 1);
 
@@ -429,7 +427,7 @@ mod tests {
             strategy: Strategy::FullSharing,
             ..EngineConfig::default()
         };
-        let mut warm = read_snapshot(&bytes[..], config).unwrap();
+        let warm = read_snapshot(&bytes[..], config).unwrap();
         assert_eq!(warm.cache().full_count(), 1);
         assert_eq!(warm.evaluate_str("d.(b.c)+.c").unwrap(), expected);
         assert_eq!(warm.cache().misses(), 0);
@@ -438,7 +436,7 @@ mod tests {
 
     #[test]
     fn snapshots_are_deterministic() {
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         engine.evaluate_str("d.(b.c)+.c").unwrap();
         engine.evaluate_str("(a.b)+").unwrap();
         engine.evaluate_str("c.(a.b)*").unwrap();
@@ -449,7 +447,7 @@ mod tests {
     #[test]
     fn borrowed_engine_snapshots_at_epoch_zero() {
         let g = paper_graph();
-        let mut engine = Engine::new(&g);
+        let engine = Engine::new(&g);
         engine.evaluate_str("(b.c)+").unwrap();
         let bytes = snapshot_bytes(&engine);
         let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
@@ -466,7 +464,7 @@ mod tests {
             "{err}"
         );
 
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         engine.evaluate_str("d.(b.c)+.c").unwrap();
         let bytes = snapshot_bytes(&engine);
         for cut in [0, 4, 20, bytes.len() / 2, bytes.len() - 1] {
@@ -486,7 +484,7 @@ mod tests {
 
     #[test]
     fn corrupt_structure_tables_are_rejected_at_assembly() {
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         engine.evaluate_str("d.(b.c)+.c").unwrap();
         let bytes = snapshot_bytes(&engine);
         // Flip one byte at a time over the cache section; every outcome
@@ -506,9 +504,9 @@ mod tests {
     fn oversized_cache_key_fails_at_save_not_load() {
         // Write/read symmetry: a key past the reader's cap must make the
         // *write* fail loudly, never produce an unloadable file.
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         let huge_key = "k".repeat(CAP + 1);
-        engine.cache_mut().insert_rtc(
+        engine.cache().insert_rtc(
             huge_key,
             Arc::new(rpq_reduction::Rtc::from_pairs(&PairSet::new())),
         );
@@ -525,10 +523,10 @@ mod tests {
         let dir = std::env::temp_dir().join("rpq_engine_snapshot_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("engine.snap");
-        let mut engine = Engine::new_dynamic(paper_graph());
+        let engine = Engine::new_dynamic(paper_graph());
         engine.evaluate_str("d.(b.c)+.c").unwrap();
         save_snapshot(&engine, &path).unwrap();
-        let mut warm = load_snapshot(&path, EngineConfig::default()).unwrap();
+        let warm = load_snapshot(&path, EngineConfig::default()).unwrap();
         warm.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(warm.cache().misses(), 0);
         std::fs::remove_file(&path).ok();

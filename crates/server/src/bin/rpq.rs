@@ -100,12 +100,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut session = Session::new();
-    // Apply startup configuration before any load, so an engine-snapshot
-    // load inherits the requested strategy/threads.
-    let config = startup_config(opts.strategy, opts.threads);
-    session.execute(&format!("strategy {}", strategy_name(config.strategy)));
-    session.execute(&format!("threads {}", config.threads));
+    // Startup flags set the engine's *base* configuration (not a
+    // connection overlay): every connection inherits it, and an
+    // engine-snapshot load picks it up too.
+    let mut session = Session::with_config(startup_config(opts.strategy, opts.threads));
     if let Some(path) = &opts.load {
         match session.execute(&format!("load {path}")) {
             Some(r) if matches!(r.status, rpq_server::Status::Ok(_)) => {
@@ -154,13 +152,5 @@ fn main() -> ExitCode {
                 }
             }
         }
-    }
-}
-
-fn strategy_name(s: rpq_core::Strategy) -> &'static str {
-    match s {
-        rpq_core::Strategy::RtcSharing => "rtc",
-        rpq_core::Strategy::FullSharing => "full",
-        rpq_core::Strategy::NoSharing => "none",
     }
 }

@@ -76,12 +76,17 @@ pub enum Command {
     /// `delta OPS` — apply a mutation batch
     /// (`delta ins 0 a 1 del 2 b 3 grow 20`).
     Delta(Vec<DeltaOp>),
-    /// `strategy rtc|full|none` — switch the evaluation strategy.
+    /// `strategy rtc|full|none` — switch **this connection's** evaluation
+    /// strategy (an overlay over the engine's base configuration).
     SetStrategy(Strategy),
-    /// `threads N` — set worker threads (0 = all cores).
+    /// `threads N` — set **this connection's** worker threads
+    /// (0 = all cores).
     SetThreads(usize),
     /// `limit N` — cap the result pairs printed per query (0 = none).
     SetLimit(usize),
+    /// `binary on|off` — switch this connection's `query` responses
+    /// between text payload lines and `RESULT-BIN` binary frames.
+    SetBinary(bool),
     /// `metrics` — timing breakdown, elimination and maintenance counters.
     Metrics,
     /// `cache` — shared-structure cache breakdown.
@@ -150,6 +155,16 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         },
         "threads" => Command::SetThreads(parse_num::<usize>(tokens.next(), "threads needs N")?),
         "limit" => Command::SetLimit(parse_num::<usize>(tokens.next(), "limit needs N")?),
+        "binary" => match tokens.next() {
+            Some("on") => Command::SetBinary(true),
+            Some("off") => Command::SetBinary(false),
+            other => {
+                return Err(format!(
+                    "binary takes on|off, got '{}'",
+                    other.unwrap_or("")
+                ))
+            }
+        },
         "metrics" => Command::Metrics,
         "cache" => Command::Cache,
         "reset" => match tokens.next() {
@@ -260,6 +275,7 @@ pub const HELP: &[&str] = &[
     "  strategy rtc|full|none    switch evaluation strategy",
     "  threads N                 worker threads (0 = all cores)",
     "  limit N                   result pairs printed per query (0 = none)",
+    "  binary on|off             query results as RESULT-BIN frames (this connection)",
     "  metrics                   timing/elimination/maintenance counters",
     "  cache                     shared-structure cache breakdown",
     "  reset [metrics|cache]     clear counters / drop cached structures",
@@ -347,6 +363,10 @@ mod tests {
         assert!(parse_command("strategy magic").is_err());
         assert_eq!(one("threads 4"), Command::SetThreads(4));
         assert_eq!(one("limit 100"), Command::SetLimit(100));
+        assert_eq!(one("binary on"), Command::SetBinary(true));
+        assert_eq!(one("binary off"), Command::SetBinary(false));
+        assert!(parse_command("binary").is_err());
+        assert!(parse_command("binary maybe").is_err());
     }
 
     #[test]
@@ -391,8 +411,8 @@ mod tests {
     fn help_lists_every_command_head() {
         for head in [
             "help", "info", "epoch", "load", "save", "export", "gen", "query", "check", "ends",
-            "prepare", "delta", "strategy", "threads", "limit", "metrics", "cache", "reset",
-            "quit",
+            "prepare", "delta", "strategy", "threads", "limit", "binary", "metrics", "cache",
+            "reset", "quit",
         ] {
             assert!(
                 HELP.iter().any(|l| l.trim_start().starts_with(head)),

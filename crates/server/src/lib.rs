@@ -11,13 +11,18 @@
 //!   `rpq_regex` parser → `rpq_automata`/`rpq_core` pipeline, apply
 //!   `GraphDelta` mutations online, switch strategies, inspect metrics
 //!   and cache state, and save/load snapshots.
-//! * [`session`] — one long-lived [`rpq_core::Engine`] (owning its graph,
-//!   epoch-aware cache attached) driven by command lines; the single
-//!   execution path behind both transports.
+//! * [`session`] — the serving state, split into one long-lived
+//!   read-write-locked [`session::EngineState`] (the engine owning its
+//!   graph, epoch-aware cache attached) and a per-connection
+//!   [`session::ConnectionOverlay`] (`strategy`/`threads`/`limit`/
+//!   `binary`); the single execution path behind both transports.
 //! * [`repl`] — the interactive/pipeable CLI loop (`rpq repl`).
 //! * [`tcp`] — the same commands as a line-delimited TCP protocol
-//!   (`rpq serve`), every connection sharing one session so client A's
-//!   RTC is client B's cache hit.
+//!   (`rpq serve`), every connection sharing one engine so client A's
+//!   RTC is client B's cache hit; read-only commands run concurrently
+//!   under the shared read lock.
+//! * [`wire`] — the opt-in `RESULT-BIN` binary result frame for large
+//!   `query` responses.
 //!
 //! Warm restarts ride on the two snapshot layers underneath:
 //! `rpq_graph::snapshot` persists the versioned graph (with epoch), and
@@ -41,8 +46,10 @@ pub mod command;
 pub mod repl;
 pub mod session;
 pub mod tcp;
+pub mod wire;
 
 pub use command::{parse_command, Command, DeltaOp};
 pub use repl::run_repl;
-pub use session::{Response, Session, Status};
+pub use session::{ConnectionOverlay, EngineState, Response, Session, SharedEngine, Status};
 pub use tcp::{handle_connection, serve, shared, SharedSession};
+pub use wire::BinaryResult;

@@ -29,7 +29,7 @@ pub fn run_repl<R: BufRead, W: Write>(
         let line = line?;
         if let Some(response) = session.execute(&line) {
             executed += 1;
-            output.write_all(response.render().as_bytes())?;
+            response.write_to(&mut output)?;
             output.flush()?;
             if response.quit {
                 break;

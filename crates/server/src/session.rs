@@ -1,16 +1,35 @@
-//! A serving session: one long-lived [`Engine`] driven by command lines.
+//! Serving sessions: shared engine state behind a read-write lock, plus
+//! per-connection overlay state.
+//!
+//! The serving state is split in two, and the split is the whole point:
+//!
+//! * [`EngineState`] — the **shared** half: one long-lived
+//!   [`Engine`] (owning its graph, epoch-aware cache attached) plus the
+//!   loaded-graph name. All sessions of one server hold it behind one
+//!   `Arc<RwLock<…>>` ([`SharedEngine`]). Read-only commands (`query`,
+//!   `check`, `ends`, `info`, `metrics`, `cache`, `epoch`, `export`) take
+//!   the **read** lock, so N TCP clients evaluate *simultaneously* against
+//!   one shared cache — the engine's query path is `&self` precisely for
+//!   this. Mutating commands (`load`, `save`, `gen`, `delta`, `prepare`,
+//!   `reset`) take the **write** lock and serialize.
+//! * [`ConnectionOverlay`] — the **per-connection** half: `strategy`,
+//!   `threads`, `limit` and `binary` are connection-local. They resolve
+//!   against the engine's base configuration at command dispatch
+//!   ([`ConnectionOverlay::resolve`]) and are applied through
+//!   [`Engine::evaluate_with`], so one client switching to `FullSharing`
+//!   or `binary on` never changes what any other client sees.
 //!
 //! [`Session::execute`] is the single entry point both front-ends call —
 //! the REPL feeds it stdin lines, the TCP server feeds it socket lines —
 //! so behaviour (and therefore scripts) are identical across transports.
-//! The engine **owns** its graph ([`Engine::new_dynamic`]), so `delta`
-//! commands mutate in place and every query after the first shares the
-//! epoch-aware cache the paper's Experiment 2 is about.
 
 use crate::command::{parse_command, Command, DeltaOp, HELP};
+use crate::wire::{encode_pair_set, BinaryResult};
 use rpq_core::{Engine, EngineConfig, Strategy};
 use rpq_graph::{GraphBuilder, GraphDelta, VersionedGraph};
+use std::io::Write as IoWrite;
 use std::path::Path;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Result of executing one command line.
@@ -19,6 +38,9 @@ pub struct Response {
     /// Payload lines (never starting with `OK`/`ERR` — the framing
     /// invariant of the line protocol).
     pub lines: Vec<String>,
+    /// A binary result frame (`RESULT-BIN`), present instead of pair
+    /// payload lines when the connection opted in with `binary on`.
+    pub binary: Option<BinaryResult>,
     /// Final status line, without its `OK `/`ERR ` prefix.
     pub status: Status,
     /// Whether the session asked to end (`quit`).
@@ -38,6 +60,7 @@ impl Response {
     fn ok(summary: impl Into<String>) -> Response {
         Response {
             lines: Vec::new(),
+            binary: None,
             status: Status::Ok(summary.into()),
             quit: false,
         }
@@ -46,6 +69,7 @@ impl Response {
     fn err(message: impl Into<String>) -> Response {
         Response {
             lines: Vec::new(),
+            binary: None,
             status: Status::Err(message.into()),
             quit: false,
         }
@@ -56,40 +80,141 @@ impl Response {
         self
     }
 
-    /// Renders the response in wire format: payload lines, then one
-    /// `OK ...` / `ERR ...` status line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
+    fn with_binary(mut self, binary: BinaryResult) -> Response {
+        self.binary = Some(binary);
+        self
+    }
+
+    /// Writes the response in wire format: payload lines, then the binary
+    /// frame (header line + raw blob) if present, then one `OK ...` /
+    /// `ERR ...` status line. One response is at most three `write_all`
+    /// calls on the caller's sink — and each connection's sink is written
+    /// by exactly one thread, so responses can never interleave. The
+    /// multi-megabyte blob is written directly from the `BinaryResult`,
+    /// never staged through a second buffer.
+    pub fn write_to<W: IoWrite>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut head: Vec<u8> = Vec::new();
         for line in &self.lines {
             debug_assert!(
                 !line.starts_with("OK") && !line.starts_with("ERR"),
                 "payload line breaks the framing invariant: {line}"
             );
-            out.push_str(line);
-            out.push('\n');
+            head.extend_from_slice(line.as_bytes());
+            head.push(b'\n');
         }
+        if let Some(binary) = &self.binary {
+            head.extend_from_slice(binary.header_line().as_bytes());
+            head.push(b'\n');
+        }
+        if !head.is_empty() {
+            w.write_all(&head)?;
+        }
+        if let Some(binary) = &self.binary {
+            // No newline after the blob: the reader consumes exactly
+            // `byte_len` bytes and the status line follows directly.
+            w.write_all(&binary.bytes)?;
+        }
+        let mut tail: Vec<u8> = Vec::new();
         match &self.status {
             Status::Ok(s) => {
-                out.push_str("OK ");
-                out.push_str(s);
+                tail.extend_from_slice(b"OK ");
+                tail.extend_from_slice(s.as_bytes());
             }
             Status::Err(s) => {
-                out.push_str("ERR ");
-                out.push_str(s);
+                tail.extend_from_slice(b"ERR ");
+                tail.extend_from_slice(s.as_bytes());
             }
         }
-        out.push('\n');
-        out
+        tail.push(b'\n');
+        w.write_all(&tail)
+    }
+
+    /// Renders the wire format as a `String` (lossily for binary frames —
+    /// transports use [`Response::write_to`]; this is for tests, logs and
+    /// the text-only startup path).
+    pub fn render(&self) -> String {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("Vec sink cannot fail");
+        String::from_utf8_lossy(&out).into_owned()
     }
 }
 
-/// A long-lived serving session over an owning engine.
-pub struct Session {
+/// The shared half of a serving session: the engine plus the name of the
+/// loaded graph. All connections of one server share exactly one of these
+/// behind [`SharedEngine`].
+pub struct EngineState {
     engine: Engine<'static>,
-    /// Result pairs printed per query (0 = print none, count only).
-    limit: usize,
     /// Name of the loaded graph (path, generator tag, or "empty").
     source: String,
+}
+
+impl EngineState {
+    /// The engine, for inspection.
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.engine
+    }
+
+    /// The loaded graph's name (path, generator tag, or "empty").
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+/// Shared serving state: one read-write-locked [`EngineState`] for any
+/// number of sessions/connections.
+pub type SharedEngine = Arc<RwLock<EngineState>>;
+
+/// Per-connection overlay: evaluation knobs that belong to one client,
+/// resolved against the engine's base configuration at dispatch time and
+/// never written into shared state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionOverlay {
+    /// Strategy override (`strategy rtc|full|none`), if set.
+    pub strategy: Option<Strategy>,
+    /// Worker-thread override (`threads N`), if set.
+    pub threads: Option<usize>,
+    /// Result pairs printed per query in text mode (0 = count only).
+    pub limit: usize,
+    /// Whether `query` results are sent as `RESULT-BIN` frames.
+    pub binary: bool,
+}
+
+impl Default for ConnectionOverlay {
+    fn default() -> Self {
+        ConnectionOverlay {
+            strategy: None,
+            threads: None,
+            limit: 10,
+            binary: false,
+        }
+    }
+}
+
+impl ConnectionOverlay {
+    /// The effective configuration for this connection: the engine's base
+    /// configuration with this connection's overrides applied.
+    pub fn resolve(&self, base: &EngineConfig) -> EngineConfig {
+        let mut config = *base;
+        if let Some(s) = self.strategy {
+            config.strategy = s;
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        config
+    }
+}
+
+/// A serving session: one connection's view of the shared engine.
+///
+/// Cloning the [`SharedEngine`] handle ([`Session::shared`]) and
+/// [`Session::attach`]ing gives each TCP connection its own session — own
+/// overlay, same engine — which is how the server keeps `strategy`,
+/// `threads`, `limit` and `binary` per-connection while every `query`
+/// still lands in one shared epoch-aware cache.
+pub struct Session {
+    shared: SharedEngine,
+    overlay: ConnectionOverlay,
 }
 
 impl Default for Session {
@@ -98,11 +223,30 @@ impl Default for Session {
     }
 }
 
+/// A read guard over the shared state, dereferencing to the engine —
+/// what [`Session::engine`] hands to inspection code and tests.
+pub struct EngineGuard<'a>(RwLockReadGuard<'a, EngineState>);
+
+impl std::ops::Deref for EngineGuard<'_> {
+    type Target = Engine<'static>;
+    fn deref(&self) -> &Engine<'static> {
+        &self.0.engine
+    }
+}
+
 impl Session {
     /// A session over an empty graph with the default configuration.
     pub fn new() -> Session {
+        Session::with_config(EngineConfig::default())
+    }
+
+    /// A session over an empty graph with an explicit base configuration
+    /// (the `--strategy`/`--threads` startup flags land here, so every
+    /// later connection inherits them as the base the overlay resolves
+    /// against).
+    pub fn with_config(config: EngineConfig) -> Session {
         Session::from_engine(
-            Engine::new_dynamic(GraphBuilder::new().build()),
+            Engine::with_config_versioned(VersionedGraph::new(GraphBuilder::new().build()), config),
             "empty".to_string(),
         )
     }
@@ -111,15 +255,46 @@ impl Session {
     /// tests).
     pub fn from_engine(engine: Engine<'static>, source: String) -> Session {
         Session {
-            engine,
-            limit: 10,
-            source,
+            shared: Arc::new(RwLock::new(EngineState { engine, source })),
+            overlay: ConnectionOverlay::default(),
         }
     }
 
-    /// The engine, for inspection.
-    pub fn engine(&self) -> &Engine<'static> {
-        &self.engine
+    /// A new session — fresh overlay — onto existing shared state: one of
+    /// these per TCP connection.
+    pub fn attach(shared: SharedEngine) -> Session {
+        Session {
+            shared,
+            overlay: ConnectionOverlay::default(),
+        }
+    }
+
+    /// The shared-state handle, for attaching further sessions.
+    pub fn shared(&self) -> SharedEngine {
+        Arc::clone(&self.shared)
+    }
+
+    /// This connection's overlay, for inspection.
+    pub fn overlay(&self) -> &ConnectionOverlay {
+        &self.overlay
+    }
+
+    /// Read access to the shared engine (a read-lock guard).
+    pub fn engine(&self) -> EngineGuard<'_> {
+        EngineGuard(self.read())
+    }
+
+    /// Takes the read lock, clearing poisoning: a panic inside another
+    /// command leaves the engine consistent at command granularity (the
+    /// panicked command's response was simply never sent), so serving
+    /// continues.
+    fn read(&self) -> RwLockReadGuard<'_, EngineState> {
+        self.shared.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes the write lock, clearing poisoning (see [`Session::read`]).
+    fn write(&self) -> RwLockWriteGuard<'_, EngineState> {
+        self.shared.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Parses and executes one request line.
@@ -133,96 +308,99 @@ impl Session {
 
     fn run(&mut self, cmd: Command) -> Response {
         match cmd {
+            // ── lock-free: help, connection end, overlay updates ──────
             Command::Help => Response::ok(format!("{} commands", HELP.len()))
                 .with_lines(HELP.iter().map(|s| s.to_string()).collect()),
-            Command::Info => self.info(),
-            Command::Epoch => Response::ok(format!("epoch {}", self.engine.epoch())),
-            Command::Load(path) => self.load(&path),
-            Command::Save(path) => self.save(&path),
-            Command::Export(path) => self.export(&path),
-            Command::GenPaper => {
-                self.replace_graph(
-                    VersionedGraph::new(rpq_graph::fixtures::paper_graph()),
-                    "paper".to_string(),
-                );
-                self.info_summary("loaded paper graph")
-            }
-            Command::GenRmat { n, scale, seed } => {
-                let g = rpq_datasets::rmat::rmat_n_scaled(n, scale, seed);
-                self.replace_graph(VersionedGraph::new(g), format!("rmat_{n}@2^{scale}#{seed}"));
-                self.info_summary("generated RMAT graph")
-            }
-            Command::Query(text) => self.query(&text),
-            Command::Check { src, dst, query } => self.check(src, dst, &query),
-            Command::Ends { src, query } => self.ends(src, &query),
-            Command::Prepare(text) => self.prepare(&text),
-            Command::Delta(ops) => self.delta(&ops),
-            Command::SetStrategy(s) => {
-                self.engine.set_strategy(s);
-                Response::ok(format!("strategy {s}"))
-            }
-            Command::SetThreads(n) => {
-                self.engine.set_threads(n);
-                Response::ok(format!("threads {n}"))
-            }
-            Command::SetLimit(n) => {
-                self.limit = n;
-                Response::ok(format!("limit {n}"))
-            }
-            Command::Metrics => self.metrics(),
-            Command::Cache => self.cache(),
-            Command::Reset { cache_too } => {
-                if cache_too {
-                    self.engine.clear_cache();
-                    Response::ok("cache cleared (structures dropped, counters reset)")
-                } else {
-                    self.engine.reset_metrics();
-                    Response::ok("metrics reset (cached structures kept)")
-                }
-            }
             Command::Quit => {
                 let mut r = Response::ok("bye");
                 r.quit = true;
                 r
             }
+            Command::SetStrategy(s) => {
+                self.overlay.strategy = Some(s);
+                Response::ok(format!("strategy {s} (this connection)"))
+            }
+            Command::SetThreads(n) => {
+                self.overlay.threads = Some(n);
+                Response::ok(format!("threads {n} (this connection)"))
+            }
+            Command::SetLimit(n) => {
+                self.overlay.limit = n;
+                Response::ok(format!("limit {n}"))
+            }
+            Command::SetBinary(on) => {
+                self.overlay.binary = on;
+                Response::ok(format!("binary {}", if on { "on" } else { "off" }))
+            }
+
+            // ── read path: concurrent under the read lock ─────────────
+            Command::Info => self.info(),
+            Command::Epoch => Response::ok(format!("epoch {}", self.read().engine.epoch())),
+            Command::Query(text) => self.query(&text),
+            Command::Check { src, dst, query } => self.check(src, dst, &query),
+            Command::Ends { src, query } => self.ends(src, &query),
+            Command::Metrics => self.metrics(),
+            Command::Cache => self.cache(),
+            Command::Export(path) => self.export(&path),
+
+            // ── write path: exclusive under the write lock ────────────
+            Command::Load(path) => self.load(&path),
+            Command::Save(path) => self.save(&path),
+            Command::GenPaper => {
+                let mut state = self.write();
+                replace_graph(
+                    &mut state,
+                    VersionedGraph::new(rpq_graph::fixtures::paper_graph()),
+                    "paper".to_string(),
+                );
+                info_summary(&state, "loaded paper graph")
+            }
+            Command::GenRmat { n, scale, seed } => {
+                // Generate outside the lock (no shared state involved), so
+                // readers keep serving while the new graph is built.
+                let g = rpq_datasets::rmat::rmat_n_scaled(n, scale, seed);
+                let mut state = self.write();
+                replace_graph(
+                    &mut state,
+                    VersionedGraph::new(g),
+                    format!("rmat_{n}@2^{scale}#{seed}"),
+                );
+                info_summary(&state, "generated RMAT graph")
+            }
+            Command::Prepare(text) => self.prepare(&text),
+            Command::Delta(ops) => self.delta(&ops),
+            Command::Reset { cache_too } => {
+                let state = self.write();
+                if cache_too {
+                    state.engine.clear_cache();
+                    Response::ok("cache cleared (structures dropped, counters reset)")
+                } else {
+                    state.engine.reset_metrics();
+                    Response::ok("metrics reset (cached structures kept)")
+                }
+            }
         }
     }
 
     fn info(&self) -> Response {
-        let g = self.engine.graph();
-        let c = self.engine.config();
+        let state = self.read();
+        let g = state.engine.graph();
+        let config = self.overlay.resolve(state.engine.config());
         Response::ok(format!(
-            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}",
-            self.source,
+            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}",
+            state.source,
             g.vertex_count(),
             g.edge_count(),
             g.label_count(),
-            self.engine.epoch(),
-            c.strategy,
-            c.threads,
+            state.engine.epoch(),
+            config.strategy,
+            config.threads,
+            self.overlay.limit,
+            if self.overlay.binary { "on" } else { "off" },
         ))
     }
 
-    fn info_summary(&self, what: &str) -> Response {
-        let g = self.engine.graph();
-        Response::ok(format!(
-            "{what}: {} vertices, {} edges, {} labels",
-            g.vertex_count(),
-            g.edge_count(),
-            g.label_count(),
-        ))
-    }
-
-    /// Replaces the engine's graph, keeping the session configuration
-    /// (strategy, threads, clause limit) but dropping cached structures —
-    /// they describe the old graph.
-    fn replace_graph(&mut self, graph: VersionedGraph, source: String) {
-        let config = *self.engine.config();
-        self.engine = Engine::with_config_versioned(graph, config);
-        self.source = source;
-    }
-
-    fn load(&mut self, path: &str) -> Response {
+    fn load(&self, path: &str) -> Response {
         let p = Path::new(path);
         // Sniff for an *engine* snapshot first (graph + warm cache); fall
         // back to the graph-level auto-detection (snapshot or edge list).
@@ -238,14 +416,15 @@ impl Session {
             Err(e) => return Response::err(format!("cannot open '{path}': {e}")),
         };
         if rpq_core::snapshot::matches_magic(&head) {
-            let config = *self.engine.config();
+            let mut state = self.write();
+            let config = *state.engine.config();
             match rpq_core::snapshot::load_snapshot(p, config) {
                 Ok(engine) => {
                     let warm = engine.cache().rtc_count() + engine.cache().full_count();
                     let epoch = engine.epoch();
-                    self.engine = engine;
-                    self.source = path.to_string();
-                    let g = self.engine.graph();
+                    state.engine = engine;
+                    state.source = path.to_string();
+                    let g = state.engine.graph();
                     Response::ok(format!(
                         "warm restart: {} vertices, {} edges, epoch {epoch}, {warm} cached structures",
                         g.vertex_count(),
@@ -257,21 +436,23 @@ impl Session {
         } else {
             match rpq_datasets::io::load_versioned(p) {
                 Ok(vg) => {
-                    self.replace_graph(vg, path.to_string());
-                    self.info_summary(&format!("loaded '{path}'"))
+                    let mut state = self.write();
+                    replace_graph(&mut state, vg, path.to_string());
+                    info_summary(&state, &format!("loaded '{path}'"))
                 }
                 Err(e) => Response::err(format!("cannot load '{path}': {e}")),
             }
         }
     }
 
-    fn save(&mut self, path: &str) -> Response {
-        match rpq_core::snapshot::save_snapshot(&self.engine, Path::new(path)) {
+    fn save(&self, path: &str) -> Response {
+        let state = self.write();
+        match rpq_core::snapshot::save_snapshot(&state.engine, Path::new(path)) {
             Ok(()) => {
                 // Report what was actually persisted: only *fresh*
                 // entries survive a save (stale ones are dropped).
-                let cache = self.engine.cache();
-                let fresh = cache.fresh_rtc_entries().count() + cache.fresh_full_entries().count();
+                let cache = state.engine.cache();
+                let fresh = cache.fresh_rtc_entries().len() + cache.fresh_full_entries().len();
                 let stale = cache.rtc_count() + cache.full_count() - fresh;
                 let dropped = if stale > 0 {
                     format!(" ({stale} stale dropped)")
@@ -280,51 +461,67 @@ impl Session {
                 };
                 Response::ok(format!(
                     "snapshot '{path}': epoch {}, {fresh} cached structures{dropped}",
-                    self.engine.epoch(),
+                    state.engine.epoch(),
                 ))
             }
             Err(e) => Response::err(format!("cannot save '{path}': {e}")),
         }
     }
 
-    fn export(&mut self, path: &str) -> Response {
-        match rpq_datasets::io::save_graph(self.engine.graph(), Path::new(path)) {
+    fn export(&self, path: &str) -> Response {
+        let state = self.read();
+        match rpq_datasets::io::save_graph(state.engine.graph(), Path::new(path)) {
             Ok(()) => Response::ok(format!(
                 "edge list '{path}': {} edges",
-                self.engine.graph().edge_count()
+                state.engine.graph().edge_count()
             )),
             Err(e) => Response::err(format!("cannot export '{path}': {e}")),
         }
     }
 
-    fn query(&mut self, text: &str) -> Response {
+    fn query(&self, text: &str) -> Response {
+        let q = match rpq_regex::Regex::parse(text) {
+            Ok(q) => q,
+            Err(e) => return Response::err(format!("query failed: {e}")),
+        };
+        let state = self.read();
+        let config = self.overlay.resolve(state.engine.config());
         let t = Instant::now();
-        match self.engine.evaluate_str(text) {
+        match state.engine.evaluate_with(&q, config) {
             Ok(result) => {
                 let elapsed = t.elapsed();
-                let shown = result.len().min(self.limit);
+                let status = format!("{} pairs in {elapsed:.2?}", result.len());
+                if self.overlay.binary {
+                    // Binary mode ships the *complete* result set — the
+                    // frame exists for exactly the responses too large to
+                    // print — so `limit` only governs text mode.
+                    return Response::ok(status).with_binary(encode_pair_set(&result));
+                }
+                let shown = result.len().min(self.overlay.limit);
                 let mut lines: Vec<String> = result
                     .iter()
                     .take(shown)
                     .map(|(s, d)| format!("  v{} -> v{}", s.raw(), d.raw()))
                     .collect();
-                if self.limit > 0 && result.len() > shown {
+                if self.overlay.limit > 0 && result.len() > shown {
                     lines.push(format!(
                         "  ... {} more (raise with 'limit N')",
                         result.len() - shown
                     ));
                 }
-                Response::ok(format!("{} pairs in {elapsed:.2?}", result.len())).with_lines(lines)
+                Response::ok(status).with_lines(lines)
             }
             Err(e) => Response::err(format!("query failed: {e}")),
         }
     }
 
-    fn check(&mut self, src: u32, dst: u32, text: &str) -> Response {
+    fn check(&self, src: u32, dst: u32, text: &str) -> Response {
         match rpq_regex::Regex::parse(text) {
             Ok(q) => {
+                let state = self.read();
                 let found =
-                    self.engine
+                    state
+                        .engine
                         .check(&q, rpq_graph::VertexId(src), rpq_graph::VertexId(dst));
                 Response::ok(format!(
                     "{} path v{src} -> v{dst} for {q}",
@@ -335,12 +532,12 @@ impl Session {
         }
     }
 
-    fn ends(&mut self, src: u32, text: &str) -> Response {
+    fn ends(&self, src: u32, text: &str) -> Response {
         match rpq_regex::Regex::parse(text) {
             Ok(q) => {
-                let ends = self.engine.ends_from(&q, rpq_graph::VertexId(src));
+                let ends = self.read().engine.ends_from(&q, rpq_graph::VertexId(src));
                 // `limit 0` means count-only, same as `query`.
-                let shown = ends.len().min(self.limit);
+                let shown = ends.len().min(self.overlay.limit);
                 let line = ends
                     .iter()
                     .take(shown)
@@ -362,20 +559,30 @@ impl Session {
         }
     }
 
-    fn prepare(&mut self, text: &str) -> Response {
+    fn prepare(&self, text: &str) -> Response {
         match rpq_regex::Regex::parse(text) {
-            Ok(q) => match self.engine.prepare(std::slice::from_ref(&q)) {
-                Ok(report) => Response::ok(format!(
-                    "prepared: {} bodies computed, {} reused, {} shared pairs",
-                    report.bodies_computed, report.bodies_reused, report.shared_pairs
-                )),
-                Err(e) => Response::err(format!("prepare failed: {e}")),
-            },
+            Ok(q) => {
+                // Deliberately on the write path: the cache interior would
+                // tolerate a concurrent warm-up, but `prepare` exists to
+                // front-load shared work at a predictable moment, and
+                // letting it race ongoing queries makes its
+                // computed/reused report nondeterministic. Readers resume
+                // the instant the warm-up finishes.
+                let state = self.write();
+                let config = self.overlay.resolve(state.engine.config());
+                match state.engine.prepare_with(std::slice::from_ref(&q), config) {
+                    Ok(report) => Response::ok(format!(
+                        "prepared: {} bodies computed, {} reused, {} shared pairs",
+                        report.bodies_computed, report.bodies_reused, report.shared_pairs
+                    )),
+                    Err(e) => Response::err(format!("prepare failed: {e}")),
+                }
+            }
             Err(e) => Response::err(format!("bad RPQ: {e}")),
         }
     }
 
-    fn delta(&mut self, ops: &[DeltaOp]) -> Response {
+    fn delta(&self, ops: &[DeltaOp]) -> Response {
         let mut delta = GraphDelta::new();
         for op in ops {
             match op {
@@ -390,7 +597,7 @@ impl Session {
                 }
             }
         }
-        let summary = self.engine.apply_delta(&delta);
+        let summary = self.write().engine.apply_delta(&delta);
         Response::ok(format!(
             "epoch {}: +{} -{} edges, {} new labels, {} new vertices",
             summary.epoch,
@@ -402,9 +609,10 @@ impl Session {
     }
 
     fn metrics(&self) -> Response {
-        let b = self.engine.breakdown();
-        let s = self.engine.elimination_stats();
-        let m = self.engine.maintenance_metrics();
+        let state = self.read();
+        let b = state.engine.breakdown();
+        let s = state.engine.elimination_stats();
+        let m = state.engine.maintenance_metrics();
         let lines = vec![
             format!(
                 "  breakdown: shared_data={:.2?} pre_join={:.2?} remainder={:.2?} total={:.2?}",
@@ -435,7 +643,8 @@ impl Session {
     }
 
     fn cache(&self) -> Response {
-        let c = self.engine.cache();
+        let state = self.read();
+        let c = state.engine.cache();
         let lines = vec![
             format!(
                 "  entries: {} rtc ({} pairs, {} sccs), {} full ({} pairs)",
@@ -453,12 +662,32 @@ impl Session {
                 c.epoch()
             ),
         ];
+        let strategy = self.overlay.resolve(state.engine.config()).strategy;
         Response::ok(format!(
             "{} shared pairs held",
-            self.engine.shared_data_pairs()
+            state.engine.shared_data_pairs_with(strategy)
         ))
         .with_lines(lines)
     }
+}
+
+/// Replaces the engine's graph, keeping the base configuration (strategy,
+/// threads, clause limit) but dropping cached structures — they describe
+/// the old graph. Caller holds the write lock.
+fn replace_graph(state: &mut EngineState, graph: VersionedGraph, source: String) {
+    let config = *state.engine.config();
+    state.engine = Engine::with_config_versioned(graph, config);
+    state.source = source;
+}
+
+fn info_summary(state: &EngineState, what: &str) -> Response {
+    let g = state.engine.graph();
+    Response::ok(format!(
+        "{what}: {} vertices, {} edges, {} labels",
+        g.vertex_count(),
+        g.edge_count(),
+        g.label_count(),
+    ))
 }
 
 /// The strategy flag value accepted by the `rpq` binary (`--strategy`).
@@ -552,6 +781,51 @@ mod tests {
         let none = s.execute("query d.(b.c)+.c").unwrap();
         assert_eq!(rtc.lines, full.lines);
         assert_eq!(rtc.lines, none.lines);
+    }
+
+    #[test]
+    fn strategy_and_threads_are_overlay_not_engine_state() {
+        let mut a = Session::new();
+        a.execute("gen paper");
+        let mut b = Session::attach(a.shared());
+        // a switches strategy and threads; the engine base config — and
+        // therefore b's resolved view — must not move.
+        ok_summary(a.execute("strategy full"));
+        ok_summary(a.execute("threads 4"));
+        assert_eq!(a.engine().config().strategy, Strategy::RtcSharing);
+        assert_eq!(a.engine().config().threads, 1);
+        let a_info = ok_summary(a.execute("info"));
+        assert!(
+            a_info.contains("strategy FullSharing, threads 4"),
+            "{a_info}"
+        );
+        let b_info = ok_summary(b.execute("info"));
+        assert!(
+            b_info.contains("strategy RTCSharing, threads 1"),
+            "{b_info}"
+        );
+        // Both still agree on results, of course.
+        let ra = a.execute("query d.(b.c)+.c").unwrap();
+        let rb = b.execute("query d.(b.c)+.c").unwrap();
+        assert_eq!(ra.lines, rb.lines);
+    }
+
+    #[test]
+    fn binary_mode_frames_the_result() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        ok_summary(s.execute("binary on"));
+        let r = s.execute("query d.(b.c)+.c").unwrap();
+        assert!(r.lines.is_empty(), "binary responses carry no text payload");
+        let bin = r.binary.expect("binary frame present");
+        assert_eq!(bin.pairs, 2);
+        let pairs = crate::wire::decode_pairs(&bin.bytes, bin.pairs).unwrap();
+        assert_eq!(pairs, vec![(7, 3), (7, 5)]);
+        // Off again: text payload returns.
+        ok_summary(s.execute("binary off"));
+        let r = s.execute("query d.(b.c)+.c").unwrap();
+        assert!(r.binary.is_none());
+        assert_eq!(r.lines.len(), 2);
     }
 
     #[test]

@@ -8,78 +8,85 @@
 //! * Each response is zero or more payload lines followed by exactly one
 //!   status line starting with `OK ` or `ERR ` — read lines until one of
 //!   those prefixes and the response is complete (payload lines are
-//!   guaranteed not to start with either prefix).
+//!   guaranteed not to start with either prefix). A connection that sent
+//!   `binary on` additionally receives `query` results as one
+//!   `RESULT-BIN <bytes> <pairs>` header line followed by exactly
+//!   `<bytes>` raw bytes (see [`crate::wire`]), then the status line.
 //! * `quit` answers `OK bye` and closes **the connection**; the server
 //!   keeps listening.
 //!
-//! ## Sharing
+//! ## Sharing and concurrency
 //!
-//! All connections serve one [`Session`] — one long-lived engine, one
-//! epoch-aware `SharedCache` — behind a mutex: commands from concurrent
-//! clients interleave at command granularity, and an RTC computed for one
-//! client's query is a `Fresh` cache hit for every other client (the
+//! All connections serve one [`crate::session::EngineState`] — one
+//! long-lived engine, one
+//! epoch-aware `SharedCache` — behind a **read-write lock**, each
+//! connection holding its own [`Session`] (per-connection overlay:
+//! `strategy`, `threads`, `limit`, `binary`). Read-only commands take the
+//! read lock, so concurrent clients' queries evaluate *simultaneously*:
+//! a slow `query` on one connection does not block a fast `query` (or
+//! `epoch`, `info`, …) on another, and an RTC computed for one client's
+//! query is immediately a `Fresh` cache hit for every other (the
 //! cross-query sharing of the paper, stretched across connections).
-//! Because the engine is shared, graph-level commands (`load`, `delta`,
-//! `strategy`) affect every client; this is the intended semantics — the
-//! server fronts *one* graph.
+//! Mutating commands (`delta`, `load`, `gen`, `save`, `reset`, `prepare`)
+//! take the write lock and serialize against everything. Because the
+//! engine is shared, graph-level commands affect every client; this is
+//! the intended semantics — the server fronts *one* graph.
 
-use crate::session::Session;
+use crate::session::{Session, SharedEngine};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The greeting sent to every new connection.
 pub const GREETING: &str = "OK rtc-rpq ready";
 
-/// Shared serving state: one session for all connections.
-pub type SharedSession = Arc<Mutex<Session>>;
+/// Shared serving state: one read-write-locked engine for all connections.
+pub type SharedSession = SharedEngine;
 
-/// Wraps a session for sharing across connection threads.
+/// Extracts the shared engine state from a startup session for sharing
+/// across connection threads (each connection then attaches its own
+/// [`Session`] with a fresh overlay).
 pub fn shared(session: Session) -> SharedSession {
-    Arc::new(Mutex::new(session))
+    session.shared()
 }
 
 /// Serves connections from `listener` forever, one thread per client.
 /// Never returns under normal operation; returns the accept-loop error if
 /// the listener dies.
-pub fn serve(listener: TcpListener, session: SharedSession) -> std::io::Result<()> {
+pub fn serve(listener: TcpListener, shared: SharedSession) -> std::io::Result<()> {
     loop {
         let (stream, _addr) = listener.accept()?;
-        let session = Arc::clone(&session);
+        let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
             // A dropped client mid-response is that client's problem only.
-            let _ = handle_connection(stream, &session);
+            let _ = handle_connection(stream, &shared);
         });
     }
 }
 
 /// Drives one client connection to completion (EOF or `quit`). Returns
 /// the number of commands executed on behalf of this client.
-pub fn handle_connection(stream: TcpStream, session: &SharedSession) -> std::io::Result<u64> {
+pub fn handle_connection(stream: TcpStream, shared: &SharedSession) -> std::io::Result<u64> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    // This connection's session: shared engine, private overlay. Locking
+    // happens *inside* command dispatch — read commands take the shared
+    // read lock (concurrent with other readers), mutating commands the
+    // write lock — so no lock is ever held between commands, and a
+    // panicked command's poisoning is cleared by the session's lock
+    // helpers (state is consistent at command granularity).
+    let mut session = Session::attach(Arc::clone(shared));
     writeln!(writer, "{GREETING}")?;
     writer.flush()?;
     let mut executed = 0u64;
     for line in reader.lines() {
         let line = line?;
-        // Parse outside the lock is impossible (responses need the
-        // engine), but the lock is held per command, not per connection:
-        // other clients proceed between this client's commands.
-        //
-        // Poisoning is deliberately cleared: a panic inside one command
-        // would otherwise kill *every* future connection at this lock.
-        // Session state is consistent at command granularity (the panicked
-        // command's response was simply never sent), so serving continues.
-        let response = {
-            let mut s = session
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            s.execute(&line)
-        };
-        if let Some(response) = response {
+        if let Some(response) = session.execute(&line) {
             executed += 1;
-            writer.write_all(response.render().as_bytes())?;
+            // One write_all per response: bytes of two responses on one
+            // connection can never interleave, and responses to *other*
+            // connections ride their own sockets entirely.
+            response.write_to(&mut writer)?;
             writer.flush()?;
             if response.quit {
                 break;
@@ -99,8 +106,8 @@ mod tests {
     fn spawn_server() -> std::net::SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let session = shared(Session::new());
-        std::thread::spawn(move || serve(listener, session));
+        let shared = shared(Session::new());
+        std::thread::spawn(move || serve(listener, shared));
         addr
     }
 
@@ -175,6 +182,30 @@ mod tests {
         roundtrip(&mut r2, &mut w2, "delta ins 6 b 8 ins 8 c 6");
         let (_, status) = roundtrip(&mut r1, &mut w1, "epoch");
         assert_eq!(status, "OK epoch 1");
+    }
+
+    #[test]
+    fn overlays_are_per_connection() {
+        let addr = spawn_server();
+        let (mut r1, mut w1) = connect(addr);
+        roundtrip(&mut r1, &mut w1, "gen paper");
+        roundtrip(&mut r1, &mut w1, "strategy full");
+        roundtrip(&mut r1, &mut w1, "limit 1");
+
+        let (mut r2, mut w2) = connect(addr);
+        let (_, info2) = roundtrip(&mut r2, &mut w2, "info");
+        // Client 1's overlay never leaks into client 2's view.
+        assert!(info2.contains("strategy RTCSharing"), "{info2}");
+        assert!(info2.contains("limit 10"), "{info2}");
+        let (_, info1) = roundtrip(&mut r1, &mut w1, "info");
+        assert!(info1.contains("strategy FullSharing"), "{info1}");
+        assert!(info1.contains("limit 1"), "{info1}");
+        // And client 1's limit caps only client 1's payload.
+        let (p1, _) = roundtrip(&mut r1, &mut w1, "query d.(b.c)+.c");
+        let (p2, _) = roundtrip(&mut r2, &mut w2, "query d.(b.c)+.c");
+        assert_eq!(p1.len(), 2); // one pair + the "... more" line
+        assert_eq!(p2.len(), 2); // both pairs, no elision
+        assert!(p1[1].contains("1 more"), "{p1:?}");
     }
 
     #[test]

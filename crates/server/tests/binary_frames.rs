@@ -1,0 +1,108 @@
+//! Property tests for the `RESULT-BIN` wire format (ISSUE 5).
+//!
+//! * encode → decode is a fixpoint for arbitrary pair sequences;
+//! * truncated or padded frames are rejected with an error — never a
+//!   panic, never a silently short result;
+//! * fuzzed header lines never panic the parser;
+//! * the text and binary encodings of the same query result decode to the
+//!   identical pair set (driven through a real `Session`, both modes).
+
+use proptest::prelude::*;
+use rpq_server::wire::{decode_pairs, decode_text_pairs, encode_pairs, parse_header};
+use rpq_server::{Session, Status};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_is_a_fixpoint(pairs in prop::collection::vec((0u32..2000, 0u32..2000), 0..300)) {
+        let frame = encode_pairs(&pairs);
+        prop_assert_eq!(frame.bytes.len(), pairs.len() * 8);
+        let (byte_len, count) = parse_header(&frame.header_line()).unwrap();
+        prop_assert_eq!(byte_len, frame.bytes.len());
+        prop_assert_eq!(count, pairs.len());
+        prop_assert_eq!(decode_pairs(&frame.bytes, count).unwrap(), pairs);
+    }
+
+    #[test]
+    fn truncated_frames_error_never_panic(
+        pairs in prop::collection::vec((0u32..500, 0u32..500), 1..80),
+        cut in 0usize..1000,
+    ) {
+        let frame = encode_pairs(&pairs);
+        let cut = cut % frame.bytes.len(); // strictly shorter than the body
+        prop_assert!(decode_pairs(&frame.bytes[..cut], frame.pairs).is_err());
+        // Padding is rejected too: a frame is exact, not "at least".
+        let mut padded = frame.bytes.clone();
+        padded.extend_from_slice(&[0; 3]);
+        prop_assert!(decode_pairs(&padded, frame.pairs).is_err());
+    }
+
+    #[test]
+    fn fuzzed_headers_never_panic(junk in prop::collection::vec(0u16..256, 0..40)) {
+        let junk: Vec<u8> = junk.into_iter().map(|b| b as u8).collect();
+        // Whatever bytes arrive where a header line was expected, the
+        // parser answers Ok/Err — it must not panic.
+        let line = String::from_utf8_lossy(&junk).into_owned();
+        let _ = parse_header(&line);
+        let _ = parse_header(&format!("RESULT-BIN {line}"));
+    }
+
+    #[test]
+    fn text_and_binary_encodings_agree(query_idx in 0usize..5, extra_edges in 0u32..4) {
+        const QUERIES: &[&str] = &["d.(b.c)+.c", "(b.c)+", "(a.b)*", "a.(b.c)+", "b.c"];
+        let mut s = Session::new();
+        s.execute("gen paper").unwrap();
+        // Vary the graph a little so the agreement is not about one
+        // hard-coded result.
+        for k in 0..extra_edges {
+            s.execute(&format!("delta ins {} b {} ins {} c {}", 6 + k, 8, 8, 6 + k))
+                .unwrap();
+        }
+        let q = QUERIES[query_idx];
+
+        // Text mode, limit high enough that nothing is elided.
+        s.execute("limit 100000").unwrap();
+        let text = s.execute(&format!("query {q}")).unwrap();
+        prop_assert!(matches!(text.status, Status::Ok(_)));
+        let from_text = decode_text_pairs(&text.lines).unwrap();
+
+        // Binary mode: same query, same session, same epoch.
+        s.execute("binary on").unwrap();
+        let bin = s.execute(&format!("query {q}")).unwrap();
+        prop_assert!(bin.lines.is_empty());
+        let frame = bin.binary.expect("binary frame");
+        let from_bin = decode_pairs(&frame.bytes, frame.pairs).unwrap();
+
+        prop_assert_eq!(from_text, from_bin, "text and binary diverged on '{}'", q);
+        s.execute("binary off").unwrap();
+    }
+}
+
+/// A large result set round-trips exactly: ~2.5M pairs through the binary
+/// frame (the workload the frame exists for), byte count checked.
+#[test]
+fn large_result_binary_roundtrip() {
+    let mut s = Session::new();
+    s.execute("gen rmat 3 10 42").unwrap();
+    s.execute("binary on").unwrap();
+    let r = s.execute("query l0+").unwrap();
+    let Status::Ok(ref status) = r.status else {
+        panic!("query failed: {:?}", r.status)
+    };
+    let frame = r.binary.expect("binary frame");
+    assert!(
+        frame.pairs > 100_000,
+        "expected a large result, got {}",
+        frame.pairs
+    );
+    assert_eq!(frame.bytes.len(), frame.pairs * 8);
+    let decoded = decode_pairs(&frame.bytes, frame.pairs).unwrap();
+    assert_eq!(decoded.len(), frame.pairs);
+    assert!(
+        status.starts_with(&format!("{} pairs", frame.pairs)),
+        "{status}"
+    );
+    // Spot-check strict ordering (the PairSet canonical order survived).
+    assert!(decoded.windows(2).all(|w| w[0] <= w[1]));
+}

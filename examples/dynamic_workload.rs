@@ -87,7 +87,7 @@ fn main() {
                 let inc = t.elapsed();
 
                 let t = Instant::now();
-                let mut cold = Engine::with_strategy(rebuilt_graph.graph(), Strategy::RtcSharing);
+                let cold = Engine::with_strategy(rebuilt_graph.graph(), Strategy::RtcSharing);
                 let rebuild_results = cold.evaluate_set(&set.queries).unwrap();
                 let reb = t.elapsed();
 

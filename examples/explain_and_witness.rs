@@ -34,7 +34,7 @@ fn main() {
     println!("{plan}");
 
     println!("=== Evaluation with sharing ===");
-    let mut engine = Engine::new(&g);
+    let engine = Engine::new(&g);
     engine.prepare(&queries).unwrap();
     for q in &queries {
         let r = engine.evaluate(q).unwrap();

@@ -44,7 +44,7 @@ fn main() {
     );
     let mut reference: Option<Vec<usize>> = None;
     for strategy in Strategy::ALL {
-        let mut engine = Engine::with_strategy(&graph, strategy);
+        let engine = Engine::with_strategy(&graph, strategy);
         let results = engine.evaluate_set(&set.queries).unwrap();
         let sizes: Vec<usize> = results.iter().map(|r| r.len()).collect();
         match &reference {
@@ -76,7 +76,7 @@ fn main() {
     // four queries fan out over scoped worker threads. Results are
     // identical to the sequential run at any thread count.
     let threads = 4;
-    let mut par_engine = Engine::with_config(
+    let par_engine = Engine::with_config(
         &graph,
         EngineConfig {
             strategy: Strategy::RtcSharing,

@@ -72,8 +72,8 @@ fn main() {
         ("complex-mediated", "binds.activates+.inhibits"),
     ];
 
-    let mut rtc_engine = Engine::with_strategy(&graph, Strategy::RtcSharing);
-    let mut baseline = Engine::with_strategy(&graph, Strategy::NoSharing);
+    let rtc_engine = Engine::with_strategy(&graph, Strategy::RtcSharing);
+    let baseline = Engine::with_strategy(&graph, Strategy::NoSharing);
 
     for (name, src) in &queries {
         let q = Regex::parse(src).unwrap();

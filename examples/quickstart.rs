@@ -44,7 +44,7 @@ fn main() {
     println!("\nquery: {query}");
 
     for strategy in Strategy::ALL {
-        let mut engine = Engine::with_strategy(&graph, strategy);
+        let engine = Engine::with_strategy(&graph, strategy);
         let result = engine.evaluate(&query).expect("evaluation succeeds");
         let pairs: Vec<String> = result.iter().map(|(s, e)| format!("({s},{e})")).collect();
         println!(
@@ -58,7 +58,7 @@ fn main() {
 
     // The RTC for b·c is tiny (3 SCC pairs) compared with the 10-pair
     // (b·c)+_G that FullSharing materializes — TABLE III in action.
-    let mut engine = Engine::new(&graph);
+    let engine = Engine::new(&graph);
     engine.evaluate(&query).unwrap();
     println!(
         "\nRTCSharing cached {} RTC(s) holding {} pairs total (FullSharing would hold 10).",

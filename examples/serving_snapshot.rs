@@ -44,7 +44,8 @@ fn main() {
     drive(&mut restarted, "query (b.c)+"); // Fresh hit: nothing recomputed
     drive(&mut restarted, "cache");
 
-    let cache = restarted.engine().cache();
+    let engine = restarted.engine();
+    let cache = engine.cache();
     assert_eq!(cache.misses(), 0, "warm restart must not miss");
     assert!(cache.hits() >= 1, "warm restart must hit the restored RTC");
     println!();
@@ -53,6 +54,7 @@ fn main() {
         cache.hits(),
         cache.misses()
     );
+    drop(engine);
 
     std::fs::remove_file(&snap).ok();
 }

@@ -82,7 +82,7 @@ fn main() {
     ];
 
     for strategy in [Strategy::NoSharing, Strategy::RtcSharing] {
-        let mut engine = Engine::with_strategy(&graph, strategy);
+        let engine = Engine::with_strategy(&graph, strategy);
         let t = Instant::now();
         let mut sizes = Vec::new();
         for (_, q) in &queries {
@@ -106,7 +106,7 @@ fn main() {
 
     // Use the last query to print actual recommendations for one user:
     // groups reachable through the user's (transitive) follow network.
-    let mut engine = Engine::new(&graph);
+    let engine = Engine::new(&graph);
     let reach = engine
         .evaluate(&Regex::parse("follows+.member_of").unwrap())
         .unwrap();

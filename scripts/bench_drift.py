@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Bench drift check: compare `experiments --json` tables against a baseline.
+
+The nightly workflow runs the experiment driver (`--profile fast`, the same
+profile the checked-in baseline under ``scripts/bench_baseline/`` was made
+with) and feeds the fresh JSON tables to this script. Every *timing* cell
+(header ending in ``(s)``) is compared row-by-row against the baseline; a
+cell that regressed by more than ``--threshold`` percent counts as drift,
+and any drift fails the run (exit 2). Rows or whole tables missing from
+either side are reported but never fatal — profiles evolve; the gate is
+about the numbers both sides have.
+
+Usage:
+    bench_drift.py --current DIR [--baseline DIR] [--threshold PCT]
+    bench_drift.py --self-test
+
+Table JSON shape (written by `rpq_bench::Table::write_json`):
+    {"title": "...", "header": ["col", ...], "rows": [{"col": "cell", ...}]}
+
+All cells are strings; timings are seconds in engineering notation
+("13.001e-3", "15.034"). The first column of each row is its key.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_SUFFIX = "(s)"
+
+
+def parse_seconds(cell):
+    """A timing cell as float seconds, or None when it is not a number."""
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def row_key(header, row):
+    """Rows are identified by their leading non-timing columns (dataset,
+    method, strategy, ...), so reordered tables still line up."""
+    return tuple(row.get(col, "") for col in header if not col.endswith(TIME_SUFFIX))
+
+
+def compare_tables(baseline, current, threshold_pct):
+    """Yields (severity, message) for one table pair.
+
+    severity: "regression" (gate-failing), "note" (informational).
+    """
+    header = baseline.get("header", [])
+    time_cols = [c for c in header if c.endswith(TIME_SUFFIX)]
+    base_rows = {row_key(header, r): r for r in baseline.get("rows", [])}
+    cur_rows = {row_key(header, r): r for r in current.get("rows", [])}
+
+    for key in base_rows.keys() - cur_rows.keys():
+        yield "note", f"row {key} missing from current run"
+    for key in cur_rows.keys() - base_rows.keys():
+        yield "note", f"row {key} new in current run (no baseline)"
+
+    for key in sorted(base_rows.keys() & cur_rows.keys()):
+        for col in time_cols:
+            base = parse_seconds(base_rows[key].get(col))
+            cur = parse_seconds(cur_rows[key].get(col))
+            if base is None or cur is None or base <= 0.0:
+                continue
+            pct = (cur / base - 1.0) * 100.0
+            if pct > threshold_pct:
+                yield (
+                    "regression",
+                    f"{'/'.join(key)} · {col}: {base:.6g}s -> {cur:.6g}s "
+                    f"(+{pct:.1f}% > {threshold_pct:.0f}%)",
+                )
+
+
+def load_tables(directory):
+    tables = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name), encoding="utf-8") as f:
+            tables[name] = json.load(f)
+    return tables
+
+
+def run(baseline_dir, current_dir, threshold_pct):
+    baseline = load_tables(baseline_dir)
+    current = load_tables(current_dir)
+    if not baseline:
+        print(f"error: no baseline tables in {baseline_dir}", file=sys.stderr)
+        return 1
+    if not current:
+        print(f"error: no current tables in {current_dir}", file=sys.stderr)
+        return 1
+
+    regressions = 0
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in current:
+            print(f"[note] table {name}: missing from current run")
+            continue
+        if name not in baseline:
+            print(f"[note] table {name}: no baseline yet")
+            continue
+        for severity, message in compare_tables(
+            baseline[name], current[name], threshold_pct
+        ):
+            print(f"[{severity}] {name}: {message}")
+            if severity == "regression":
+                regressions += 1
+
+    if regressions:
+        print(f"\nFAIL: {regressions} timing cell(s) regressed >{threshold_pct:.0f}%")
+        return 2
+    print(f"\nOK: no timing cell regressed more than {threshold_pct:.0f}%")
+    return 0
+
+
+def self_test():
+    """Unit-checks of the comparison logic (run by CI, needs no bench run)."""
+    header = ["dataset", "No(s)", "pairs"]
+    base = {
+        "title": "t",
+        "header": header,
+        "rows": [
+            {"dataset": "A", "No(s)": "1.000e-3", "pairs": "10"},
+            {"dataset": "B", "No(s)": "2.000", "pairs": "20"},
+            {"dataset": "gone", "No(s)": "1.0", "pairs": "1"},
+        ],
+    }
+    cur = {
+        "title": "t",
+        "header": header,
+        "rows": [
+            # +10%: under the 25% gate.
+            {"dataset": "A", "No(s)": "1.100e-3", "pairs": "10"},
+            # +50%: over the gate.
+            {"dataset": "B", "No(s)": "3.000", "pairs": "20"},
+            {"dataset": "new", "No(s)": "5.0", "pairs": "2"},
+        ],
+    }
+    results = list(compare_tables(base, cur, 25.0))
+    regressions = [m for s, m in results if s == "regression"]
+    notes = [m for s, m in results if s == "note"]
+    assert len(regressions) == 1, regressions
+    assert "B" in regressions[0] and "+50.0%" in regressions[0], regressions
+    assert any("gone" in n for n in notes), notes
+    assert any("new" in n for n in notes), notes
+    # A tighter threshold catches A as well.
+    assert (
+        len([1 for s, _ in compare_tables(base, cur, 5.0) if s == "regression"]) == 2
+    )
+    # Non-numeric and non-timing cells never trip the gate.
+    assert parse_seconds("n/a") is None
+    assert parse_seconds("13.001e-3") == 13.001e-3
+    # Row keys ignore timing columns, so a timing change alone still matches.
+    assert row_key(header, base["rows"][0]) == ("A", "10")
+    print("bench_drift.py self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="scripts/bench_baseline")
+    parser.add_argument("--current", help="directory with fresh table JSONs")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="max tolerated per-cell slowdown, percent (default 25)",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.current:
+        parser.error("--current is required (or use --self-test)")
+    sys.exit(run(args.baseline, args.current, args.threshold))
+
+
+if __name__ == "__main__":
+    main()

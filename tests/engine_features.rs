@@ -61,7 +61,7 @@ fn explain_predicts_cached_bodies() {
     let planned: std::collections::BTreeSet<String> =
         plan.shared_bodies.iter().map(|(k, _)| k.clone()).collect();
 
-    let mut engine = Engine::new(&g);
+    let engine = Engine::new(&g);
     engine.evaluate_set(&queries).unwrap();
     // Engine caches at least the plan-visible bodies (it may cache more:
     // bodies nested inside R are discovered during R's own evaluation).
@@ -141,7 +141,7 @@ fn fast_path_equivalence_randomized() {
 #[test]
 fn cache_lifecycle() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     let q = Regex::parse("d.(b.c)+.c").unwrap();
     e.evaluate(&q).unwrap();
     assert_eq!(e.cache().misses(), 1);
@@ -191,7 +191,7 @@ fn workload_shape_equivalence() {
         for set in sets.iter().take(2) {
             let mut reference: Option<Vec<usize>> = None;
             for strategy in Strategy::ALL {
-                let mut e = Engine::with_strategy(&g, strategy);
+                let e = Engine::with_strategy(&g, strategy);
                 let results = e.evaluate_set(&set.queries).unwrap();
                 let sizes: Vec<usize> = results.iter().map(|p| p.len()).collect();
                 match &reference {

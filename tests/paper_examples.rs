@@ -18,7 +18,7 @@ fn pairs(ps: &PairSet) -> Vec<(u32, u32)> {
 fn example1_query_result() {
     let g = paper_graph();
     for strategy in Strategy::ALL {
-        let mut e = Engine::with_strategy(&g, strategy);
+        let e = Engine::with_strategy(&g, strategy);
         let r = e.evaluate_str("d.(b.c)+.c").unwrap();
         assert_eq!(pairs(&r), vec![(7, 3), (7, 5)], "{strategy}");
     }
@@ -55,7 +55,7 @@ fn example3_edge_level_reduction() {
 #[test]
 fn example4_lemma1() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     let plus = e.evaluate_str("(b.c)+").unwrap();
     let expect = vec![
         (2, 2),
@@ -81,7 +81,7 @@ fn example4_lemma1() {
 #[test]
 fn example5_vertex_level_reduction() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     let r_g = e.evaluate_str("b.c").unwrap();
     let rtc = Rtc::from_pairs(&r_g);
     assert_eq!(rtc.scc_count(), 3);
@@ -97,7 +97,7 @@ fn example5_vertex_level_reduction() {
 #[test]
 fn example6_theorem1() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     let r_g = e.evaluate_str("b.c").unwrap();
     let rtc = Rtc::from_pairs(&r_g);
     assert_eq!(rtc.closure_pair_count(), 3);
@@ -111,7 +111,7 @@ fn example6_theorem1() {
 #[test]
 fn example7_recursion_and_reuse() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     e.evaluate_str("a").unwrap();
     assert_eq!(e.cache().rtc_count(), 0); // no closures yet
 
@@ -132,22 +132,22 @@ fn example8_9_elimination_counters() {
     let g = paper_graph();
 
     // RTCSharing counts eliminations.
-    let mut rtc = Engine::with_strategy(&g, Strategy::RtcSharing);
+    let rtc = Engine::with_strategy(&g, Strategy::RtcSharing);
     rtc.evaluate_str("a.(b.c)+").unwrap();
-    let s = *rtc.elimination_stats();
+    let s = rtc.elimination_stats();
     // a_G = {(0,1),(7,8)}: both end vertices are off b·c paths → useless-1.
     assert_eq!(s.useless1_skipped, 2);
 
     // From d_G = {(7,4)}: v4 is on a b·c cycle; expansion runs unchecked.
-    let mut rtc2 = Engine::with_strategy(&g, Strategy::RtcSharing);
+    let rtc2 = Engine::with_strategy(&g, Strategy::RtcSharing);
     rtc2.evaluate_str("d.(b.c)+").unwrap();
-    let s2 = *rtc2.elimination_stats();
+    let s2 = rtc2.elimination_stats();
     assert_eq!(s2.useless1_skipped, 0);
     assert!(s2.useless2_unchecked_inserts > 0);
 
     // FullSharing on a graph with converging closure branches incurs
     // duplicate hits (the redundant operations of Fig. 8).
-    let mut full = Engine::with_strategy(&g, Strategy::FullSharing);
+    let full = Engine::with_strategy(&g, Strategy::FullSharing);
     full.evaluate_str("c.(b.c)+").unwrap();
     let rtc_equiv = Engine::with_strategy(&g, Strategy::RtcSharing)
         .evaluate_str("c.(b.c)+")
@@ -165,7 +165,7 @@ fn example7_queries_all_strategies_agree() {
     for q in queries {
         let mut results = Vec::new();
         for strategy in Strategy::ALL {
-            let mut e = Engine::with_strategy(&g, strategy);
+            let e = Engine::with_strategy(&g, strategy);
             results.push(e.evaluate_str(q).unwrap());
         }
         assert_eq!(results[0], results[1], "No vs Full on {q}");
@@ -178,7 +178,7 @@ fn example7_queries_all_strategies_agree() {
 #[test]
 fn table3_size_comparison() {
     let g = paper_graph();
-    let mut e = Engine::new(&g);
+    let e = Engine::new(&g);
     let r_g = e.evaluate_str("b.c").unwrap();
     let rtc = Rtc::from_pairs(&r_g);
     let full = FullTc::from_pairs(&r_g);

@@ -73,7 +73,7 @@ fn parallel_batch_evaluation_matches_sequential() {
                 Err(_) => continue, // DNF budget blown — same error on all paths
             };
             for threads in THREAD_COUNTS {
-                let mut e = Engine::with_config(
+                let e = Engine::with_config(
                     &g,
                     EngineConfig {
                         strategy,
@@ -105,7 +105,7 @@ fn empty_graph_parallel_paths() {
     let lg = rtc_rpq::graph::GraphBuilder::new().build();
     let queries = [Regex::parse("a+").unwrap(), Regex::parse("a.b").unwrap()];
     for threads in THREAD_COUNTS {
-        let mut e = Engine::with_config(
+        let e = Engine::with_config(
             &lg,
             EngineConfig {
                 threads,

@@ -26,7 +26,7 @@ fn prelude_names_resolve_and_strategies_agree() {
         Strategy::FullSharing,
         Strategy::RtcSharing,
     ] {
-        let mut engine = Engine::with_strategy(&g, strategy);
+        let engine = Engine::with_strategy(&g, strategy);
         let r = engine.evaluate(&q).unwrap();
         assert_eq!(r.len(), 1, "{strategy:?}");
         assert!(r.contains(VertexId(0), VertexId(2)), "{strategy:?}");
@@ -45,7 +45,7 @@ fn prelude_engine_config_and_explain_resolve() {
         strategy: Strategy::RtcSharing,
         ..Default::default()
     };
-    let mut engine = Engine::with_config(&g, config);
+    let engine = Engine::with_config(&g, config);
     let result = engine.evaluate(&q).unwrap();
     assert_eq!(result.len(), 2);
 

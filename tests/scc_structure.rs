@@ -118,14 +118,14 @@ fn eliminations_track_scc_structure() {
         labels: 2,
         seed: 13,
     });
-    let mut e = Engine::new(&clustered);
+    let e = Engine::new(&clustered);
     e.evaluate_str("l1.(l0)+").unwrap();
     let with_sccs = e.elimination_stats().redundant1_skipped;
 
     // Acyclic graph: every SCC is a singleton; a Pre relation with distinct
     // end vertices can never collide in an SCC.
     let path = path_graph(256, "l0");
-    let mut e = Engine::new(&path);
+    let e = Engine::new(&path);
     e.evaluate_str("l0.(l0)+").unwrap();
     let without_sccs = e.elimination_stats().redundant1_skipped;
 

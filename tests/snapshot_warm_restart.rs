@@ -72,7 +72,7 @@ fn warm_restart_matches_cold_engine_for_all_strategies() {
             strategy,
             ..EngineConfig::default()
         };
-        let mut engine = Engine::with_config_versioned(
+        let engine = Engine::with_config_versioned(
             rtc_rpq::graph::VersionedGraph::new(paper_graph()),
             config,
         );
@@ -81,7 +81,7 @@ fn warm_restart_matches_cold_engine_for_all_strategies() {
 
         let mut bytes = Vec::new();
         snapshot::write_snapshot(&engine, &mut bytes).unwrap();
-        let mut warm = snapshot::read_snapshot(&bytes[..], config).unwrap();
+        let warm = snapshot::read_snapshot(&bytes[..], config).unwrap();
         assert_eq!(warm.evaluate(&q).unwrap(), expected, "{strategy}");
         if strategy != Strategy::NoSharing {
             assert_eq!(warm.cache().misses(), 0, "{strategy}");

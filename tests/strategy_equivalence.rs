@@ -19,7 +19,7 @@ fn strategies_match_oracle_on_random_cases() {
         let q = random_regex(&mut r, 3);
         let oracle = evaluate_algebraic(&g, &q);
         for strategy in Strategy::ALL {
-            let mut e = Engine::with_strategy(&g, strategy);
+            let e = Engine::with_strategy(&g, strategy);
             let got = e.evaluate(&q).unwrap();
             assert_eq!(
                 got, oracle,
@@ -43,7 +43,7 @@ fn shared_cache_does_not_change_results() {
             .map(|q| Engine::new(&g).evaluate(q).unwrap())
             .collect();
         // One engine across the set (full sharing of RTCs).
-        let mut shared_engine = Engine::new(&g);
+        let shared_engine = Engine::new(&g);
         let shared = shared_engine.evaluate_set(&queries).unwrap();
         assert_eq!(isolated, shared, "case {case}: cache reuse changed results");
     }
