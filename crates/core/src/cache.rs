@@ -196,7 +196,19 @@ impl SharedCache {
     /// structure in place (`Arc::try_unwrap` succeeds) instead of
     /// deep-cloning it.
     pub fn lookup_rtc(&self, key: &str) -> RtcLookup {
-        let epoch = self.epoch();
+        self.lookup_rtc_at(key, self.epoch())
+    }
+
+    /// [`SharedCache::lookup_rtc`] pinned to an explicit `epoch` — the
+    /// lookup an [`crate::EpochView`] reader performs. An entry stamped
+    /// exactly `epoch` is a fresh hit regardless of where the live epoch
+    /// has moved since. Stale entries are only *claimed* when the pinned
+    /// epoch **is** the live epoch (claiming exists to refresh the entry
+    /// forward, which only makes sense at the front); a reader pinned to
+    /// an older epoch treats any other-epoch entry as a plain miss and
+    /// recomputes from its frozen graph, leaving the entry in place for
+    /// live readers.
+    pub fn lookup_rtc_at(&self, key: &str, epoch: u64) -> RtcLookup {
         let shard = self.shard(key);
         {
             let map = read(&shard.rtcs);
@@ -205,8 +217,10 @@ impl SharedCache {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return RtcLookup::Fresh(Arc::clone(&entry.rtc));
                 }
-                Some(_) => {} // stale: claim it below, under the write lock
-                None => {
+                Some(_) if epoch == self.epoch() => {
+                    // Stale at the front: claim it below, under the write lock.
+                }
+                _ => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     return RtcLookup::Miss;
                 }
@@ -257,8 +271,20 @@ impl SharedCache {
     /// base relation (a later staleness can only be resolved by rebuild).
     /// Prefer [`SharedCache::insert_rtc_entry`] where `R_G` is at hand.
     pub fn insert_rtc(&self, key: String, rtc: Arc<Rtc>) {
-        let epoch = self.epoch();
-        write(&self.shard(&key).rtcs).insert(
+        self.insert_rtc_at(key, rtc, self.epoch());
+    }
+
+    /// Stores an RTC stamped with an explicit `epoch`, never displacing an
+    /// entry from a **newer** epoch — the insert used by a reader pinned
+    /// to an older [`crate::EpochView`], whose recomputed structure must
+    /// not clobber what live readers are sharing. Ties overwrite
+    /// (structures are deterministic per `(key, epoch)`).
+    pub fn insert_rtc_at(&self, key: String, rtc: Arc<Rtc>, epoch: u64) {
+        let mut map = write(&self.shard(&key).rtcs);
+        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+            return;
+        }
+        map.insert(
             key,
             RtcEntry {
                 rtc,
@@ -278,8 +304,24 @@ impl SharedCache {
         r_g: Arc<PairSet>,
         dynamic: Option<Arc<DynamicRtc>>,
     ) {
-        let epoch = self.epoch();
-        write(&self.shard(&key).rtcs).insert(
+        self.insert_rtc_entry_at(key, rtc, r_g, dynamic, self.epoch());
+    }
+
+    /// [`SharedCache::insert_rtc_entry`] stamped with an explicit `epoch`
+    /// (newest epoch wins — see [`SharedCache::insert_rtc_at`]).
+    pub fn insert_rtc_entry_at(
+        &self,
+        key: String,
+        rtc: Arc<Rtc>,
+        r_g: Arc<PairSet>,
+        dynamic: Option<Arc<DynamicRtc>>,
+        epoch: u64,
+    ) {
+        let mut map = write(&self.shard(&key).rtcs);
+        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+            return;
+        }
+        map.insert(
             key,
             RtcEntry {
                 rtc,
@@ -305,20 +347,27 @@ impl SharedCache {
     /// there is nothing to mutate and concurrent refreshers can all rebuild
     /// from the same stale base.
     pub fn lookup_full(&self, key: &str) -> FullLookup {
-        let epoch = self.epoch();
+        self.lookup_full_at(key, self.epoch())
+    }
+
+    /// [`SharedCache::lookup_full`] pinned to an explicit `epoch` (see
+    /// [`SharedCache::lookup_rtc_at`]): an exact-epoch entry is a fresh
+    /// hit; stale refresh state is only handed out when the pinned epoch
+    /// is the live one; anything else is a miss.
+    pub fn lookup_full_at(&self, key: &str, epoch: u64) -> FullLookup {
         match read(&self.shard(key).fulls).get(key) {
             Some(entry) if entry.epoch == epoch => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Fresh(Arc::clone(&entry.full))
             }
-            Some(entry) => {
+            Some(entry) if epoch == self.epoch() => {
                 self.stale_hits.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Stale(StaleFull {
                     full: Arc::clone(&entry.full),
                     r_g: entry.r_g.clone(),
                 })
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 FullLookup::Miss
             }
@@ -344,8 +393,17 @@ impl SharedCache {
     /// Stores a materialized `R⁺_G` under `key` at the current epoch, with
     /// no recorded base relation.
     pub fn insert_full(&self, key: String, full: Arc<FullTc>) {
-        let epoch = self.epoch();
-        write(&self.shard(&key).fulls).insert(
+        self.insert_full_at(key, full, self.epoch());
+    }
+
+    /// [`SharedCache::insert_full`] stamped with an explicit `epoch`
+    /// (newest epoch wins — see [`SharedCache::insert_rtc_at`]).
+    pub fn insert_full_at(&self, key: String, full: Arc<FullTc>, epoch: u64) {
+        let mut map = write(&self.shard(&key).fulls);
+        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+            return;
+        }
+        map.insert(
             key,
             FullEntry {
                 full,
@@ -357,8 +415,23 @@ impl SharedCache {
 
     /// Stores a materialized `R⁺_G` with its base relation.
     pub fn insert_full_entry(&self, key: String, full: Arc<FullTc>, r_g: Arc<PairSet>) {
-        let epoch = self.epoch();
-        write(&self.shard(&key).fulls).insert(
+        self.insert_full_entry_at(key, full, r_g, self.epoch());
+    }
+
+    /// [`SharedCache::insert_full_entry`] stamped with an explicit `epoch`
+    /// (newest epoch wins — see [`SharedCache::insert_rtc_at`]).
+    pub fn insert_full_entry_at(
+        &self,
+        key: String,
+        full: Arc<FullTc>,
+        r_g: Arc<PairSet>,
+        epoch: u64,
+    ) {
+        let mut map = write(&self.shard(&key).fulls);
+        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+            return;
+        }
+        map.insert(
             key,
             FullEntry {
                 full,
@@ -678,6 +751,63 @@ mod tests {
         assert!(matches!(c.lookup_full("k"), FullLookup::Stale(_)));
         assert!(c.get_full("k").is_none());
         assert!(!c.contains_fresh_full("k"));
+    }
+
+    #[test]
+    fn pinned_lookup_hits_its_own_epoch_after_the_front_moves() {
+        let c = SharedCache::new();
+        c.insert_rtc("k".into(), sample_rtc());
+        c.advance_epoch(2);
+        // Live lookups see a stale entry; a reader pinned to epoch 0 still
+        // gets a fresh hit — and, being a read, must not claim anything.
+        assert!(matches!(c.lookup_rtc_at("k", 0), RtcLookup::Fresh(_)));
+        assert_eq!(c.rtc_count(), 1);
+        assert_eq!((c.hits(), c.stale_hits()), (1, 0));
+    }
+
+    #[test]
+    fn pinned_lookup_never_claims_other_epochs() {
+        let c = SharedCache::new();
+        c.insert_rtc("k".into(), sample_rtc());
+        c.advance_epoch(5);
+        // Pinned to epoch 3: the epoch-0 entry is neither fresh (wrong
+        // epoch) nor claimable (3 is not the live epoch) — a plain miss
+        // that leaves the entry for the live readers to refresh.
+        assert!(matches!(c.lookup_rtc_at("k", 3), RtcLookup::Miss));
+        assert_eq!(c.rtc_count(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!(matches!(c.lookup_full_at("missing", 3), FullLookup::Miss));
+    }
+
+    #[test]
+    fn pinned_insert_never_displaces_newer_entries() {
+        let c = SharedCache::new();
+        c.advance_epoch(4);
+        c.insert_rtc("k".into(), sample_rtc()); // stamped 4 (live)
+        c.insert_rtc_at("k".into(), sample_rtc(), 1); // old view: ignored
+        assert!(c.contains_fresh_rtc("k"));
+        c.insert_full("f".into(), Arc::new(FullTc::from_pairs(&sample_pairs())));
+        c.insert_full_entry_at(
+            "f".into(),
+            Arc::new(FullTc::from_pairs(&PairSet::new())),
+            Arc::new(PairSet::new()),
+            2,
+        );
+        assert!(c.contains_fresh_full("f"));
+        assert_eq!(c.full_shared_pairs(), 4); // the epoch-4 entry survived
+                                              // An old-epoch insert under a *new* key does land (epoch 1).
+        c.insert_rtc_entry_at(
+            "old-only".into(),
+            sample_rtc(),
+            Arc::new(sample_pairs()),
+            None,
+            1,
+        );
+        assert!(matches!(
+            c.lookup_rtc_at("old-only", 1),
+            RtcLookup::Fresh(_)
+        ));
+        assert!(!c.contains_fresh_rtc("old-only"));
     }
 
     #[test]

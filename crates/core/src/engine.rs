@@ -3,12 +3,14 @@
 use crate::breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
 use crate::cache::SharedCache;
 use crate::error::EngineError;
+use crate::result_cache::ResultCache;
 use crate::sharing::{eval_query, EvalCtx, SharingKind};
+use crate::view::EpochView;
 use rpq_eval::ProductEvaluator;
-use rpq_graph::{DeltaSummary, GraphDelta, LabeledMultigraph, PairSet, VersionedGraph};
+use rpq_graph::{DeltaSummary, GraphDelta, GraphView, LabeledMultigraph, PairSet, VersionedGraph};
 use rpq_reduction::MaintenanceConfig;
 use rpq_regex::{Regex, DEFAULT_CLAUSE_LIMIT};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Multiple-RPQ evaluation strategy (the comparison set of Section V).
@@ -135,17 +137,21 @@ pub struct PrepareReport {
 pub struct Engine<'g> {
     store: GraphStore<'g>,
     config: EngineConfig,
-    cache: SharedCache,
-    metrics: Mutex<EngineMetrics>,
+    /// `Arc`'d so pinned [`EpochView`]s share the same structural cache
+    /// (and its counters) with the engine and with each other.
+    cache: Arc<SharedCache>,
+    metrics: Arc<Mutex<EngineMetrics>>,
+    /// Per-(epoch, query) materialized results served by pinned views.
+    results: Arc<ResultCache>,
 }
 
 /// The engine's metric accumulators, grouped so the query path can merge
 /// a whole evaluation's worth under one short lock acquisition.
 #[derive(Clone, Copy, Default)]
-struct EngineMetrics {
-    breakdown: Breakdown,
-    stats: EliminationStats,
-    maintenance: MaintenanceMetrics,
+pub(crate) struct EngineMetrics {
+    pub(crate) breakdown: Breakdown,
+    pub(crate) stats: EliminationStats,
+    pub(crate) maintenance: MaintenanceMetrics,
 }
 
 /// How the engine holds its graph: borrowed (the classic static setup) or
@@ -201,8 +207,9 @@ impl<'g> Engine<'g> {
         Self {
             store,
             config,
-            cache: SharedCache::new(),
-            metrics: Mutex::new(EngineMetrics::default()),
+            cache: Arc::new(SharedCache::new()),
+            metrics: Arc::new(Mutex::new(EngineMetrics::default())),
+            results: Arc::new(ResultCache::new()),
         }
     }
 
@@ -307,18 +314,36 @@ impl<'g> Engine<'g> {
         let t = Instant::now();
         let graph = self.graph();
         let mut local = EngineMetrics::default();
-        let result = eval_one(
-            graph,
-            &config,
-            &self.cache,
-            &mut local.breakdown,
-            &mut local.stats,
-            &mut local.maintenance,
-            query,
-        );
+        let result = eval_one(graph, &config, &self.cache, self.epoch(), &mut local, query);
         local.breakdown.total = t.elapsed();
         self.merge_metrics(local);
         result
+    }
+
+    /// Pins the engine's current state as an immutable [`EpochView`].
+    ///
+    /// The view bundles a frozen graph snapshot with the engine's shared
+    /// structural cache, result cache, metric accumulators and base
+    /// configuration — everything a reader needs to answer queries without
+    /// ever touching the engine again. Pinning a dynamic engine is cheap
+    /// (`O(|V| + |Σ|)` the first time per epoch, one `Arc` bump after);
+    /// later [`Engine::apply_delta`] calls copy-on-write only the rows
+    /// they dirty, so a pinned view keeps observing its epoch bit for bit.
+    /// A borrowed (static) engine clones its row tables per pin — still
+    /// `O(|V| + |Σ|)` pointer bumps, never row data.
+    pub fn pin(&self) -> EpochView {
+        let graph = match &self.store {
+            GraphStore::Owned(vg) => vg.freeze(),
+            GraphStore::Borrowed(g) => Arc::new(GraphView::new((*g).clone(), 0)),
+        };
+        debug_assert_eq!(graph.epoch(), self.epoch());
+        EpochView::from_parts(
+            graph,
+            Arc::clone(&self.cache),
+            Arc::clone(&self.results),
+            Arc::clone(&self.metrics),
+            self.config,
+        )
     }
 
     /// Parses and evaluates a query string.
@@ -368,6 +393,7 @@ impl<'g> Engine<'g> {
         let t = Instant::now();
         let graph = self.graph();
         let cache = &self.cache;
+        let epoch = self.epoch();
         // Workers keep nested construction/expansion sequential: the batch
         // fan-out already owns the worker threads.
         let config = EngineConfig {
@@ -380,15 +406,7 @@ impl<'g> Engine<'g> {
             1,
             EngineMetrics::default,
             |w: &mut EngineMetrics, range| {
-                eval_one(
-                    graph,
-                    &config,
-                    cache,
-                    &mut w.breakdown,
-                    &mut w.stats,
-                    &mut w.maintenance,
-                    &queries[range.start],
-                )
+                eval_one(graph, &config, cache, epoch, w, &queries[range.start])
             },
         );
         let mut m = self.metrics();
@@ -460,9 +478,8 @@ impl<'g> Engine<'g> {
                 graph,
                 &config,
                 &self.cache,
-                &mut local.breakdown,
-                &mut local.stats,
-                &mut local.maintenance,
+                self.epoch(),
+                &mut local,
                 &Regex::plus(body),
             );
             if let Err(e) = result {
@@ -535,6 +552,14 @@ impl<'g> Engine<'g> {
         &self.cache
     }
 
+    /// The per-(epoch, query) result cache served by pinned views (see
+    /// [`EpochView::evaluate`]). The engine's own [`Engine::evaluate`]
+    /// path bypasses it — materialized results are only memoized where an
+    /// immutable epoch makes them provably reusable.
+    pub fn results(&self) -> &ResultCache {
+        &self.results
+    }
+
     /// Total pairs held in shared structures — the "shared data size"
     /// metric of Fig. 12 for the active strategy.
     pub fn shared_data_pairs(&self) -> usize {
@@ -552,31 +577,38 @@ impl<'g> Engine<'g> {
     }
 
     /// Clears timing/counter accumulators — including the cache's
-    /// hit/miss counters and the maintenance metrics — but keeps cached
-    /// structures (and the graph epoch).
+    /// hit/miss counters, the result cache's hit/miss tiers and the
+    /// maintenance metrics — but keeps cached structures, memoized
+    /// results (and the graph epoch). Pinned [`EpochView`]s share these
+    /// accumulators by `Arc`, so the reset is visible to every view and
+    /// publishing a new view never forks (or double-counts) the counters.
     pub fn reset_metrics(&self) {
         *self.metrics() = EngineMetrics::default();
         self.cache.reset_counters();
+        self.results.reset_counters();
     }
 
-    /// Drops all cached shared structures (and resets metrics).
+    /// Drops all cached shared structures and memoized results (and
+    /// resets metrics).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.results.clear();
         self.reset_metrics();
     }
 }
 
 /// Evaluates one query against explicitly-passed engine state. Shared by
-/// the sequential path (borrowing the engine's own fields) and the
-/// parallel batch mode (borrowing per-worker state), so both run the
-/// byte-for-byte same recursion.
-fn eval_one(
+/// the sequential path (borrowing the engine's own fields), the parallel
+/// batch mode (borrowing per-worker state) and pinned [`EpochView`]
+/// readers (passing their frozen graph and epoch), so all run the
+/// byte-for-byte same recursion. `epoch` pins which cache entries count
+/// as fresh — the engine passes its live epoch, a view its frozen one.
+pub(crate) fn eval_one(
     graph: &LabeledMultigraph,
     config: &EngineConfig,
     cache: &SharedCache,
-    breakdown: &mut Breakdown,
-    stats: &mut EliminationStats,
-    maintenance: &mut MaintenanceMetrics,
+    epoch: u64,
+    metrics: &mut EngineMetrics,
     query: &Regex,
 ) -> Result<PairSet, EngineError> {
     let kind = match config.strategy {
@@ -589,14 +621,15 @@ fn eval_one(
     let mut ctx = EvalCtx {
         graph,
         cache,
+        epoch,
         kind,
         clause_limit: config.dnf_clause_limit,
         fast_paths: config.enable_fast_paths,
         threads: config.threads,
         maintenance_config: config.maintenance,
-        breakdown,
-        stats,
-        maintenance,
+        breakdown: &mut metrics.breakdown,
+        stats: &mut metrics.stats,
+        maintenance: &mut metrics.maintenance,
     };
     eval_query(&mut ctx, query)
 }

@@ -27,8 +27,10 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod pre_relation;
+pub mod result_cache;
 pub mod sharing;
 pub mod snapshot;
+pub mod view;
 
 pub use batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
 pub use breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
@@ -40,3 +42,5 @@ pub use explain::{
     SetPlan,
 };
 pub use pre_relation::PreRelation;
+pub use result_cache::ResultCache;
+pub use view::{evaluate_at, EpochView};

@@ -1,0 +1,220 @@
+//! The bounded per-(epoch, query) result cache layered **above** the
+//! structural [`crate::SharedCache`].
+//!
+//! The structural cache shares closure *ingredients* (RTCs, full
+//! closures) across queries; this cache memoizes whole materialized
+//! result sets. That is only sound when the graph the result was computed
+//! against can never change underneath the entry — which is exactly what
+//! an [`crate::EpochView`] guarantees, so the key is `(epoch, canonical
+//! query text)` and the serving layer's pinned readers are the only
+//! writers. Results are identical across strategies and thread counts
+//! (property-tested), so the key deliberately omits the evaluation
+//! configuration: a result computed by one connection's overlay is a hit
+//! for every other connection pinned to the same epoch.
+//!
+//! The cache is bounded (FIFO eviction at [`ResultCache::capacity`]
+//! entries) because materialized results can dwarf the structures they
+//! were computed from, and epochs keep coming. Counters distinguish the
+//! serving layer's hit tiers: a **view hit** here short-circuits the
+//! whole evaluation; a miss falls through to the structural cache
+//! (whose own hit/miss counters make up the second tier).
+
+use rpq_graph::PairSet;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default bound on memoized results (see [`ResultCache::with_capacity`]).
+pub const DEFAULT_RESULT_CACHE_ENTRIES: usize = 256;
+
+/// The lock-protected interior: the memo map plus insertion order for
+/// FIFO eviction.
+#[derive(Default)]
+struct Inner {
+    map: FxHashMap<(u64, String), Arc<PairSet>>,
+    order: VecDeque<(u64, String)>,
+}
+
+/// Bounded map from `(epoch, canonical query)` to a materialized result.
+///
+/// All methods take `&self` (one mutex around the map, atomic counters):
+/// concurrent pinned readers look up and fill one cache. Entries are
+/// `Arc`-shared, so a hit costs one reference bump however large the
+/// result set is.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    view_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache with the default capacity
+    /// ([`DEFAULT_RESULT_CACHE_ENTRIES`]).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RESULT_CACHE_ENTRIES)
+    }
+
+    /// An empty cache bounded to `capacity` entries (0 disables
+    /// memoization: every insert is immediately evicted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            view_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The memoized result for `query` at `epoch`, counting a view hit or
+    /// a miss.
+    pub fn get(&self, epoch: u64, query: &str) -> Option<Arc<PairSet>> {
+        // Borrow-friendly probe: build the owned key only on insert.
+        let inner = self.lock();
+        let hit = inner.map.get(&(epoch, query.to_owned())).map(Arc::clone);
+        drop(inner);
+        match &hit {
+            Some(_) => self.view_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Memoizes `result` for `query` at `epoch`, evicting the oldest
+    /// entries past the capacity bound. Re-inserting an existing key
+    /// replaces the value without extending its eviction lifetime.
+    pub fn insert(&self, epoch: u64, query: String, result: Arc<PairSet>) {
+        let mut inner = self.lock();
+        let key = (epoch, query);
+        if inner.map.insert(key.clone(), result).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of memoized results currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether no results are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from a memoized result since the last reset.
+    pub fn view_hits(&self) -> u64 {
+        self.view_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to evaluation since the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss counters, preserving memoized results — the
+    /// result-cache half of `Engine::reset_metrics`.
+    pub fn reset_counters(&self) {
+        self.view_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every memoized result and resets the counters.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        drop(inner);
+        self.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u32) -> Arc<PairSet> {
+        Arc::new((0..n).map(|i| (i, i + 1)).collect())
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = ResultCache::new();
+        assert!(c.get(0, "q").is_none());
+        assert_eq!((c.view_hits(), c.misses()), (0, 1));
+        c.insert(0, "q".into(), pairs(3));
+        let hit = c.get(0, "q").unwrap();
+        assert_eq!(hit.len(), 3);
+        assert_eq!((c.view_hits(), c.misses()), (1, 1));
+        // Same query at another epoch is a different entry.
+        assert!(c.get(1, "q").is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let c = ResultCache::with_capacity(2);
+        c.insert(0, "a".into(), pairs(1));
+        c.insert(0, "b".into(), pairs(1));
+        c.insert(0, "c".into(), pairs(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, "a").is_none(), "oldest entry evicted");
+        assert!(c.get(0, "b").is_some());
+        assert!(c.get(0, "c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_duplicating_order() {
+        let c = ResultCache::with_capacity(2);
+        c.insert(0, "a".into(), pairs(1));
+        c.insert(0, "a".into(), pairs(5));
+        c.insert(0, "b".into(), pairs(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0, "a").unwrap().len(), 5);
+        // A third key still only evicts one entry ("a", the oldest).
+        c.insert(0, "c".into(), pairs(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, "a").is_none());
+    }
+
+    #[test]
+    fn reset_counters_preserves_entries() {
+        let c = ResultCache::new();
+        c.insert(0, "q".into(), pairs(2));
+        let _ = c.get(0, "q");
+        let _ = c.get(0, "other");
+        c.reset_counters();
+        assert_eq!((c.view_hits(), c.misses()), (0, 0));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let c = ResultCache::with_capacity(0);
+        c.insert(0, "q".into(), pairs(1));
+        assert_eq!(c.len(), 0);
+        assert!(c.get(0, "q").is_none());
+    }
+}

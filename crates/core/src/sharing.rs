@@ -43,6 +43,12 @@ pub(crate) enum SharingKind {
 pub(crate) struct EvalCtx<'g, 'c> {
     pub graph: &'g LabeledMultigraph,
     pub cache: &'c SharedCache,
+    /// The graph epoch this evaluation is pinned to. Equal to the cache's
+    /// live epoch on the engine's own path; older when evaluating against
+    /// a frozen [`crate::EpochView`] — then cache lookups hit only entries
+    /// stamped with exactly this epoch and inserts never displace newer
+    /// ones.
+    pub epoch: u64,
     pub kind: SharingKind,
     pub clause_limit: usize,
     pub fast_paths: bool,
@@ -132,7 +138,7 @@ pub(crate) fn eval_query(ctx: &mut EvalCtx<'_, '_>, q: &Regex) -> Result<PairSet
 /// stale entry (incrementally where possible), or computed from scratch on
 /// a miss. The cache ends up holding a current-epoch entry either way.
 fn obtain_rtc(ctx: &mut EvalCtx<'_, '_>, key: &str, r: &Regex) -> Result<Arc<Rtc>, EngineError> {
-    let stale = match ctx.cache.lookup_rtc(key) {
+    let stale = match ctx.cache.lookup_rtc_at(key, ctx.epoch) {
         RtcLookup::Fresh(rtc) => return Ok(rtc),
         RtcLookup::Stale(stale) => Some(stale),
         RtcLookup::Miss => None,
@@ -150,7 +156,7 @@ fn obtain_rtc(ctx: &mut EvalCtx<'_, '_>, key: &str, r: &Regex) -> Result<Arc<Rtc
     };
     ctx.breakdown.shared_data += t.elapsed();
     ctx.cache
-        .insert_rtc_entry(key.to_owned(), Arc::clone(&rtc), r_g, dynamic);
+        .insert_rtc_entry_at(key.to_owned(), Arc::clone(&rtc), r_g, dynamic, ctx.epoch);
     Ok(rtc)
 }
 
@@ -208,7 +214,7 @@ fn obtain_full(
     key: &str,
     r: &Regex,
 ) -> Result<Arc<FullTc>, EngineError> {
-    let stale = match ctx.cache.lookup_full(key) {
+    let stale = match ctx.cache.lookup_full_at(key, ctx.epoch) {
         FullLookup::Fresh(full) => return Ok(full),
         FullLookup::Stale(stale) => Some(stale),
         FullLookup::Miss => None,
@@ -233,7 +239,7 @@ fn obtain_full(
     };
     ctx.breakdown.shared_data += t.elapsed();
     ctx.cache
-        .insert_full_entry(key.to_owned(), Arc::clone(&full), Arc::new(r_g));
+        .insert_full_entry_at(key.to_owned(), Arc::clone(&full), Arc::new(r_g), ctx.epoch);
     Ok(full)
 }
 
@@ -252,6 +258,7 @@ mod tests {
         let mut ctx = EvalCtx {
             graph: &g,
             cache: &cache,
+            epoch: 0,
             kind,
             clause_limit: 1024,
             fast_paths: false,

@@ -1,0 +1,338 @@
+//! Pinned, immutable epoch views — the MVCC read path.
+//!
+//! [`Engine::pin`](crate::Engine::pin) captures the engine's current
+//! state as an [`EpochView`]: a frozen graph snapshot
+//! ([`rpq_graph::GraphView`]) plus shared handles to the structural
+//! cache, the per-(epoch, query) result cache and the metric
+//! accumulators. A view answers `evaluate`/`check`/`ends_from` entirely
+//! from that frozen state:
+//!
+//! * results are **bitwise identical** before, during and after any
+//!   later mutation of the engine — the frozen rows are copy-on-write
+//!   shared, never overwritten;
+//! * structural-cache lookups are pinned to the view's epoch (an entry
+//!   from any other epoch is invisible), and anything a pinned reader
+//!   computes is inserted *at* its epoch without ever displacing newer
+//!   entries;
+//! * materialized results are memoized in the bounded
+//!   [`ResultCache`] keyed `(epoch, canonical query)` — the fast tier
+//!   above the structural cache.
+//!
+//! Views are cheap to clone (`Arc` bumps + a `Copy` config) and safe to
+//! send across threads; the serving layer publishes one per epoch by
+//! atomic swap and retains a short ring of them for `query … at <epoch>`
+//! time travel.
+
+use crate::engine::{eval_one, EngineConfig, EngineMetrics, Strategy};
+use crate::error::EngineError;
+use crate::result_cache::ResultCache;
+use crate::{Breakdown, EliminationStats, MaintenanceMetrics, SharedCache};
+use rpq_eval::ProductEvaluator;
+use rpq_graph::{GraphView, LabeledMultigraph, PairSet, VertexId};
+use rpq_regex::Regex;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// An immutable view of an engine at one graph epoch (see the module
+/// docs). Obtained from [`Engine::pin`](crate::Engine::pin).
+#[derive(Clone)]
+pub struct EpochView {
+    graph: Arc<GraphView>,
+    cache: Arc<SharedCache>,
+    results: Arc<ResultCache>,
+    metrics: Arc<Mutex<EngineMetrics>>,
+    config: EngineConfig,
+}
+
+impl EpochView {
+    pub(crate) fn from_parts(
+        graph: Arc<GraphView>,
+        cache: Arc<SharedCache>,
+        results: Arc<ResultCache>,
+        metrics: Arc<Mutex<EngineMetrics>>,
+        config: EngineConfig,
+    ) -> Self {
+        Self {
+            graph,
+            cache,
+            results,
+            metrics,
+            config,
+        }
+    }
+
+    /// The epoch this view is pinned to.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// The frozen graph snapshot.
+    #[inline]
+    pub fn graph(&self) -> &LabeledMultigraph {
+        self.graph.graph()
+    }
+
+    /// The base configuration captured at pin time.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared structural cache (also the engine's — one set of
+    /// structures and counters across every view and the live engine).
+    pub fn cache(&self) -> &SharedCache {
+        &self.cache
+    }
+
+    /// The shared per-(epoch, query) result cache.
+    pub fn results(&self) -> &ResultCache {
+        &self.results
+    }
+
+    /// Evaluates one query against the pinned epoch, under the captured
+    /// base configuration. See [`EpochView::evaluate_with`].
+    pub fn evaluate(&self, query: &Regex) -> Result<Arc<PairSet>, EngineError> {
+        self.evaluate_with(query, self.config)
+    }
+
+    /// [`EpochView::evaluate`] under an explicit configuration (the
+    /// serving layer's per-connection overlay, resolved).
+    ///
+    /// The result cache is consulted first — keyed by `(epoch, canonical
+    /// query)` only, since results are identical across strategies and
+    /// thread counts (property-tested). On a miss the query runs through
+    /// the same recursion as `Engine::evaluate`, pinned to this view's
+    /// epoch: structural entries stamped with exactly this epoch are
+    /// hits, anything else is recomputed from the frozen graph, and
+    /// inserts never displace newer entries. The materialized result is
+    /// memoized before returning.
+    ///
+    /// The configuration's clause budget is assumed uniform across
+    /// callers sharing one result cache (the serving layer never varies
+    /// it per connection): a memoized result is returned without
+    /// re-checking the budget.
+    pub fn evaluate_with(
+        &self,
+        query: &Regex,
+        config: EngineConfig,
+    ) -> Result<Arc<PairSet>, EngineError> {
+        let key = query.canonical_key();
+        let epoch = self.epoch();
+        if let Some(hit) = self.results.get(epoch, &key) {
+            return Ok(hit);
+        }
+        let t = Instant::now();
+        let mut local = EngineMetrics::default();
+        let result = eval_one(self.graph(), &config, &self.cache, epoch, &mut local, query);
+        local.breakdown.total = t.elapsed();
+        self.merge_metrics(local);
+        let result = Arc::new(result?);
+        self.results.insert(epoch, key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Parses and evaluates a query string against the pinned epoch.
+    pub fn evaluate_str(&self, query: &str) -> Result<Arc<PairSet>, EngineError> {
+        let q = Regex::parse(query)?;
+        self.evaluate(&q)
+    }
+
+    /// Whether a `query`-path from `source` to `target` exists in the
+    /// pinned graph (early-exit reachability; bypasses both caches).
+    pub fn check(&self, query: &Regex, source: VertexId, target: VertexId) -> bool {
+        rpq_eval::witness::find_witness(self.graph(), query, source, target).is_some()
+    }
+
+    /// End vertices of `query`-paths starting at `source` in the pinned
+    /// graph (selective evaluation; bypasses both caches).
+    pub fn ends_from(&self, query: &Regex, source: VertexId) -> Vec<VertexId> {
+        ProductEvaluator::new(self.graph(), query).ends_from(source)
+    }
+
+    /// Start vertices of `query`-paths ending at `target` in the pinned
+    /// graph (selective backward evaluation).
+    pub fn starts_to(&self, query: &Regex, target: VertexId) -> Vec<VertexId> {
+        ProductEvaluator::new(self.graph(), query).starts_to(target)
+    }
+
+    /// Total pairs held in shared structures for `strategy` — the same
+    /// aggregate as `Engine::shared_data_pairs_with`, readable without
+    /// the engine.
+    pub fn shared_data_pairs_with(&self, strategy: Strategy) -> usize {
+        match strategy {
+            Strategy::NoSharing => 0,
+            Strategy::FullSharing => self.cache.full_shared_pairs(),
+            Strategy::RtcSharing => self.cache.rtc_shared_pairs(),
+        }
+    }
+
+    /// Accumulated stage timings (shared with the engine — see
+    /// `Engine::breakdown`).
+    pub fn breakdown(&self) -> Breakdown {
+        self.metrics().breakdown
+    }
+
+    /// Accumulated elimination counters (shared with the engine).
+    pub fn elimination_stats(&self) -> EliminationStats {
+        self.metrics().stats
+    }
+
+    /// Accumulated maintenance counters (shared with the engine).
+    pub fn maintenance_metrics(&self) -> MaintenanceMetrics {
+        self.metrics().maintenance
+    }
+
+    fn metrics(&self) -> std::sync::MutexGuard<'_, EngineMetrics> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn merge_metrics(&self, local: EngineMetrics) {
+        let mut m = self.metrics();
+        m.breakdown += local.breakdown;
+        m.stats += local.stats;
+        m.maintenance += local.maintenance;
+    }
+}
+
+/// Evaluates `query` against a pinned view — the free-function spelling
+/// of [`EpochView::evaluate`], for callers holding `&EpochView`.
+pub fn evaluate_at(view: &EpochView, query: &Regex) -> Result<Arc<PairSet>, EngineError> {
+    view.evaluate(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use rpq_graph::fixtures::paper_graph;
+    use rpq_graph::GraphDelta;
+
+    #[test]
+    fn pinned_view_survives_later_deltas_bitwise() {
+        let mut e = Engine::new_dynamic(paper_graph());
+        let q = Regex::parse("d.(b.c)+.c").unwrap();
+        let before = e.evaluate(&q).unwrap();
+
+        let v0 = e.pin();
+        assert_eq!(v0.epoch(), 0);
+
+        // Mutate the engine underneath the pinned view.
+        let mut d = GraphDelta::new();
+        d.insert(3, "c", 7).delete(2, "b", 5);
+        e.apply_delta(&d);
+        let after = e.evaluate(&q).unwrap();
+        assert_ne!(before, after, "delta must move the live result");
+
+        // The view still answers from epoch 0, bit for bit.
+        assert_eq!(*v0.evaluate(&q).unwrap(), before);
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(e.epoch(), 1);
+
+        // A fresh pin sees the new epoch.
+        let v1 = e.pin();
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(*v1.evaluate(&q).unwrap(), after);
+    }
+
+    #[test]
+    fn view_results_are_memoized_per_epoch() {
+        let mut e = Engine::new_dynamic(paper_graph());
+        let q = Regex::parse("(b.c)+").unwrap();
+        let v0 = e.pin();
+        let first = v0.evaluate(&q).unwrap();
+        let second = v0.evaluate(&q).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second call is a view hit");
+        assert_eq!(e.results().view_hits(), 1);
+        assert_eq!(e.results().misses(), 1);
+
+        // A new epoch misses the memo and computes its own entry.
+        e.apply_delta(GraphDelta::new().delete(2, "b", 5));
+        let v1 = e.pin();
+        let moved = v1.evaluate(&q).unwrap();
+        assert!(!Arc::ptr_eq(&first, &moved));
+        assert_eq!(e.results().misses(), 2);
+        assert_eq!(e.results().len(), 2);
+    }
+
+    #[test]
+    fn old_view_never_displaces_newer_structural_entries() {
+        let mut e = Engine::new_dynamic(paper_graph());
+        let q = Regex::parse("(b.c)+").unwrap();
+        let v0 = e.pin();
+        e.apply_delta(GraphDelta::new().insert(6, "b", 8).insert(8, "c", 6));
+        // Live engine computes the epoch-1 structure first…
+        let live = e.evaluate(&q).unwrap();
+        let live_pairs = e.cache().rtc_shared_pairs();
+        // …then the old view evaluates at epoch 0, inserting its own
+        // structure at epoch 0 — which must not displace the fresh one.
+        let pinned = v0.evaluate(&q).unwrap();
+        assert_ne!(*pinned, live);
+        assert_eq!(e.cache().rtc_shared_pairs(), live_pairs);
+        assert!(e.cache().contains_fresh_rtc("b.c"));
+        // The live result is untouched by the pinned evaluation.
+        assert_eq!(e.evaluate(&q).unwrap(), live);
+    }
+
+    #[test]
+    fn view_metrics_are_shared_with_the_engine() {
+        let e = Engine::new_dynamic(paper_graph());
+        let v = e.pin();
+        v.evaluate_str("d.(b.c)+.c").unwrap();
+        // The evaluation above accumulated into the engine's breakdown…
+        assert!(e.breakdown().total > std::time::Duration::ZERO);
+        assert_eq!(v.breakdown().total, e.breakdown().total);
+        // …and reset_metrics (engine-side) clears the view's counters too,
+        // including the result-cache tiers (they share one set of Arcs, so
+        // nothing is double-counted across publishes).
+        e.reset_metrics();
+        assert_eq!(v.breakdown().total, std::time::Duration::ZERO);
+        assert_eq!((e.results().view_hits(), e.results().misses()), (0, 0));
+    }
+
+    #[test]
+    fn selective_apis_answer_from_the_pinned_graph() {
+        let mut e = Engine::new_dynamic(paper_graph());
+        let q = Regex::parse("d.(b.c)+.c").unwrap();
+        let v0 = e.pin();
+        e.apply_delta(GraphDelta::new().delete(7, "d", 4));
+        // Live: source 7 lost its d-edge, no paths remain.
+        assert!(e.ends_from(&q, VertexId(7)).is_empty());
+        // Pinned: epoch 0 still has them.
+        let mut ends: Vec<u32> = v0
+            .ends_from(&q, VertexId(7))
+            .iter()
+            .map(|x| x.raw())
+            .collect();
+        ends.sort_unstable();
+        assert_eq!(ends, vec![3, 5]);
+        assert!(v0.check(&q, VertexId(7), VertexId(5)));
+        assert!(!e.check(&q, VertexId(7), VertexId(5)));
+        let starts: Vec<u32> = v0
+            .starts_to(&q, VertexId(5))
+            .iter()
+            .map(|x| x.raw())
+            .collect();
+        assert_eq!(starts, vec![7]);
+    }
+
+    #[test]
+    fn evaluate_at_free_function_matches_method() {
+        let e = Engine::new_dynamic(paper_graph());
+        let v = e.pin();
+        let q = Regex::parse("(b.c)+").unwrap();
+        assert_eq!(evaluate_at(&v, &q).unwrap(), v.evaluate(&q).unwrap());
+    }
+
+    #[test]
+    fn pin_of_a_borrowed_engine_is_epoch_zero() {
+        let g = paper_graph();
+        let e = Engine::new(&g);
+        let v = e.pin();
+        assert_eq!(v.epoch(), 0);
+        assert_eq!(v.graph().edge_count(), g.edge_count());
+        assert_eq!(
+            *v.evaluate_str("d.(b.c)+.c").unwrap(),
+            e.evaluate_str("d.(b.c)+.c").unwrap()
+        );
+    }
+}

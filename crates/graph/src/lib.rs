@@ -52,4 +52,4 @@ pub use multigraph::{GraphBuilder, LabeledMultigraph};
 pub use pairset::PairSet;
 pub use scc::{tarjan_scc, Scc};
 pub use stats::GraphStats;
-pub use versioned::{DeltaSummary, GraphDelta, VersionedGraph};
+pub use versioned::{DeltaSummary, GraphDelta, GraphView, VersionedGraph};

@@ -21,10 +21,17 @@
 //! versioned-mutation layer ([`crate::VersionedGraph`]) can apply a single
 //! edge insert/delete by touching only the three rows involved —
 //! `O(row length)` per edge instead of a full rebuild.
+//!
+//! Rows are reference-counted (`Arc<Vec<_>>`) so a clone of the whole graph
+//! is `O(|V| + |Σ|)` pointer bumps that *share* every row. Mutation goes
+//! through [`Arc::make_mut`]: a row still shared with an older clone (a
+//! frozen [`crate::GraphView`]) is copied on first write, so frozen views
+//! stay immutable while the live graph pays only for the rows it dirties.
 
 use crate::error::GraphError;
 use crate::ids::{LabelId, VertexId};
 use crate::label_dict::LabelDict;
+use std::sync::Arc;
 
 /// An edge-labeled directed multigraph (the paper's `G`).
 ///
@@ -35,9 +42,9 @@ use crate::label_dict::LabelDict;
 pub struct LabeledMultigraph {
     vertex_count: usize,
     labels: LabelDict,
-    out_adj: Vec<Vec<(LabelId, VertexId)>>,
-    in_adj: Vec<Vec<(LabelId, VertexId)>>,
-    label_edges: Vec<Vec<(VertexId, VertexId)>>,
+    out_adj: Vec<Arc<Vec<(LabelId, VertexId)>>>,
+    in_adj: Vec<Arc<Vec<(LabelId, VertexId)>>>,
+    label_edges: Vec<Arc<Vec<(VertexId, VertexId)>>>,
     edge_count: usize,
 }
 
@@ -147,8 +154,8 @@ impl LabeledMultigraph {
     /// Grows the vertex set to at least `n` vertices (never shrinks).
     pub(crate) fn grow_vertices(&mut self, n: usize) {
         if n > self.vertex_count {
-            self.out_adj.resize_with(n, Vec::new);
-            self.in_adj.resize_with(n, Vec::new);
+            self.out_adj.resize_with(n, Default::default);
+            self.in_adj.resize_with(n, Default::default);
             self.vertex_count = n;
         }
     }
@@ -157,7 +164,8 @@ impl LabeledMultigraph {
     pub(crate) fn intern_label_mut(&mut self, name: &str) -> LabelId {
         let id = self.labels.intern(name);
         if id.index() >= self.label_edges.len() {
-            self.label_edges.resize_with(id.index() + 1, Vec::new);
+            self.label_edges
+                .resize_with(id.index() + 1, Default::default);
         }
         id
     }
@@ -169,15 +177,20 @@ impl LabeledMultigraph {
     pub(crate) fn insert_edge_raw(&mut self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
         debug_assert!(label.index() < self.label_edges.len(), "unknown label id");
         self.grow_vertices(src.index().max(dst.index()) + 1);
-        let row = &mut self.out_adj[src.index()];
-        match row.binary_search(&(label, dst)) {
-            Ok(_) => return false,
-            Err(at) => row.insert(at, (label, dst)),
+        // `make_mut` copies a row only when a frozen view still shares it.
+        if self.out_adj[src.index()]
+            .binary_search(&(label, dst))
+            .is_ok()
+        {
+            return false;
         }
-        let row = &mut self.in_adj[dst.index()];
+        let row = Arc::make_mut(&mut self.out_adj[src.index()]);
+        let at = row.binary_search(&(label, dst)).unwrap_err();
+        row.insert(at, (label, dst));
+        let row = Arc::make_mut(&mut self.in_adj[dst.index()]);
         let at = row.binary_search(&(label, src)).unwrap_err();
         row.insert(at, (label, src));
-        let row = &mut self.label_edges[label.index()];
+        let row = Arc::make_mut(&mut self.label_edges[label.index()]);
         let at = row.binary_search(&(src, dst)).unwrap_err();
         row.insert(at, (src, dst));
         self.edge_count += 1;
@@ -196,19 +209,16 @@ impl LabeledMultigraph {
         {
             return false;
         }
-        let row = &mut self.out_adj[src.index()];
-        match row.binary_search(&(label, dst)) {
-            Ok(at) => {
-                row.remove(at);
-            }
-            Err(_) => return false,
-        }
-        let row = &mut self.in_adj[dst.index()];
+        let Ok(at) = self.out_adj[src.index()].binary_search(&(label, dst)) else {
+            return false;
+        };
+        Arc::make_mut(&mut self.out_adj[src.index()]).remove(at);
+        let row = Arc::make_mut(&mut self.in_adj[dst.index()]);
         let at = row
             .binary_search(&(label, src))
             .expect("in_adj out of sync");
         row.remove(at);
-        let row = &mut self.label_edges[label.index()];
+        let row = Arc::make_mut(&mut self.label_edges[label.index()]);
         let at = row
             .binary_search(&(src, dst))
             .expect("label_edges out of sync");
@@ -326,9 +336,9 @@ impl GraphBuilder {
         LabeledMultigraph {
             vertex_count,
             labels,
-            out_adj,
-            in_adj,
-            label_edges,
+            out_adj: out_adj.into_iter().map(Arc::new).collect(),
+            in_adj: in_adj.into_iter().map(Arc::new).collect(),
+            label_edges: label_edges.into_iter().map(Arc::new).collect(),
             edge_count,
         }
     }

@@ -25,6 +25,7 @@
 use crate::ids::{LabelId, VertexId};
 use crate::multigraph::LabeledMultigraph;
 use rustc_hash::FxHashMap;
+use std::sync::{Arc, Mutex};
 
 /// A batch of edge insertions and deletions against a labeled multigraph.
 ///
@@ -139,6 +140,38 @@ pub struct DeltaSummary {
     pub new_vertices: usize,
 }
 
+/// An immutable snapshot of a [`VersionedGraph`] at one epoch.
+///
+/// Produced by [`VersionedGraph::freeze`]. The contained graph shares its
+/// adjacency rows with the live graph through reference counting, so a
+/// view costs `O(|V| + |Σ|)` pointer bumps to create and holds the rows
+/// alive for as long as any reader pins it — later mutations copy only
+/// the rows they touch (copy-on-write) and can never be observed here.
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    graph: LabeledMultigraph,
+    epoch: u64,
+}
+
+impl GraphView {
+    /// Wraps a graph snapshot at an explicit epoch.
+    pub fn new(graph: LabeledMultigraph, epoch: u64) -> Self {
+        Self { graph, epoch }
+    }
+
+    /// The frozen graph. Immutable: no `&mut` access exists to a view.
+    #[inline]
+    pub fn graph(&self) -> &LabeledMultigraph {
+        &self.graph
+    }
+
+    /// The epoch this view was frozen at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
 /// A mutable labeled multigraph with a monotonically increasing epoch.
 ///
 /// Every applied delta — even an empty one — advances the epoch by one, so
@@ -161,16 +194,30 @@ pub struct DeltaSummary {
 /// assert_eq!(summary.edges_deleted, 1);
 /// assert_eq!(g.graph().edge_count(), 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct VersionedGraph {
     graph: LabeledMultigraph,
     epoch: u64,
+    /// Memoized frozen view of the current epoch, so repeated `freeze()`
+    /// calls between deltas return the same `Arc` instead of re-cloning
+    /// the row tables. Invalidated by `apply`.
+    frozen: Mutex<Option<Arc<GraphView>>>,
+}
+
+impl Clone for VersionedGraph {
+    fn clone(&self) -> Self {
+        Self {
+            graph: self.graph.clone(),
+            epoch: self.epoch,
+            frozen: Mutex::new(None),
+        }
+    }
 }
 
 impl VersionedGraph {
     /// Wraps a built graph at epoch 0.
     pub fn new(graph: LabeledMultigraph) -> Self {
-        Self { graph, epoch: 0 }
+        Self::restore(graph, 0)
     }
 
     /// Wraps a graph at an explicit epoch — the deserialization path of
@@ -178,7 +225,29 @@ impl VersionedGraph {
     /// it was saved at so caches stamped before the save stay *fresh*
     /// rather than restarting the epoch clock at 0.
     pub fn restore(graph: LabeledMultigraph, epoch: u64) -> Self {
-        Self { graph, epoch }
+        Self {
+            graph,
+            epoch,
+            frozen: Mutex::new(None),
+        }
+    }
+
+    /// An immutable view of the graph at the current epoch.
+    ///
+    /// The first freeze after a delta clones the row *tables* — `O(|V| +
+    /// |Σ|)` reference bumps, no row data — and memoizes the view; further
+    /// freezes at the same epoch just bump one `Arc`. Later `apply` calls
+    /// copy-on-write only the rows they touch, so holding a view pins at
+    /// most the rows that have since been dirtied plus the shared rest.
+    pub fn freeze(&self) -> Arc<GraphView> {
+        let mut slot = self.frozen.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(view) = slot.as_ref() {
+            debug_assert_eq!(view.epoch, self.epoch, "stale frozen-view memo");
+            return Arc::clone(view);
+        }
+        let view = Arc::new(GraphView::new(self.graph.clone(), self.epoch));
+        *slot = Some(Arc::clone(&view));
+        view
     }
 
     /// The current graph snapshot.
@@ -199,6 +268,9 @@ impl VersionedGraph {
     /// Cost is `O(Σ touched-row lengths)` over the `|delta|` edges — the
     /// graph is never rebuilt.
     pub fn apply(&mut self, delta: &GraphDelta) -> DeltaSummary {
+        // The epoch is about to move: drop the memoized view so the next
+        // `freeze()` re-snapshots. Readers holding the old `Arc` keep it.
+        *self.frozen.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
         let old_vertices = self.graph.vertex_count();
         let old_labels = self.graph.label_count();
         // Resolve delta-local labels against the graph's dictionary,
@@ -374,6 +446,52 @@ mod tests {
             assert_same_graph(g.graph(), &rebuild_oracle(g.graph()));
         }
         assert_eq!(g.epoch(), script.len() as u64);
+    }
+
+    #[test]
+    fn freeze_is_immutable_and_memoized() {
+        let mut g = VersionedGraph::new(base());
+        let v0 = g.freeze();
+        // Same epoch -> same Arc, no re-clone.
+        assert!(Arc::ptr_eq(&v0, &g.freeze()));
+        assert_eq!(v0.epoch(), 0);
+
+        let mut d = GraphDelta::new();
+        d.insert(0, "c", 2).delete(0, "a", 1);
+        g.apply(&d);
+
+        // The pinned view still shows epoch 0's graph, bit for bit.
+        assert_eq!(v0.graph().edge_count(), 3);
+        let a = v0.graph().labels().get("a").unwrap();
+        assert!(v0.graph().has_edge(VertexId(0), a, VertexId(1)));
+        assert!(v0.graph().labels().get("c").is_none());
+        assert_same_graph(v0.graph(), &rebuild_oracle(v0.graph()));
+
+        // A fresh freeze sees the new epoch; the memo was invalidated.
+        let v1 = g.freeze();
+        assert!(!Arc::ptr_eq(&v0, &v1));
+        assert_eq!(v1.epoch(), 1);
+        assert!(!v1.graph().has_edge(VertexId(0), a, VertexId(1)));
+    }
+
+    #[test]
+    fn freeze_shares_untouched_rows() {
+        let mut g = VersionedGraph::new(base());
+        let view = g.freeze();
+        let mut d = GraphDelta::new();
+        d.insert(0, "c", 2);
+        g.apply(&d);
+        // Vertex 1's rows were untouched by the delta: the live graph and
+        // the frozen view must still hand out the very same row storage.
+        assert_eq!(
+            view.graph().out_edges(VertexId(1)).as_ptr(),
+            g.graph().out_edges(VertexId(1)).as_ptr(),
+        );
+        // Vertex 0's out row was dirtied, so it diverged (copy-on-write).
+        assert_ne!(
+            view.graph().out_edges(VertexId(0)).as_ptr(),
+            g.graph().out_edges(VertexId(0)).as_ptr(),
+        );
     }
 
     #[test]

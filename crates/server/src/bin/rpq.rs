@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]
-//! rpq serve --addr HOST:PORT [--load PATH] [--strategy rtc|full|none] [--threads N]
+//! rpq serve --addr HOST:PORT [--max-conns N] [--load PATH]
+//!           [--strategy rtc|full|none] [--threads N]
 //! ```
 //!
 //! `repl` reads commands from stdin (interactive prompt on a TTY, silent
 //! in pipes) and writes responses to stdout. `serve` speaks the same
 //! command language as a line-delimited TCP protocol; all connections
-//! share one engine and one epoch-aware cache. `--load` accepts an edge
-//! list, a graph snapshot, or an engine snapshot (warm restart) — the
-//! format is auto-detected. See `docs/QUERY_LANGUAGE.md` for the command
-//! reference.
+//! share one engine and one epoch-aware cache, up to `--max-conns`
+//! simultaneous clients (default 256; over-limit connections get one
+//! `ERR busy` line). `--load` accepts an edge list, a graph snapshot, or
+//! an engine snapshot (warm restart) — the format is auto-detected. See
+//! `docs/QUERY_LANGUAGE.md` for the command reference.
 
 use rpq_server::session::{parse_strategy_flag, startup_config, Session};
 use std::process::ExitCode;
@@ -21,6 +23,7 @@ struct Options {
     load: Option<String>,
     strategy: Option<rpq_core::Strategy>,
     threads: Option<usize>,
+    max_conns: usize,
 }
 
 enum Mode {
@@ -42,6 +45,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         load: None,
         strategy: None,
         threads: None,
+        max_conns: rpq_server::DEFAULT_MAX_CONNS,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,6 +69,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     Mode::Repl => return Err("--addr only applies to serve".into()),
                 }
             }
+            "--max-conns" => {
+                if matches!(opts.mode, Mode::Repl) {
+                    return Err("--max-conns only applies to serve".into());
+                }
+                let v = args.next().ok_or("--max-conns needs a value")?;
+                opts.max_conns = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or(format!("--max-conns needs a positive integer, got '{v}'"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -79,13 +94,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
 
 fn print_usage() {
     eprintln!("usage: rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]");
-    eprintln!(
-        "       rpq serve --addr HOST:PORT [--load PATH] [--strategy rtc|full|none] [--threads N]"
-    );
+    eprintln!("       rpq serve --addr HOST:PORT [--max-conns N] [--load PATH]");
+    eprintln!("                 [--strategy rtc|full|none] [--threads N]");
     eprintln!();
     eprintln!("--load accepts an edge list, a graph snapshot, or an engine snapshot");
-    eprintln!("(warm restart) — the format is auto-detected. Commands: see 'help' in");
-    eprintln!("the session or docs/QUERY_LANGUAGE.md.");
+    eprintln!("(warm restart) — the format is auto-detected. --max-conns caps");
+    eprintln!("simultaneous TCP clients (default 256; extras get 'ERR busy').");
+    eprintln!("Commands: see 'help' in the session or docs/QUERY_LANGUAGE.md.");
 }
 
 fn main() -> ExitCode {
@@ -138,13 +153,16 @@ fn main() -> ExitCode {
                 }
             };
             eprintln!(
-                "listening on {} (line protocol; try: echo 'info' | nc {addr})",
+                "listening on {} (line protocol, max {} connections; try: echo 'info' | nc {addr})",
                 listener
                     .local_addr()
                     .map(|a| a.to_string())
                     .unwrap_or(addr.clone()),
+                opts.max_conns,
             );
-            match rpq_server::serve(listener, rpq_server::shared(session)) {
+            let shared = rpq_server::shared(session);
+            shared.set_max_conns(opts.max_conns);
+            match rpq_server::serve(listener, shared) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: accept loop failed: {e}");

@@ -52,9 +52,16 @@ pub enum Command {
         /// Generator seed.
         seed: u64,
     },
-    /// `query RPQ` — evaluate, sharing structures with prior queries.
-    Query(String),
-    /// `check SRC DST RPQ` — does an `RPQ`-path from SRC to DST exist?
+    /// `query RPQ [at EPOCH]` — evaluate, sharing structures with prior
+    /// queries; `at EPOCH` pins a retained older epoch (time travel).
+    Query {
+        /// The path query.
+        query: String,
+        /// Retained epoch to evaluate against, if time-travelling.
+        at: Option<u64>,
+    },
+    /// `check SRC DST RPQ [at EPOCH]` — does an `RPQ`-path from SRC to
+    /// DST exist?
     Check {
         /// Source vertex.
         src: u32,
@@ -62,13 +69,17 @@ pub enum Command {
         dst: u32,
         /// The path query.
         query: String,
+        /// Retained epoch to evaluate against, if time-travelling.
+        at: Option<u64>,
     },
-    /// `ends SRC RPQ` — end vertices of `RPQ`-paths from SRC.
+    /// `ends SRC RPQ [at EPOCH]` — end vertices of `RPQ`-paths from SRC.
     Ends {
         /// Source vertex.
         src: u32,
         /// The path query.
         query: String,
+        /// Retained epoch to evaluate against, if time-travelling.
+        at: Option<u64>,
     },
     /// `prepare RPQ` — warm the shared cache for a query without
     /// materializing its result.
@@ -121,19 +132,24 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         "check" => {
             let src = parse_num(tokens.next(), "check needs SRC DST RPQ")?;
             let dst = parse_num(tokens.next(), "check needs SRC DST RPQ")?;
-            let query = strip_tokens(rest, 2);
+            let (query, at) = split_at_epoch(&strip_tokens(rest, 2));
             if query.is_empty() {
                 return Err("check needs SRC DST RPQ".into());
             }
-            Command::Check { src, dst, query }
+            Command::Check {
+                src,
+                dst,
+                query,
+                at,
+            }
         }
         "ends" => {
             let src = parse_num(tokens.next(), "ends needs SRC RPQ")?;
-            let query = strip_tokens(rest, 1);
+            let (query, at) = split_at_epoch(&strip_tokens(rest, 1));
             if query.is_empty() {
                 return Err("ends needs SRC RPQ".into());
             }
-            Command::Ends { src, query }
+            Command::Ends { src, query, at }
         }
         "prepare" => {
             if rest.is_empty() {
@@ -187,10 +203,36 @@ fn require_path(rest: &str, cmd: &str) -> Result<String, String> {
 }
 
 fn require_query(rest: &str, cmd: &str) -> Result<Command, String> {
-    if rest.is_empty() {
+    let (query, at) = split_at_epoch(rest);
+    if query.is_empty() {
         Err(format!("{cmd} needs an RPQ"))
     } else {
-        Ok(Command::Query(rest.to_string()))
+        Ok(Command::Query { query, at })
+    }
+}
+
+/// Splits a trailing `at <epoch>` time-travel suffix off an RPQ tail,
+/// preserving the query text's internal spacing. Only the exact two-token
+/// tail `at <number>` is reserved — `at` alone, or `at` anywhere else in
+/// the query, still parses as an ordinary label; a query genuinely ending
+/// in the label `at` followed by nothing numeric is untouched.
+fn split_at_epoch(text: &str) -> (String, Option<u64>) {
+    let keep = || (text.to_string(), None);
+    let trimmed = text.trim_end();
+    let Some(last_ws) = trimmed.rfind(char::is_whitespace) else {
+        return keep();
+    };
+    let Ok(epoch) = trimmed[last_ws..].trim().parse::<u64>() else {
+        return keep();
+    };
+    let head = trimmed[..last_ws].trim_end();
+    match head.rfind(char::is_whitespace) {
+        None if head == "at" => (String::new(), Some(epoch)),
+        None => keep(),
+        Some(prev_ws) if head[prev_ws..].trim() == "at" => {
+            (head[..prev_ws].trim_end().to_string(), Some(epoch))
+        }
+        Some(_) => keep(),
     }
 }
 
@@ -267,9 +309,9 @@ pub const HELP: &[&str] = &[
     "  export PATH               write plain-text edge list",
     "  gen paper                 load the paper's Fig. 1 graph",
     "  gen rmat N SCALE SEED     generate RMAT_N with 2^SCALE vertices",
-    "  query RPQ                 evaluate an RPQ (shares structures)",
-    "  check SRC DST RPQ         does an RPQ-path SRC -> DST exist?",
-    "  ends SRC RPQ              end vertices of RPQ-paths from SRC",
+    "  query RPQ [at E]          evaluate an RPQ (shares structures); at E = retained epoch",
+    "  check SRC DST RPQ [at E]  does an RPQ-path SRC -> DST exist?",
+    "  ends SRC RPQ [at E]       end vertices of RPQ-paths from SRC",
     "  prepare RPQ               warm the shared cache for an RPQ",
     "  delta OPS...              mutate: ins SRC LABEL DST | del SRC LABEL DST | grow N",
     "  strategy rtc|full|none    switch evaluation strategy",
@@ -297,16 +339,54 @@ mod tests {
         assert_eq!(parse_command("# a comment").unwrap(), None);
     }
 
+    fn query(text: &str, at: Option<u64>) -> Command {
+        Command::Query {
+            query: text.into(),
+            at,
+        }
+    }
+
     #[test]
     fn query_keeps_the_rest_of_the_line() {
-        assert_eq!(one("query d.(b.c)+.c"), Command::Query("d.(b.c)+.c".into()));
+        assert_eq!(one("query d.(b.c)+.c"), query("d.(b.c)+.c", None));
         assert_eq!(
             one("q d . ( b . c ) + . c"),
-            Command::Query("d . ( b . c ) + . c".into())
+            query("d . ( b . c ) + . c", None)
+        );
+        assert_eq!(one("query 'has part'+"), query("'has part'+", None));
+    }
+
+    #[test]
+    fn at_epoch_suffix_is_split_off() {
+        assert_eq!(one("query d.(b.c)+.c at 3"), query("d.(b.c)+.c", Some(3)));
+        assert_eq!(
+            one("q d . ( b . c ) + at 0"),
+            query("d . ( b . c ) +", Some(0))
+        );
+        // `at` stays an ordinary label everywhere except the reserved
+        // two-token tail.
+        assert_eq!(one("query at"), query("at", None));
+        assert_eq!(one("query at.b"), query("at.b", None));
+        assert_eq!(one("query a at b"), query("a at b", None));
+        assert_eq!(one("query b.at at 7"), query("b.at", Some(7)));
+        // A bare `at <epoch>` leaves no query text.
+        assert!(parse_command("query at 3").is_err());
+        assert_eq!(
+            one("check 7 5 d.(b.c)+.c at 2"),
+            Command::Check {
+                src: 7,
+                dst: 5,
+                query: "d.(b.c)+.c".into(),
+                at: Some(2)
+            }
         );
         assert_eq!(
-            one("query 'has part'+"),
-            Command::Query("'has part'+".into())
+            one("ends 7 (b.c)+ at 1"),
+            Command::Ends {
+                src: 7,
+                query: "(b.c)+".into(),
+                at: Some(1)
+            }
         );
     }
 
@@ -317,14 +397,16 @@ mod tests {
             Command::Check {
                 src: 7,
                 dst: 5,
-                query: "d.(b.c)+.c".into()
+                query: "d.(b.c)+.c".into(),
+                at: None
             }
         );
         assert_eq!(
             one("ends 7 d.(b.c)+.c"),
             Command::Ends {
                 src: 7,
-                query: "d.(b.c)+.c".into()
+                query: "d.(b.c)+.c".into(),
+                at: None
             }
         );
         assert!(parse_command("check 7 d").is_err());

@@ -11,16 +11,21 @@
 //!   `rpq_regex` parser → `rpq_automata`/`rpq_core` pipeline, apply
 //!   `GraphDelta` mutations online, switch strategies, inspect metrics
 //!   and cache state, and save/load snapshots.
-//! * [`session`] — the serving state, split into one long-lived
-//!   read-write-locked [`session::EngineState`] (the engine owning its
-//!   graph, epoch-aware cache attached) and a per-connection
-//!   [`session::ConnectionOverlay`] (`strategy`/`threads`/`limit`/
-//!   `binary`); the single execution path behind both transports.
+//! * [`session`] — the serving state: a write-locked
+//!   [`session::EngineState`] (the engine owning its graph, epoch-aware
+//!   cache attached) that only mutating commands touch, an MVCC
+//!   published-view slot ([`session::PublishedView`]) that read commands
+//!   serve from without any engine lock, a short retention ring of
+//!   recent epoch views backing `query … at <epoch>` time travel, and a
+//!   per-connection [`session::ConnectionOverlay`]
+//!   (`strategy`/`threads`/`limit`/`binary`); the single execution path
+//!   behind both transports.
 //! * [`repl`] — the interactive/pipeable CLI loop (`rpq repl`).
 //! * [`tcp`] — the same commands as a line-delimited TCP protocol
 //!   (`rpq serve`), every connection sharing one engine so client A's
-//!   RTC is client B's cache hit; read-only commands run concurrently
-//!   under the shared read lock.
+//!   RTC is client B's cache hit; writers publish new epochs by swap, so
+//!   reads never block, and a `--max-conns` cap turns away over-limit
+//!   connections with one `ERR busy` line.
 //! * [`wire`] — the opt-in `RESULT-BIN` binary result frame for large
 //!   `query` responses.
 //!
@@ -50,6 +55,9 @@ pub mod wire;
 
 pub use command::{parse_command, Command, DeltaOp};
 pub use repl::run_repl;
-pub use session::{ConnectionOverlay, EngineState, Response, Session, SharedEngine, Status};
+pub use session::{
+    ConnectionOverlay, EngineState, PublishedView, Response, ServerState, Session, SharedEngine,
+    Status, DEFAULT_MAX_CONNS, RETAINED_VIEWS,
+};
 pub use tcp::{handle_connection, serve, shared, SharedSession};
 pub use wire::BinaryResult;

@@ -1,23 +1,39 @@
-//! Serving sessions: shared engine state behind a read-write lock, plus
+//! Serving sessions: MVCC epoch views published by swap, plus
 //! per-connection overlay state.
 //!
-//! The serving state is split in two, and the split is the whole point:
+//! The serving state is split in three, and the split is the whole point:
 //!
-//! * [`EngineState`] — the **shared** half: one long-lived
-//!   [`Engine`] (owning its graph, epoch-aware cache attached) plus the
-//!   loaded-graph name. All sessions of one server hold it behind one
-//!   `Arc<RwLock<…>>` ([`SharedEngine`]). Read-only commands (`query`,
-//!   `check`, `ends`, `info`, `metrics`, `cache`, `epoch`, `export`) take
-//!   the **read** lock, so N TCP clients evaluate *simultaneously* against
-//!   one shared cache — the engine's query path is `&self` precisely for
-//!   this. Mutating commands (`load`, `save`, `gen`, `delta`, `prepare`,
-//!   `reset`) take the **write** lock and serialize.
+//! * [`EngineState`] — the **writer** half: one long-lived [`Engine`]
+//!   (owning its graph, epoch-aware cache attached) plus the loaded-graph
+//!   name, behind a `RwLock` that only **mutating** commands (`load`,
+//!   `save`, `gen`, `delta`, `prepare`, `reset`) ever take. Writers
+//!   serialize against each other; they never block a reader.
+//! * [`PublishedView`] — the **reader** half: an immutable
+//!   [`EpochView`] (frozen copy-on-write graph snapshot + shared cache
+//!   handles) published after every mutation. Read-only commands
+//!   (`query`, `check`, `ends`, `info`, `metrics`, `cache`, `epoch`,
+//!   `export`) grab the current view with one `Arc` clone from the swap
+//!   slot — the state lock is **never** acquired on the read path — and
+//!   evaluate against that pinned epoch no matter how many writers
+//!   publish meanwhile. A short ring of recent views
+//!   ([`ServerState::retained_views`], default [`RETAINED_VIEWS`]) backs
+//!   `query … at <epoch>` time travel; asking for an evicted epoch is a
+//!   clean `ERR`.
 //! * [`ConnectionOverlay`] — the **per-connection** half: `strategy`,
 //!   `threads`, `limit` and `binary` are connection-local. They resolve
-//!   against the engine's base configuration at command dispatch
+//!   against the base configuration at dispatch
 //!   ([`ConnectionOverlay::resolve`]) and are applied through
-//!   [`Engine::evaluate_with`], so one client switching to `FullSharing`
-//!   or `binary on` never changes what any other client sees.
+//!   [`EpochView::evaluate_with`], so one client switching to
+//!   `FullSharing` or `binary on` never changes what any other client
+//!   sees.
+//!
+//! The publish protocol: a writer mutates the engine under the write
+//! lock, pins a fresh [`EpochView`] (`Engine::pin` — O(dirty rows), the
+//! untouched adjacency rows are `Arc`-shared with every older view), and
+//! swaps it into the slot. Readers holding older views keep them alive
+//! through their `Arc`s and observe bitwise-identical results before,
+//! during and after the publication. Graph *replacement* (`load`, `gen`)
+//! clears the ring first — epochs of different graphs are not comparable.
 //!
 //! [`Session::execute`] is the single entry point both front-ends call —
 //! the REPL feeds it stdin lines, the TCP server feeds it socket lines —
@@ -25,12 +41,21 @@
 
 use crate::command::{parse_command, Command, DeltaOp, HELP};
 use crate::wire::{encode_pair_set, BinaryResult};
-use rpq_core::{Engine, EngineConfig, Strategy};
+use rpq_core::{Engine, EngineConfig, EpochView, Strategy};
 use rpq_graph::{GraphBuilder, GraphDelta, VersionedGraph};
+use std::collections::VecDeque;
 use std::io::Write as IoWrite;
 use std::path::Path;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// How many recent epoch views the server retains for `… at <epoch>`
+/// time travel (including the current one).
+pub const RETAINED_VIEWS: usize = 8;
+
+/// Default cap on simultaneous TCP connections (`rpq serve --max-conns`).
+pub const DEFAULT_MAX_CONNS: usize = 256;
 
 /// Result of executing one command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,9 +164,8 @@ impl Response {
     }
 }
 
-/// The shared half of a serving session: the engine plus the name of the
-/// loaded graph. All connections of one server share exactly one of these
-/// behind [`SharedEngine`].
+/// The writer half of the serving state: the engine plus the name of the
+/// loaded graph, behind the write-path lock inside [`ServerState`].
 pub struct EngineState {
     engine: Engine<'static>,
     /// Name of the loaded graph (path, generator tag, or "empty").
@@ -160,9 +184,206 @@ impl EngineState {
     }
 }
 
-/// Shared serving state: one read-write-locked [`EngineState`] for any
-/// number of sessions/connections.
-pub type SharedEngine = Arc<RwLock<EngineState>>;
+/// One published epoch: an immutable [`EpochView`] plus the graph name it
+/// was published under. Readers clone the `Arc` out of the swap slot and
+/// never look at the engine again.
+pub struct PublishedView {
+    view: EpochView,
+    source: String,
+}
+
+impl PublishedView {
+    /// The pinned epoch view.
+    pub fn view(&self) -> &EpochView {
+        &self.view
+    }
+
+    /// The graph name at publish time.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The epoch this view is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+}
+
+/// The shared serving state: the write-locked [`EngineState`], the
+/// published-view swap slot and retention ring, connection accounting and
+/// publish-latency counters. One of these per server, shared as
+/// [`SharedEngine`].
+pub struct ServerState {
+    state: RwLock<EngineState>,
+    /// The swap slot. Readers hold this lock only for the nanoseconds of
+    /// one `Arc` clone — never across an evaluation — so a writer's swap
+    /// is never blocked behind a slow query and vice versa. (This is the
+    /// std-only spelling of an atomic `Arc` swap.)
+    published: RwLock<Arc<PublishedView>>,
+    /// Most recent views, oldest first, current last; bounded to
+    /// [`RETAINED_VIEWS`]. Cleared on graph replacement.
+    ring: Mutex<VecDeque<Arc<PublishedView>>>,
+    live_conns: AtomicUsize,
+    max_conns: AtomicUsize,
+    publishes: AtomicU64,
+    publish_nanos_total: AtomicU64,
+    publish_nanos_last: AtomicU64,
+}
+
+/// Shared serving state: one [`ServerState`] for any number of
+/// sessions/connections.
+pub type SharedEngine = Arc<ServerState>;
+
+impl ServerState {
+    fn new(state: EngineState) -> ServerState {
+        let initial = Arc::new(PublishedView {
+            view: state.engine.pin(),
+            source: state.source.clone(),
+        });
+        ServerState {
+            state: RwLock::new(state),
+            published: RwLock::new(Arc::clone(&initial)),
+            ring: Mutex::new(VecDeque::from([initial])),
+            live_conns: AtomicUsize::new(0),
+            max_conns: AtomicUsize::new(DEFAULT_MAX_CONNS),
+            publishes: AtomicU64::new(0),
+            publish_nanos_total: AtomicU64::new(0),
+            publish_nanos_last: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently published view — one `Arc` clone, no state lock.
+    pub fn current(&self) -> Arc<PublishedView> {
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// The retained view pinned to `epoch`, or an error naming the
+    /// retained range if that epoch has been evicted (or never existed).
+    pub fn view_at(&self, epoch: u64) -> Result<Arc<PublishedView>, String> {
+        let ring = self.ring();
+        if let Some(v) = ring.iter().rev().find(|v| v.epoch() == epoch) {
+            return Ok(Arc::clone(v));
+        }
+        let (lo, hi, n) = span(&ring);
+        Err(format!(
+            "epoch {epoch} not retained (retaining {n} views, epochs {lo}..{hi})"
+        ))
+    }
+
+    /// `(oldest, newest, count)` of the retained epochs.
+    pub fn retained_span(&self) -> (u64, u64, usize) {
+        span(&self.ring())
+    }
+
+    /// Number of views currently retained for time travel.
+    pub fn retained_views(&self) -> usize {
+        self.ring().len()
+    }
+
+    /// Pins the engine's current state and publishes it: swaps the slot,
+    /// appends to the retention ring (evicting past [`RETAINED_VIEWS`]),
+    /// and records the publish latency. `reset_ring` drops all older
+    /// views first — used when the graph itself was replaced, so time
+    /// travel can never cross a graph swap. The caller holds the state
+    /// write lock, which is what serializes publishes.
+    fn publish_locked(&self, state: &EngineState, reset_ring: bool) {
+        let t = Instant::now();
+        let view = Arc::new(PublishedView {
+            view: state.engine.pin(),
+            source: state.source.clone(),
+        });
+        *self
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&view);
+        let mut ring = self.ring();
+        if reset_ring {
+            ring.clear();
+        }
+        ring.push_back(view);
+        while ring.len() > RETAINED_VIEWS {
+            ring.pop_front();
+        }
+        drop(ring);
+        let nanos = t.elapsed().as_nanos() as u64;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publish_nanos_total.fetch_add(nanos, Ordering::Relaxed);
+        self.publish_nanos_last.store(nanos, Ordering::Relaxed);
+    }
+
+    fn ring(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<PublishedView>>> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sets the simultaneous-connection cap (the `--max-conns` flag).
+    pub fn set_max_conns(&self, n: usize) {
+        self.max_conns.store(n, Ordering::Relaxed);
+    }
+
+    /// The simultaneous-connection cap.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn live_conns(&self) -> usize {
+        self.live_conns.load(Ordering::Relaxed)
+    }
+
+    /// Claims a connection slot; `false` when the cap is reached. Pair
+    /// with [`ServerState::conn_closed`] (the TCP layer wraps the pair in
+    /// an RAII guard).
+    pub fn try_open_conn(&self) -> bool {
+        let max = self.max_conns();
+        self.live_conns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Releases a connection slot claimed by [`ServerState::try_open_conn`].
+    pub fn conn_closed(&self) {
+        self.live_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes since startup (or the last `reset metrics`).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Latency of the most recent publish (pin + swap + ring update).
+    pub fn publish_last(&self) -> Duration {
+        Duration::from_nanos(self.publish_nanos_last.load(Ordering::Relaxed))
+    }
+
+    /// Mean publish latency since the last counter reset.
+    pub fn publish_mean(&self) -> Duration {
+        let n = self.publishes();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.publish_nanos_total.load(Ordering::Relaxed) / n)
+    }
+
+    /// Clears the publish-latency counters (part of `reset metrics`).
+    pub fn reset_publish_stats(&self) {
+        self.publishes.store(0, Ordering::Relaxed);
+        self.publish_nanos_total.store(0, Ordering::Relaxed);
+        self.publish_nanos_last.store(0, Ordering::Relaxed);
+    }
+}
+
+fn span(ring: &VecDeque<Arc<PublishedView>>) -> (u64, u64, usize) {
+    let lo = ring.front().map_or(0, |v| v.epoch());
+    let hi = ring.back().map_or(0, |v| v.epoch());
+    (lo, hi, ring.len())
+}
 
 /// Per-connection overlay: evaluation knobs that belong to one client,
 /// resolved against the engine's base configuration at dispatch time and
@@ -205,7 +426,7 @@ impl ConnectionOverlay {
     }
 }
 
-/// A serving session: one connection's view of the shared engine.
+/// A serving session: one connection's handle onto the shared state.
 ///
 /// Cloning the [`SharedEngine`] handle ([`Session::shared`]) and
 /// [`Session::attach`]ing gives each TCP connection its own session — own
@@ -223,8 +444,9 @@ impl Default for Session {
     }
 }
 
-/// A read guard over the shared state, dereferencing to the engine —
-/// what [`Session::engine`] hands to inspection code and tests.
+/// A read guard over the writer-half state, dereferencing to the engine —
+/// what [`Session::engine`] hands to inspection code and tests. Not used
+/// on the query hot path, which serves from the published view instead.
 pub struct EngineGuard<'a>(RwLockReadGuard<'a, EngineState>);
 
 impl std::ops::Deref for EngineGuard<'_> {
@@ -252,10 +474,10 @@ impl Session {
     }
 
     /// A session over an existing engine (used by `--load` startup and by
-    /// tests).
+    /// tests). Publishes the engine's current state as epoch view zero.
     pub fn from_engine(engine: Engine<'static>, source: String) -> Session {
         Session {
-            shared: Arc::new(RwLock::new(EngineState { engine, source })),
+            shared: Arc::new(ServerState::new(EngineState { engine, source })),
             overlay: ConnectionOverlay::default(),
         }
     }
@@ -279,22 +501,39 @@ impl Session {
         &self.overlay
     }
 
-    /// Read access to the shared engine (a read-lock guard).
+    /// Read access to the engine (a read-lock guard on the writer half —
+    /// inspection only; the serving read path uses the published view).
     pub fn engine(&self) -> EngineGuard<'_> {
         EngineGuard(self.read())
     }
 
-    /// Takes the read lock, clearing poisoning: a panic inside another
-    /// command leaves the engine consistent at command granularity (the
-    /// panicked command's response was simply never sent), so serving
-    /// continues.
+    /// Takes the writer-half read lock, clearing poisoning: a panic
+    /// inside another command leaves the engine consistent at command
+    /// granularity (the panicked command's response was simply never
+    /// sent), so serving continues.
     fn read(&self) -> RwLockReadGuard<'_, EngineState> {
-        self.shared.read().unwrap_or_else(PoisonError::into_inner)
+        self.shared
+            .state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Takes the write lock, clearing poisoning (see [`Session::read`]).
+    /// Takes the writer-half write lock, clearing poisoning (see
+    /// [`Session::read`]).
     fn write(&self) -> RwLockWriteGuard<'_, EngineState> {
-        self.shared.write().unwrap_or_else(PoisonError::into_inner)
+        self.shared
+            .state
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves which published view a read command addresses: the
+    /// current one, or — for `… at <epoch>` — a retained older one.
+    fn view_for(&self, at: Option<u64>) -> Result<Arc<PublishedView>, String> {
+        match at {
+            None => Ok(self.shared.current()),
+            Some(epoch) => self.shared.view_at(epoch),
+        }
     }
 
     /// Parses and executes one request line.
@@ -333,17 +572,24 @@ impl Session {
                 Response::ok(format!("binary {}", if on { "on" } else { "off" }))
             }
 
-            // ── read path: concurrent under the read lock ─────────────
+            // ── read path: served from the published view, no state
+            //    lock ever taken ────────────────────────────────────────
             Command::Info => self.info(),
-            Command::Epoch => Response::ok(format!("epoch {}", self.read().engine.epoch())),
-            Command::Query(text) => self.query(&text),
-            Command::Check { src, dst, query } => self.check(src, dst, &query),
-            Command::Ends { src, query } => self.ends(src, &query),
+            Command::Epoch => Response::ok(format!("epoch {}", self.shared.current().epoch())),
+            Command::Query { query, at } => self.query(&query, at),
+            Command::Check {
+                src,
+                dst,
+                query,
+                at,
+            } => self.check(src, dst, &query, at),
+            Command::Ends { src, query, at } => self.ends(src, &query, at),
             Command::Metrics => self.metrics(),
             Command::Cache => self.cache(),
             Command::Export(path) => self.export(&path),
 
-            // ── write path: exclusive under the write lock ────────────
+            // ── write path: exclusive under the write lock, each
+            //    mutation publishing a fresh epoch view ─────────────────
             Command::Load(path) => self.load(&path),
             Command::Save(path) => self.save(&path),
             Command::GenPaper => {
@@ -353,11 +599,13 @@ impl Session {
                     VersionedGraph::new(rpq_graph::fixtures::paper_graph()),
                     "paper".to_string(),
                 );
+                self.shared.publish_locked(&state, true);
                 info_summary(&state, "loaded paper graph")
             }
             Command::GenRmat { n, scale, seed } => {
                 // Generate outside the lock (no shared state involved), so
-                // readers keep serving while the new graph is built.
+                // writers queue behind the build no longer than they must —
+                // readers are never blocked either way.
                 let g = rpq_datasets::rmat::rmat_n_scaled(n, scale, seed);
                 let mut state = self.write();
                 replace_graph(
@@ -365,6 +613,7 @@ impl Session {
                     VersionedGraph::new(g),
                     format!("rmat_{n}@2^{scale}#{seed}"),
                 );
+                self.shared.publish_locked(&state, true);
                 info_summary(&state, "generated RMAT graph")
             }
             Command::Prepare(text) => self.prepare(&text),
@@ -373,9 +622,10 @@ impl Session {
                 let state = self.write();
                 if cache_too {
                     state.engine.clear_cache();
-                    Response::ok("cache cleared (structures dropped, counters reset)")
+                    Response::ok("cache cleared (structures and results dropped, counters reset)")
                 } else {
                     state.engine.reset_metrics();
+                    self.shared.reset_publish_stats();
                     Response::ok("metrics reset (cached structures kept)")
                 }
             }
@@ -383,20 +633,24 @@ impl Session {
     }
 
     fn info(&self) -> Response {
-        let state = self.read();
-        let g = state.engine.graph();
-        let config = self.overlay.resolve(state.engine.config());
+        let published = self.shared.current();
+        let view = published.view();
+        let g = view.graph();
+        let config = self.overlay.resolve(view.config());
+        let (lo, hi, views) = self.shared.retained_span();
         Response::ok(format!(
-            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}",
-            state.source,
+            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}, views {views} (epochs {lo}..{hi}), conns {}/{}",
+            published.source(),
             g.vertex_count(),
             g.edge_count(),
             g.label_count(),
-            state.engine.epoch(),
+            view.epoch(),
             config.strategy,
             config.threads,
             self.overlay.limit,
             if self.overlay.binary { "on" } else { "off" },
+            self.shared.live_conns(),
+            self.shared.max_conns(),
         ))
     }
 
@@ -424,6 +678,7 @@ impl Session {
                     let epoch = engine.epoch();
                     state.engine = engine;
                     state.source = path.to_string();
+                    self.shared.publish_locked(&state, true);
                     let g = state.engine.graph();
                     Response::ok(format!(
                         "warm restart: {} vertices, {} edges, epoch {epoch}, {warm} cached structures",
@@ -438,6 +693,7 @@ impl Session {
                 Ok(vg) => {
                     let mut state = self.write();
                     replace_graph(&mut state, vg, path.to_string());
+                    self.shared.publish_locked(&state, true);
                     info_summary(&state, &format!("loaded '{path}'"))
                 }
                 Err(e) => Response::err(format!("cannot load '{path}': {e}")),
@@ -469,28 +725,41 @@ impl Session {
     }
 
     fn export(&self, path: &str) -> Response {
-        let state = self.read();
-        match rpq_datasets::io::save_graph(state.engine.graph(), Path::new(path)) {
-            Ok(()) => Response::ok(format!(
-                "edge list '{path}': {} edges",
-                state.engine.graph().edge_count()
-            )),
+        let published = self.shared.current();
+        let g = published.view().graph();
+        match rpq_datasets::io::save_graph(g, Path::new(path)) {
+            Ok(()) => Response::ok(format!("edge list '{path}': {} edges", g.edge_count())),
             Err(e) => Response::err(format!("cannot export '{path}': {e}")),
         }
     }
 
-    fn query(&self, text: &str) -> Response {
+    /// Appends the time-travel marker to a status summary, after any
+    /// `... in <time>` suffix so the equivalence tests' timing masking
+    /// stays oblivious to it.
+    fn at_suffix(at: Option<u64>) -> String {
+        at.map(|e| format!(" (at epoch {e})")).unwrap_or_default()
+    }
+
+    fn query(&self, text: &str, at: Option<u64>) -> Response {
         let q = match rpq_regex::Regex::parse(text) {
             Ok(q) => q,
             Err(e) => return Response::err(format!("query failed: {e}")),
         };
-        let state = self.read();
-        let config = self.overlay.resolve(state.engine.config());
+        let published = match self.view_for(at) {
+            Ok(v) => v,
+            Err(e) => return Response::err(e),
+        };
+        let view = published.view();
+        let config = self.overlay.resolve(view.config());
         let t = Instant::now();
-        match state.engine.evaluate_with(&q, config) {
+        match view.evaluate_with(&q, config) {
             Ok(result) => {
                 let elapsed = t.elapsed();
-                let status = format!("{} pairs in {elapsed:.2?}", result.len());
+                let status = format!(
+                    "{} pairs in {elapsed:.2?}{}",
+                    result.len(),
+                    Self::at_suffix(at)
+                );
                 if self.overlay.binary {
                     // Binary mode ships the *complete* result set — the
                     // frame exists for exactly the responses too large to
@@ -515,27 +784,35 @@ impl Session {
         }
     }
 
-    fn check(&self, src: u32, dst: u32, text: &str) -> Response {
+    fn check(&self, src: u32, dst: u32, text: &str, at: Option<u64>) -> Response {
         match rpq_regex::Regex::parse(text) {
             Ok(q) => {
-                let state = self.read();
+                let published = match self.view_for(at) {
+                    Ok(v) => v,
+                    Err(e) => return Response::err(e),
+                };
                 let found =
-                    state
-                        .engine
+                    published
+                        .view()
                         .check(&q, rpq_graph::VertexId(src), rpq_graph::VertexId(dst));
                 Response::ok(format!(
-                    "{} path v{src} -> v{dst} for {q}",
-                    if found { "found" } else { "no" }
+                    "{} path v{src} -> v{dst} for {q}{}",
+                    if found { "found" } else { "no" },
+                    Self::at_suffix(at)
                 ))
             }
             Err(e) => Response::err(format!("bad RPQ: {e}")),
         }
     }
 
-    fn ends(&self, src: u32, text: &str) -> Response {
+    fn ends(&self, src: u32, text: &str, at: Option<u64>) -> Response {
         match rpq_regex::Regex::parse(text) {
             Ok(q) => {
-                let ends = self.read().engine.ends_from(&q, rpq_graph::VertexId(src));
+                let published = match self.view_for(at) {
+                    Ok(v) => v,
+                    Err(e) => return Response::err(e),
+                };
+                let ends = published.view().ends_from(&q, rpq_graph::VertexId(src));
                 // `limit 0` means count-only, same as `query`.
                 let shown = ends.len().min(self.overlay.limit);
                 let line = ends
@@ -553,7 +830,12 @@ impl Session {
                     };
                     lines.push(format!("  {line}{more}"));
                 }
-                Response::ok(format!("{} end vertices from v{src}", ends.len())).with_lines(lines)
+                Response::ok(format!(
+                    "{} end vertices from v{src}{}",
+                    ends.len(),
+                    Self::at_suffix(at)
+                ))
+                .with_lines(lines)
             }
             Err(e) => Response::err(format!("bad RPQ: {e}")),
         }
@@ -566,8 +848,10 @@ impl Session {
                 // tolerate a concurrent warm-up, but `prepare` exists to
                 // front-load shared work at a predictable moment, and
                 // letting it race ongoing queries makes its
-                // computed/reused report nondeterministic. Readers resume
-                // the instant the warm-up finishes.
+                // computed/reused report nondeterministic. No republish:
+                // the published view shares the structural cache `Arc`, so
+                // warmed structures are visible to it the moment the lock
+                // drops.
                 let state = self.write();
                 let config = self.overlay.resolve(state.engine.config());
                 match state.engine.prepare_with(std::slice::from_ref(&q), config) {
@@ -597,7 +881,12 @@ impl Session {
                 }
             }
         }
-        let summary = self.write().engine.apply_delta(&delta);
+        let mut state = self.write();
+        let summary = state.engine.apply_delta(&delta);
+        // Publish epoch N+1 while still holding the write lock: readers
+        // keep serving epoch N from the old view until the swap, then
+        // pick up N+1 — there is no moment where queries block.
+        self.shared.publish_locked(&state, false);
         Response::ok(format!(
             "epoch {}: +{} -{} edges, {} new labels, {} new vertices",
             summary.epoch,
@@ -609,10 +898,13 @@ impl Session {
     }
 
     fn metrics(&self) -> Response {
-        let state = self.read();
-        let b = state.engine.breakdown();
-        let s = state.engine.elimination_stats();
-        let m = state.engine.maintenance_metrics();
+        let published = self.shared.current();
+        let view = published.view();
+        let b = view.breakdown();
+        let s = view.elimination_stats();
+        let m = view.maintenance_metrics();
+        let r = view.results();
+        let (lo, hi, views) = self.shared.retained_span();
         let lines = vec![
             format!(
                 "  breakdown: shared_data={:.2?} pre_join={:.2?} remainder={:.2?} total={:.2?}",
@@ -638,13 +930,30 @@ impl Session {
                 m.incremental_time,
                 m.rebuild_time
             ),
+            format!(
+                "  results: {} view hits, {} result misses, {} memoized (cap {})",
+                r.view_hits(),
+                r.misses(),
+                r.len(),
+                r.capacity()
+            ),
+            format!(
+                "  serving: {} publishes (last {:.2?}, mean {:.2?}), {views} views retained (epochs {lo}..{hi}), conns {}/{}",
+                self.shared.publishes(),
+                self.shared.publish_last(),
+                self.shared.publish_mean(),
+                self.shared.live_conns(),
+                self.shared.max_conns(),
+            ),
         ];
         Response::ok("metrics".to_string()).with_lines(lines)
     }
 
     fn cache(&self) -> Response {
-        let state = self.read();
-        let c = state.engine.cache();
+        let published = self.shared.current();
+        let view = published.view();
+        let c = view.cache();
+        let r = view.results();
         let lines = vec![
             format!(
                 "  entries: {} rtc ({} pairs, {} sccs), {} full ({} pairs)",
@@ -661,11 +970,18 @@ impl Session {
                 c.stale_hits(),
                 c.epoch()
             ),
+            format!(
+                "  results: {} memoized, {} view hits, {} result misses (cap {})",
+                r.len(),
+                r.view_hits(),
+                r.misses(),
+                r.capacity()
+            ),
         ];
-        let strategy = self.overlay.resolve(state.engine.config()).strategy;
+        let strategy = self.overlay.resolve(view.config()).strategy;
         Response::ok(format!(
             "{} shared pairs held",
-            state.engine.shared_data_pairs_with(strategy)
+            view.shared_data_pairs_with(strategy)
         ))
         .with_lines(lines)
     }
@@ -673,7 +989,8 @@ impl Session {
 
 /// Replaces the engine's graph, keeping the base configuration (strategy,
 /// threads, clause limit) but dropping cached structures — they describe
-/// the old graph. Caller holds the write lock.
+/// the old graph. Caller holds the write lock and publishes afterwards
+/// (with a ring reset — epochs of different graphs are not comparable).
 fn replace_graph(state: &mut EngineState, graph: VersionedGraph, source: String) {
     let config = *state.engine.config();
     state.engine = Engine::with_config_versioned(graph, config);
@@ -723,6 +1040,13 @@ mod tests {
         }
     }
 
+    fn err_message(r: Option<Response>) -> String {
+        match r.expect("command produced a response").status {
+            Status::Err(e) => e,
+            Status::Ok(s) => panic!("expected ERR, got OK {s}"),
+        }
+    }
+
     #[test]
     fn paper_graph_query_flow() {
         let mut s = Session::new();
@@ -730,9 +1054,9 @@ mod tests {
         let r = s.execute("query d.(b.c)+.c").unwrap();
         assert_eq!(r.lines, vec!["  v7 -> v3", "  v7 -> v5"]);
         assert!(matches!(r.status, Status::Ok(ref m) if m.starts_with("2 pairs")));
-        // Second evaluation shares the cached RTC.
+        // Second evaluation is a result-cache view hit.
         ok_summary(s.execute("query d.(b.c)+.c"));
-        assert!(s.engine().cache().hits() >= 1);
+        assert!(s.engine().results().view_hits() >= 1);
     }
 
     #[test]
@@ -768,6 +1092,113 @@ mod tests {
         let r = s.execute("query (b.c)+").unwrap();
         assert!(matches!(r.status, Status::Ok(ref m) if !m.starts_with("10 pairs")));
         assert!(s.engine().cache().stale_hits() >= 1);
+    }
+
+    #[test]
+    fn query_at_pins_an_older_epoch() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        let before = s.execute("query (b.c)+").unwrap();
+        s.execute("delta ins 6 b 8 ins 8 c 6");
+        let after = s.execute("query (b.c)+").unwrap();
+        assert_ne!(before.lines, after.lines, "delta must move the result");
+        // Time travel back to epoch 0 reproduces the old result exactly.
+        let pinned = s.execute("query (b.c)+ at 0").unwrap();
+        assert_eq!(pinned.lines, before.lines);
+        assert!(
+            matches!(pinned.status, Status::Ok(ref m) if m.ends_with("(at epoch 0)")),
+            "{:?}",
+            pinned.status
+        );
+        // The current epoch is addressable too, and agrees with the live
+        // answer.
+        let at_live = s.execute("query (b.c)+ at 1").unwrap();
+        assert_eq!(at_live.lines, after.lines);
+        // check/ends accept the suffix as well.
+        assert!(ok_summary(s.execute("check 6 6 (b.c)+ at 1")).starts_with("found path"));
+        assert!(ok_summary(s.execute("check 6 6 (b.c)+ at 0")).starts_with("no path"));
+        let r = s.execute("ends 5 (b.c)+ at 0").unwrap();
+        assert!(matches!(r.status, Status::Ok(ref m) if m.contains("(at epoch 0)")));
+    }
+
+    #[test]
+    fn evicted_and_unknown_epochs_are_clean_errors() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        let e = err_message(s.execute("query (b.c)+ at 99"));
+        assert!(e.contains("epoch 99 not retained"), "{e}");
+        assert!(e.contains("epochs 0..0"), "{e}");
+        // Push epoch 0 out of the ring with RETAINED_VIEWS fresh epochs.
+        for i in 0..RETAINED_VIEWS {
+            ok_summary(s.execute(&format!("delta ins 0 zz {}", i + 1)));
+        }
+        assert_eq!(s.shared().retained_views(), RETAINED_VIEWS);
+        let e = err_message(s.execute("query (b.c)+ at 0"));
+        assert!(e.contains("epoch 0 not retained"), "{e}");
+        assert!(e.contains(&format!("epochs 1..{}", RETAINED_VIEWS)), "{e}");
+    }
+
+    #[test]
+    fn graph_replacement_clears_the_retention_ring() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        s.execute("delta ins 0 zz 1");
+        assert_eq!(s.shared().retained_views(), 2);
+        // `gen` replaces the graph: old epochs are meaningless now.
+        s.execute("gen paper");
+        assert_eq!(s.shared().retained_views(), 1);
+        let e = err_message(s.execute("query (b.c)+ at 1"));
+        assert!(e.contains("not retained"), "{e}");
+    }
+
+    #[test]
+    fn reads_never_touch_the_state_lock() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        // Hold the writer-half lock exclusively; every read command must
+        // still answer (from the published view).
+        let shared = s.shared();
+        let _write_guard = shared.state.write().unwrap_or_else(PoisonError::into_inner);
+        ok_summary(s.execute("query d.(b.c)+.c"));
+        ok_summary(s.execute("epoch"));
+        ok_summary(s.execute("info"));
+        ok_summary(s.execute("metrics"));
+        ok_summary(s.execute("cache"));
+        ok_summary(s.execute("check 7 5 d.(b.c)+.c"));
+        ok_summary(s.execute("ends 7 d.(b.c)+.c"));
+    }
+
+    #[test]
+    fn publish_metrics_and_reset() {
+        let mut s = Session::new();
+        s.execute("gen paper");
+        s.execute("delta ins 0 zz 1");
+        let shared = s.shared();
+        assert!(shared.publishes() >= 2); // gen + delta
+        let r = s.execute("metrics").unwrap();
+        assert!(
+            r.lines.iter().any(|l| l.contains("publishes")),
+            "{:?}",
+            r.lines
+        );
+        assert!(
+            r.lines.iter().any(|l| l.contains("view hits")),
+            "{:?}",
+            r.lines
+        );
+        // `reset metrics` clears publish stats and result-cache counters
+        // together with the engine counters.
+        s.execute("query (b.c)+");
+        s.execute("query (b.c)+");
+        assert!(shared.current().view().results().view_hits() >= 1);
+        ok_summary(s.execute("reset metrics"));
+        assert_eq!(shared.publishes(), 0);
+        assert_eq!(shared.current().view().results().view_hits(), 0);
+        // The memoized results themselves survive a metrics reset…
+        assert!(!shared.current().view().results().is_empty());
+        // …and are dropped by `reset cache`.
+        ok_summary(s.execute("reset cache"));
+        assert!(shared.current().view().results().is_empty());
     }
 
     #[test]
@@ -898,5 +1329,22 @@ mod tests {
         assert!(lines[2].starts_with("OK "));
         let rendered = s.execute("nope").unwrap().render();
         assert!(rendered.starts_with("ERR "));
+    }
+
+    #[test]
+    fn connection_accounting() {
+        let s = Session::new();
+        let shared = s.shared();
+        assert_eq!(shared.max_conns(), DEFAULT_MAX_CONNS);
+        shared.set_max_conns(2);
+        assert!(shared.try_open_conn());
+        assert!(shared.try_open_conn());
+        assert!(!shared.try_open_conn(), "cap reached");
+        assert_eq!(shared.live_conns(), 2);
+        shared.conn_closed();
+        assert!(shared.try_open_conn(), "slot freed");
+        shared.conn_closed();
+        shared.conn_closed();
+        assert_eq!(shared.live_conns(), 0);
     }
 }

@@ -14,23 +14,32 @@
 //!   `<bytes>` raw bytes (see [`crate::wire`]), then the status line.
 //! * `quit` answers `OK bye` and closes **the connection**; the server
 //!   keeps listening.
+//! * When the simultaneous-connection cap (`--max-conns`, default
+//!   [`crate::session::DEFAULT_MAX_CONNS`]) is reached, a new connection
+//!   receives exactly one `ERR busy …` line and is closed — no greeting,
+//!   no session.
 //!
 //! ## Sharing and concurrency
 //!
-//! All connections serve one [`crate::session::EngineState`] — one
-//! long-lived engine, one
-//! epoch-aware `SharedCache` — behind a **read-write lock**, each
-//! connection holding its own [`Session`] (per-connection overlay:
-//! `strategy`, `threads`, `limit`, `binary`). Read-only commands take the
-//! read lock, so concurrent clients' queries evaluate *simultaneously*:
-//! a slow `query` on one connection does not block a fast `query` (or
-//! `epoch`, `info`, …) on another, and an RTC computed for one client's
-//! query is immediately a `Fresh` cache hit for every other (the
-//! cross-query sharing of the paper, stretched across connections).
-//! Mutating commands (`delta`, `load`, `gen`, `save`, `reset`, `prepare`)
-//! take the write lock and serialize against everything. Because the
-//! engine is shared, graph-level commands affect every client; this is
-//! the intended semantics — the server fronts *one* graph.
+//! All connections serve one [`crate::session::ServerState`] — one
+//! long-lived engine, one epoch-aware `SharedCache` — each connection
+//! holding its own [`Session`] (per-connection overlay: `strategy`,
+//! `threads`, `limit`, `binary`). Read-only commands never lock the
+//! engine: they grab the currently published
+//! [`crate::session::PublishedView`] (an immutable MVCC epoch view) with
+//! one `Arc` clone and evaluate against that snapshot, so a slow `query`
+//! on one connection never blocks anything on another — not even a
+//! concurrent `delta`. Mutating commands (`delta`, `load`, `gen`, `save`,
+//! `reset`, `prepare`) serialize among themselves on the writer-half
+//! lock and publish a fresh view by swap; readers pick up the new epoch
+//! on their next command. An RTC computed for one client's query is
+//! immediately a `Fresh` cache hit for every other (the cross-query
+//! sharing of the paper, stretched across connections), and a repeated
+//! `query` at an unchanged epoch is answered from the per-epoch result
+//! cache without evaluating at all. Because the engine is shared,
+//! graph-level commands affect every client; this is the intended
+//! semantics — the server fronts *one* graph. `query … at <epoch>`
+//! addresses a retained older view (time travel).
 
 use crate::session::{Session, SharedEngine};
 use std::io::{BufRead, BufReader, Write};
@@ -50,14 +59,50 @@ pub fn shared(session: Session) -> SharedSession {
     session.shared()
 }
 
-/// Serves connections from `listener` forever, one thread per client.
+/// Decrements the live-connection count when a connection thread ends,
+/// however it ends (EOF, `quit`, I/O error, panic unwind).
+struct ConnGuard {
+    shared: SharedSession,
+}
+
+impl ConnGuard {
+    fn try_acquire(shared: &SharedSession) -> Option<ConnGuard> {
+        shared.try_open_conn().then(|| ConnGuard {
+            shared: Arc::clone(shared),
+        })
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.conn_closed();
+    }
+}
+
+/// Serves connections from `listener` forever, one thread per client, up
+/// to the shared state's connection cap
+/// ([`crate::session::ServerState::set_max_conns`]; over-limit
+/// connections get one `ERR busy …` line and are closed).
 /// Never returns under normal operation; returns the accept-loop error if
 /// the listener dies.
 pub fn serve(listener: TcpListener, shared: SharedSession) -> std::io::Result<()> {
     loop {
-        let (stream, _addr) = listener.accept()?;
+        let (mut stream, _addr) = listener.accept()?;
+        let Some(guard) = ConnGuard::try_acquire(&shared) else {
+            // One line, no greeting: the client knows immediately that it
+            // was the cap, not a protocol error. Best-effort — a client
+            // that already hung up is its own problem.
+            let _ = writeln!(
+                stream,
+                "ERR busy ({} connections, max {})",
+                shared.live_conns(),
+                shared.max_conns()
+            );
+            continue;
+        };
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
+            let _guard = guard;
             // A dropped client mid-response is that client's problem only.
             let _ = handle_connection(stream, &shared);
         });
@@ -206,6 +251,58 @@ mod tests {
         assert_eq!(p1.len(), 2); // one pair + the "... more" line
         assert_eq!(p2.len(), 2); // both pairs, no elision
         assert!(p1[1].contains("1 more"), "{p1:?}");
+    }
+
+    #[test]
+    fn over_limit_connections_get_err_busy() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shared = shared(Session::new());
+        shared.set_max_conns(1);
+        let serve_shared = Arc::clone(&shared);
+        std::thread::spawn(move || serve(listener, serve_shared));
+
+        let (mut r1, mut w1) = connect(addr);
+        let (_, status) = roundtrip(&mut r1, &mut w1, "info");
+        assert!(status.starts_with("OK "), "{status}");
+        assert!(status.contains("conns 1/1"), "{status}");
+
+        // Second connection: one ERR busy line, then EOF — no greeting.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR busy"), "{line}");
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "closed after ERR");
+
+        // Quitting the first frees the slot.
+        roundtrip(&mut r1, &mut w1, "quit");
+        for _ in 0..50 {
+            if shared.live_conns() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let (mut r3, mut w3) = connect(addr);
+        let (_, status) = roundtrip(&mut r3, &mut w3, "info");
+        assert!(status.starts_with("OK "), "{status}");
+    }
+
+    #[test]
+    fn time_travel_over_the_wire() {
+        let addr = spawn_server();
+        let (mut r, mut w) = connect(addr);
+        roundtrip(&mut r, &mut w, "gen paper");
+        let (before, _) = roundtrip(&mut r, &mut w, "query (b.c)+");
+        roundtrip(&mut r, &mut w, "delta ins 6 b 8 ins 8 c 6");
+        let (after, _) = roundtrip(&mut r, &mut w, "query (b.c)+");
+        assert_ne!(before, after);
+        let (pinned, status) = roundtrip(&mut r, &mut w, "query (b.c)+ at 0");
+        assert_eq!(pinned, before);
+        assert!(status.ends_with("(at epoch 0)"), "{status}");
+        let (_, status) = roundtrip(&mut r, &mut w, "query (b.c)+ at 42");
+        assert!(status.starts_with("ERR epoch 42 not retained"), "{status}");
     }
 
     #[test]

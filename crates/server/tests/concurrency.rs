@@ -21,10 +21,18 @@
 //! results and delta summaries are interleaving-independent while the
 //! graph genuinely churns under concurrent readers.
 //!
+//! A third property rides on the MVCC refactor (ISSUE 6): reads are
+//! **pinned** — a query holds its epoch view for its entire evaluation,
+//! observing none of the writes published meanwhile, and `… at <epoch>`
+//! re-addresses any retained view with bitwise-identical results (the
+//! `mvcc_`-prefixed tests below, which CI also runs single-threaded as a
+//! stress step).
+//!
 //! CI additionally runs this file with `--test-threads=1` and
 //! `RPQ_E2E_THREADS=2` (two engine worker threads) as a stress
 //! configuration.
 
+use proptest::prelude::*;
 use rpq_server::wire;
 use rpq_server::{Session, Status};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -312,6 +320,204 @@ fn responses_never_start_payload_with_status_prefix() {
         }
     }
     c.quit_clean();
+}
+
+/// Parses the leading pair count out of an `OK N pairs …` status line.
+fn pair_count(status: &str) -> usize {
+    status
+        .strip_prefix("OK ")
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no pair count in '{status}'"))
+}
+
+/// MVCC stress: a multi-second `query l0+` pins epoch 0 and completes
+/// against it while three `delta` batches publish epochs 1..=3 underneath
+/// it. Afterwards `query l0+ at 0` re-addresses the pinned epoch — served
+/// from the per-epoch result cache — with the identical count.
+#[test]
+fn mvcc_slow_query_stays_pinned_while_writers_publish() {
+    // RMAT_3 at 2^12 vertices: `l0+` materializes ~2.5M closure pairs —
+    // seconds of work in a debug build.
+    let addr = spawn_server(&["gen rmat 3 12 42".to_string()]);
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    a.roundtrip("limit 0");
+    b.roundtrip("limit 0");
+
+    let start = Instant::now();
+    a.send("query l0+");
+    let slow = std::thread::spawn(move || {
+        let response = read_response(&mut a.reader);
+        (a, Instant::now(), response)
+    });
+    // Give A time to parse and pin its epoch view.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Three publishes while A evaluates. The `zz` edges leave every `l0`
+    // result untouched, so the pinned/live distinction is isolated to the
+    // epoch mechanics, not the data.
+    for i in 1..=3u32 {
+        let r = b.roundtrip(&format!("delta ins 0 zz {i}"));
+        assert!(r.status.starts_with("OK epoch"), "{}", r.status);
+    }
+    let live = b.roundtrip("epoch");
+    assert_eq!(live.status, "OK epoch 3");
+    let writes_done = Instant::now();
+
+    let (mut a, a_done, slow_response) = slow.join().unwrap();
+    assert!(
+        slow_response.status.starts_with("OK "),
+        "{}",
+        slow_response.status
+    );
+    let a_total = a_done.duration_since(start);
+    assert!(
+        a_total > Duration::from_millis(400),
+        "slow query finished in {a_total:?} — too fast to prove anything; grow the graph"
+    );
+    assert!(
+        writes_done < a_done,
+        "the three publishes did not overlap A's evaluation \
+         (writes at {:?}, A at {a_total:?})",
+        writes_done.duration_since(start)
+    );
+
+    // Time travel back to A's pinned epoch: identical count, and it came
+    // from the per-epoch result cache (a view hit), not a re-evaluation.
+    let pinned = a.roundtrip("query l0+ at 0");
+    assert!(pinned.status.starts_with("OK "), "{}", pinned.status);
+    assert_eq!(
+        pair_count(&pinned.status),
+        pair_count(&slow_response.status)
+    );
+    let metrics = a.roundtrip("metrics");
+    let results_line = metrics
+        .lines
+        .iter()
+        .find(|l| l.contains("view hits"))
+        .expect("metrics report result-cache tiers");
+    assert!(
+        !results_line
+            .trim_start()
+            .starts_with("results: 0 view hits"),
+        "pinned re-read was not a view hit: {results_line}"
+    );
+    a.quit_clean();
+    b.quit_clean();
+}
+
+/// MVCC retention bounds over the wire: epochs fall out of the ring in
+/// FIFO order, evicted epochs are clean `ERR`s naming the retained range,
+/// and every retained epoch answers with the result its replay produces.
+#[test]
+fn mvcc_evicted_epochs_error_and_ring_stays_bounded() {
+    let addr = spawn_server(&setup_commands(1));
+    let mut c = Client::connect(addr);
+    // setup_commands already advanced to epoch 2 (grow + zz insert).
+    // Push well past the retention window.
+    let total = rpq_server::RETAINED_VIEWS as u32 + 4;
+    for i in 0..total {
+        let r = c.roundtrip(&format!("delta ins {} zz {}", 2 * i % 7, 30 + i));
+        assert!(r.status.starts_with("OK epoch"), "{}", r.status);
+    }
+    let info = c.roundtrip("info");
+    assert!(
+        info.status
+            .contains(&format!("views {}", rpq_server::RETAINED_VIEWS)),
+        "{}",
+        info.status
+    );
+    // Oldest epochs are gone…
+    let r = c.roundtrip("query (b.c)+ at 0");
+    assert!(
+        r.status.starts_with("ERR epoch 0 not retained"),
+        "{}",
+        r.status
+    );
+    assert!(r.status.contains("epochs"), "{}", r.status);
+    // …while every retained epoch still answers, all with the same result
+    // (`zz` deltas never touch query labels).
+    let newest = 2 + total as u64;
+    let oldest = newest - (rpq_server::RETAINED_VIEWS as u64 - 1);
+    let want = pair_count(&c.roundtrip("query (b.c)+").status);
+    for e in oldest..=newest {
+        let r = c.roundtrip(&format!("query (b.c)+ at {e}"));
+        assert!(r.status.starts_with("OK "), "epoch {e}: {}", r.status);
+        assert_eq!(pair_count(&r.status), want, "epoch {e}");
+    }
+    let r = c.roundtrip(&format!("query (b.c)+ at {}", oldest - 1));
+    assert!(r.status.starts_with("ERR "), "{}", r.status);
+    c.quit_clean();
+}
+
+/// Edges the MVCC proptest toggles — real query labels, so pinned results
+/// genuinely differ across epochs.
+const MVCC_DELTAS: &[(u32, &str, u32)] = &[(6, "b", 8), (8, "c", 6), (1, "a", 9), (9, "d", 7)];
+const MVCC_QUERIES: &[&str] = &["d.(b.c)+.c", "(b.c)+", "a.(b.c)+", "(a.b)+|(b.c)+"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MVCC equivalence: arbitrary interleavings of writes and pinned
+    /// reads. Every `query … at <epoch>` must return exactly the pairs a
+    /// fresh single-threaded engine produces after replaying the delta
+    /// log up to that epoch — the time-travel acceptance criterion.
+    #[test]
+    fn mvcc_pinned_reads_match_replay_at_their_epoch(
+        ops in prop::collection::vec((0..3usize, 0..16usize), 1..40)
+    ) {
+        let mut s = Session::with_config(base_config());
+        s.execute("gen paper").unwrap();
+        s.execute("binary on").unwrap();
+        // The applied-delta log: entry i produced epoch i+1.
+        let mut log: Vec<(bool, (u32, &str, u32))> = Vec::new();
+        let mut present = [false; MVCC_DELTAS.len()];
+        for (kind, arg) in ops {
+            if kind == 0 {
+                // Write: toggle one pool edge, publishing a new epoch.
+                let i = arg % MVCC_DELTAS.len();
+                let (src, label, dst) = MVCC_DELTAS[i];
+                let verb = if present[i] { "del" } else { "ins" };
+                let r = s.execute(&format!("delta {verb} {src} {label} {dst}")).unwrap();
+                prop_assert!(matches!(r.status, Status::Ok(_)), "{:?}", r.status);
+                log.push((present[i], MVCC_DELTAS[i]));
+                present[i] = !present[i];
+            } else {
+                // Pinned read at a random retained epoch.
+                let (lo, hi, _) = s.shared().retained_span();
+                let epoch = lo + (arg as u64) % (hi - lo + 1);
+                let query = MVCC_QUERIES[arg % MVCC_QUERIES.len()];
+                let r = s.execute(&format!("query {query} at {epoch}")).unwrap();
+                let bin = r.binary.as_ref().expect("binary mode response");
+                let got = wire::decode_pairs(&bin.bytes, bin.pairs).unwrap();
+                // Single-threaded replay of the log up to the pinned epoch.
+                let mut model = rpq_graph::VersionedGraph::new(rpq_graph::fixtures::paper_graph());
+                for (was_present, (src, label, dst)) in &log[..epoch as usize] {
+                    let mut d = rpq_graph::GraphDelta::new();
+                    if *was_present {
+                        d.delete(*src, label, *dst);
+                    } else {
+                        d.insert(*src, label, *dst);
+                    }
+                    model.apply(&d);
+                }
+                let oracle = rpq_core::Engine::new(model.graph()).evaluate_str(query).unwrap();
+                let want: Vec<(u32, u32)> =
+                    oracle.iter().map(|(x, y)| (x.raw(), y.raw())).collect();
+                prop_assert_eq!(got, want, "epoch {} of {:?}", epoch, s.shared().retained_span());
+                // An epoch just past the ring is a clean error, never a
+                // wrong answer.
+                if lo > 0 {
+                    let r = s.execute(&format!("query {query} at {}", lo - 1)).unwrap();
+                    prop_assert!(
+                        matches!(r.status, Status::Err(ref e) if e.contains("not retained")),
+                        "{:?}", r.status
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The acceptance criterion: a slow query holding the shared read lock
