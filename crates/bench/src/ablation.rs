@@ -1,7 +1,7 @@
 //! Text-mode ablation experiments (the quick counterpart of the Criterion
 //! ablation benches, for inclusion in `EXPERIMENTS.md`).
 //!
-//! Three tables:
+//! Four tables:
 //!
 //! 1. **TC algorithms** — naive per-vertex BFS (what FullSharing pays) vs
 //!    Purdom-style expansion vs Nuutila one-pass vs the RTC-only closure
@@ -10,6 +10,9 @@
 //!    with the elimination counters that explain the gap.
 //! 3. **SCC sensitivity** — shared sizes and times as the average SCC size
 //!    grows with everything else held fixed.
+//! 4. **Row representation** — forced-sparse vs forced-dense vs adaptive
+//!    closure rows at several crossover thresholds, on one
+//!    reachability-dense and one reachability-sparse workload.
 
 use crate::profiles::Profile;
 use crate::table::{fmt_ratio, fmt_secs, Table};
@@ -17,7 +20,7 @@ use rpq_core::{eval_batch_unit_full, eval_batch_unit_rtc, EliminationStats, PreR
 use rpq_datasets::rmat::rmat_n_scaled;
 use rpq_datasets::structured::{cycle_clusters, CycleClusterConfig};
 use rpq_eval::ProductEvaluator;
-use rpq_graph::{tarjan_scc, Condensation, MappedDigraph};
+use rpq_graph::{tarjan_scc, Condensation, MappedDigraph, ReprMode, RowSetPolicy};
 use rpq_reduction::{
     closure_of_condensation, closure_of_condensation_bitset, nuutila_closure, tc_condensation,
     tc_naive, FullTc, Rtc,
@@ -191,6 +194,104 @@ pub fn scc_sensitivity_table() -> Table {
     t
 }
 
+/// The representation policies the ablation sweeps: both pure modes plus
+/// the adaptive hybrid at three crossover densities around the default
+/// (`1/32`).
+fn repr_policies() -> [(&'static str, RowSetPolicy); 5] {
+    [
+        ("sparse", RowSetPolicy::sparse()),
+        ("dense", RowSetPolicy::dense()),
+        (
+            "adapt 1/64",
+            RowSetPolicy {
+                mode: ReprMode::Adaptive,
+                crossover: 1.0 / 64.0,
+            },
+        ),
+        ("adapt 1/32", RowSetPolicy::adaptive()),
+        (
+            "adapt 1/8",
+            RowSetPolicy {
+                mode: ReprMode::Adaptive,
+                crossover: 1.0 / 8.0,
+            },
+        ),
+    ]
+}
+
+/// Table 4: hybrid row-representation ablation (density × crossover).
+///
+/// The `cycles` workload is a deep random DAG of small cycle clusters —
+/// most SCCs reach a large fraction of the condensation, so closure rows
+/// are dense and the bitset backing should win on both time and memory.
+/// The `rmat` workload has shallow reachability, so rows stay far below
+/// any sensible crossover and forcing them dense wastes memory.
+/// `vs sparse` is the closure-construction speedup over the forced-sparse
+/// row (construction is the representation-sensitive phase; `eval(s)` is
+/// reported to show end-to-end times are join-dominated and unharmed).
+/// The `(B)` columns are heap bytes; `scripts/bench_drift.py` watches
+/// them for memory regressions.
+pub fn repr_ablation_table(profile: Profile) -> Table {
+    let mut t = Table::new(
+        "Ablation: row representation (density × crossover)",
+        &[
+            "workload",
+            "policy",
+            "dense rows",
+            "rtc mem(B)",
+            "full mem(B)",
+            "build(s)",
+            "vs sparse",
+            "eval(s)",
+        ],
+    );
+    let scale = profile.rmat_scale().min(11);
+    let cycles = cycle_clusters(&CycleClusterConfig {
+        clusters: (1u32 << scale) / 4,
+        cluster_size: 4,
+        inter_edges: 1usize << (scale + 2),
+        labels: 3,
+        seed: 33,
+    });
+    let rmat = rmat_n_scaled(2, scale, 7);
+    let queries: Vec<Regex> = ["l1.(l0)+.l2", "l2.(l0)+.l1", "l0.(l0)+.l1"]
+        .iter()
+        .map(|q| Regex::parse(q).unwrap())
+        .collect();
+    for (workload, graph) in [("cycles", &cycles), ("rmat", &rmat)] {
+        let r_g = ProductEvaluator::new(graph, &Regex::parse("l0").unwrap()).evaluate();
+        let mut sparse_build = f64::NAN;
+        for (label, policy) in repr_policies() {
+            let build = time_min(2, || Rtc::from_pairs_with(&r_g, &policy));
+            let rtc = Rtc::from_pairs_with(&r_g, &policy);
+            let full = FullTc::from_pairs_parallel_with(&r_g, 1, &policy);
+            let eval = time_min(2, || {
+                let config = rpq_core::EngineConfig {
+                    representation: policy,
+                    ..rpq_core::EngineConfig::default()
+                };
+                rpq_core::Engine::with_config(graph, config)
+                    .evaluate_set(&queries)
+                    .unwrap()
+            });
+            if label == "sparse" {
+                sparse_build = build.as_secs_f64();
+            }
+            t.row(vec![
+                workload.to_string(),
+                label.to_string(),
+                rtc.dense_closure_rows().to_string(),
+                rtc.closure_heap_bytes().to_string(),
+                full.heap_bytes().to_string(),
+                fmt_secs(build),
+                fmt_ratio(sparse_build, build.as_secs_f64()),
+                fmt_secs(eval),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +302,12 @@ mod tests {
         assert_eq!(t1.len(), 2);
         let t2 = batch_unit_table(Profile::Fast);
         assert_eq!(t2.len(), 2);
+    }
+
+    #[test]
+    fn repr_ablation_fast_profile() {
+        let t = repr_ablation_table(Profile::Fast);
+        // 2 workloads × 5 policies.
+        assert_eq!(t.len(), 10);
     }
 }

@@ -10,14 +10,17 @@
 //! ```
 //!
 //! Commands: `table4`, `fig10`, `fig11`, `fig12`, `fig13` (Experiment 1),
-//! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `ablation`, `all`.
+//! `fig14`, `fig15` (Experiment 2), `exp1`, `exp2`, `ablation`, `repr`,
+//! `all`.
 //! Duplicate commands are deduplicated and `all` subsumes everything, so
 //! no experiment ever runs twice. Flags: `--profile fast|default|paper`
 //! (scale), `--csv DIR` (also write CSV files), `--json DIR` (also write
 //! JSON files — what the nightly bench job uploads as artifacts),
 //! `--threads N` (engine worker threads; 1 = sequential, 0 = all cores).
 
-use rpq_bench::ablation::{batch_unit_table, scc_sensitivity_table, tc_algorithms_table};
+use rpq_bench::ablation::{
+    batch_unit_table, repr_ablation_table, scc_sensitivity_table, tc_algorithms_table,
+};
 use rpq_bench::datasets::{real_surrogates, synthetic_sweep};
 use rpq_bench::experiments::{
     fig10_table, fig11_table, fig12_table, fig13_table, fig14_table, fig15_table, run_experiment1,
@@ -31,9 +34,9 @@ use std::process::ExitCode;
 /// Every subcommand the driver understands — single source of truth for
 /// argument validation and the usage string. `main`'s `wants()` dispatch
 /// must cover exactly these names.
-const COMMANDS: [&str; 11] = [
+const COMMANDS: [&str; 12] = [
     "table4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "exp1", "exp2", "ablation",
-    "all",
+    "repr", "all",
 ];
 
 struct Options {
@@ -251,6 +254,11 @@ fn main() -> ExitCode {
         emit(&tc_algorithms_table(opts.profile), &opts);
         emit(&batch_unit_table(opts.profile), &opts);
         emit(&scc_sensitivity_table(), &opts);
+    }
+
+    if wants(&["repr"]) {
+        eprintln!("# row-representation ablation: sparse vs dense vs adaptive closure rows");
+        emit(&repr_ablation_table(opts.profile), &opts);
     }
 
     if wants(&["fig14", "fig15", "exp2"]) {

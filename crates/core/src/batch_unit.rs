@@ -62,14 +62,14 @@ pub fn eval_batch_unit_rtc(
     let mut stamp7 = EpochVisited::new(rtc.scc_count());
     let mut stamp8 = EpochVisited::new(rtc.scc_count());
 
-    pre.for_each_group(|_, group| {
+    pre.for_each_group(|vi, ends| {
         stamp7.clear();
         stamp8.clear();
         if kind == ClosureKind::Star {
             // Initialization for Pre·R*·Post (Algorithm 2 lines 2–3).
-            res9.extend_from_slice(group);
+            res9.extend(ends.iter().map(|vj| (vi, vj)));
         }
-        for &(vi, vj) in group {
+        for vj in ends.iter() {
             // (7): find the SCC containing vj. Tuples whose end vertex is
             // outside V_R never reach the closure — useless-1 elimination.
             let Some(sj) = rtc.scc_of_original(vj) else {
@@ -82,7 +82,7 @@ pub fn eval_batch_unit_rtc(
                 continue;
             }
             // (8): SCCs reachable from sj in TC(Ḡ_R).
-            for &sk in rtc.successors(sj) {
+            for sk in rtc.successors(sj).iter() {
                 // Duplicate check for (8) — redundant-2 elimination.
                 if !stamp8.insert(sk) {
                     stats.redundant2_skipped += 1;
@@ -91,7 +91,7 @@ pub fn eval_batch_unit_rtc(
                 // (9): expand members of sk with NO duplicate checks —
                 // useless-2 elimination (SCC member sets are disjoint).
                 for vk in rtc.members_original(SccId(sk)) {
-                    if kind == ClosureKind::Star && group.binary_search(&(vi, vk)).is_ok() {
+                    if kind == ClosureKind::Star && ends.contains(vk) {
                         // Already present from the star seed.
                         continue;
                     }
@@ -130,11 +130,11 @@ pub fn eval_batch_unit_full(
 ) -> BatchUnitResult {
     let t0 = Instant::now();
     let mut res9: rustc_hash::FxHashSet<(VertexId, VertexId)> = rustc_hash::FxHashSet::default();
-    pre.for_each_group(|_, group| {
+    pre.for_each_group(|vi, ends| {
         if kind == ClosureKind::Star {
-            res9.extend(group.iter().copied());
+            res9.extend(ends.iter().map(|vj| (vi, vj)));
         }
-        for &(vi, vj) in group {
+        for vj in ends.iter() {
             for vk in full.successors_original(vj) {
                 // Duplicate check on every insert — the redundant work.
                 if !res9.insert((vi, vk)) {

@@ -558,6 +558,32 @@ impl SharedCache {
         self.sum_fulls(|e| e.full.vertex_count())
     }
 
+    /// Heap bytes held by cached RTC closure tables (`Σ heap_bytes` over
+    /// their hybrid dense/sparse rows) — the memory side of the
+    /// representation ablation, surfaced through `Engine` metrics and the
+    /// server's `metrics`/`info` commands.
+    pub fn rtc_heap_bytes(&self) -> usize {
+        self.sum_rtcs(|e| e.rtc.closure_heap_bytes())
+    }
+
+    /// Heap bytes held by cached full closures (see
+    /// [`SharedCache::rtc_heap_bytes`]).
+    pub fn full_heap_bytes(&self) -> usize {
+        self.sum_fulls(|e| e.full.heap_bytes())
+    }
+
+    /// Number of dense (bitset-backed) rows across cached RTC closure
+    /// tables — how far the adaptive representation promoted.
+    pub fn rtc_dense_rows(&self) -> usize {
+        self.sum_rtcs(|e| e.rtc.dense_closure_rows())
+    }
+
+    /// Number of dense rows across cached full closures (see
+    /// [`SharedCache::rtc_dense_rows`]).
+    pub fn full_dense_rows(&self) -> usize {
+        self.sum_fulls(|e| e.full.dense_rows())
+    }
+
     /// Resets the hit/miss/stale counters while **preserving** every
     /// cached structure — the metric-reset half of [`SharedCache::clear`],
     /// used by `Engine::reset_metrics`.

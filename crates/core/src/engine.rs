@@ -7,7 +7,9 @@ use crate::result_cache::ResultCache;
 use crate::sharing::{eval_query, EvalCtx, SharingKind};
 use crate::view::EpochView;
 use rpq_eval::ProductEvaluator;
-use rpq_graph::{DeltaSummary, GraphDelta, GraphView, LabeledMultigraph, PairSet, VersionedGraph};
+use rpq_graph::{
+    DeltaSummary, GraphDelta, GraphView, LabeledMultigraph, PairSet, RowSetPolicy, VersionedGraph,
+};
 use rpq_reduction::MaintenanceConfig;
 use rpq_regex::{Regex, DEFAULT_CLAUSE_LIMIT};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -76,6 +78,13 @@ pub struct EngineConfig {
     /// after [`Engine::apply_delta`]. Results are identical at any
     /// setting (property-tested); only the refresh cost profile changes.
     pub maintenance: MaintenanceConfig,
+    /// How closure tables back their rows: adaptive dense/sparse hybrid
+    /// (the default), or forced to one representation. Results are
+    /// identical under every mode (property-tested); only memory and
+    /// set-operation cost change. The default honours the `RPQ_REPR`
+    /// environment variable (`sparse` | `dense` | `adaptive`) so CI can
+    /// run the whole suite under a forced representation.
+    pub representation: RowSetPolicy,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +95,7 @@ impl Default for EngineConfig {
             enable_fast_paths: true,
             threads: 1,
             maintenance: MaintenanceConfig::default(),
+            representation: RowSetPolicy::from_env_or_default(),
         }
     }
 }
@@ -576,6 +586,14 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// Heap bytes held by cached shared structural tables (RTC closure
+    /// rows plus full closures, across both representations) — the memory
+    /// side of the dense/sparse representation ablation, also surfaced by
+    /// the serving layer's `metrics` and `info` commands.
+    pub fn structural_heap_bytes(&self) -> usize {
+        self.cache.rtc_heap_bytes() + self.cache.full_heap_bytes()
+    }
+
     /// Clears timing/counter accumulators — including the cache's
     /// hit/miss counters, the result cache's hit/miss tiers and the
     /// maintenance metrics — but keeps cached structures, memoized
@@ -627,6 +645,7 @@ pub(crate) fn eval_one(
         fast_paths: config.enable_fast_paths,
         threads: config.threads,
         maintenance_config: config.maintenance,
+        representation: config.representation,
         breakdown: &mut metrics.breakdown,
         stats: &mut metrics.stats,
         maintenance: &mut metrics.maintenance,

@@ -6,7 +6,7 @@
 //! [`PreRelation::Identity`] keeps it symbolic; the batch-unit evaluators
 //! iterate it lazily.
 
-use rpq_graph::{PairSet, VertexId};
+use rpq_graph::{Ends, PairSet, VertexId};
 
 /// `Pre_G`: either the symbolic identity over `0..n` or a concrete pair set.
 #[derive(Clone, Debug)]
@@ -39,19 +39,21 @@ impl PreRelation {
         }
     }
 
-    /// Iterates over `(start, group)` runs in ascending start order — the
+    /// Iterates over `(start, ends)` runs in ascending start order — the
     /// shape the batch-unit evaluator consumes (per-start scratch resets).
-    pub fn for_each_group<F: FnMut(VertexId, &[(VertexId, VertexId)])>(&self, mut f: F) {
+    /// The identity relation yields each vertex as an [`Ends::Single`]
+    /// without materializing self-pairs.
+    pub fn for_each_group<F: FnMut(VertexId, Ends<'_>)>(&self, mut f: F) {
         match self {
             PreRelation::Identity(n) => {
                 for v in 0..*n as u32 {
                     let v = VertexId(v);
-                    f(v, &[(v, v)]);
+                    f(v, Ends::Single(v));
                 }
             }
             PreRelation::Pairs(p) => {
-                for (start, group) in p.groups() {
-                    f(start, group);
+                for (start, ends) in p.groups() {
+                    f(start, ends);
                 }
             }
         }

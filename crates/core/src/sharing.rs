@@ -22,7 +22,7 @@ use crate::cache::{FullLookup, RtcLookup, SharedCache, StaleFull, StaleRtc};
 use crate::error::EngineError;
 use crate::pre_relation::PreRelation;
 use rpq_eval::label_seq::eval_label_names;
-use rpq_graph::{LabeledMultigraph, PairSet};
+use rpq_graph::{LabeledMultigraph, PairSet, RowSetPolicy};
 use rpq_reduction::{DynamicRtc, FullTc, MaintenanceConfig, MaintenanceOutcome, Rtc};
 use rpq_regex::{decompose, to_dnf_with_limit, Regex};
 use std::sync::Arc;
@@ -57,6 +57,8 @@ pub(crate) struct EvalCtx<'g, 'c> {
     pub threads: usize,
     /// Damage threshold etc. for incremental refresh of stale entries.
     pub maintenance_config: MaintenanceConfig,
+    /// Row-representation policy for newly built shared structures.
+    pub representation: RowSetPolicy,
     pub breakdown: &'c mut Breakdown,
     pub stats: &'c mut EliminationStats,
     pub maintenance: &'c mut MaintenanceMetrics,
@@ -148,9 +150,15 @@ fn obtain_rtc(ctx: &mut EvalCtx<'_, '_>, key: &str, r: &Regex) -> Result<Arc<Rtc
     let r_g = eval_query(ctx, r)?;
     let t = Instant::now();
     let (rtc, r_g, dynamic) = match stale {
-        Some(stale) => refresh_rtc(stale, r_g, &ctx.maintenance_config, ctx.maintenance),
+        Some(stale) => refresh_rtc(
+            stale,
+            r_g,
+            &ctx.maintenance_config,
+            ctx.maintenance,
+            &ctx.representation,
+        ),
         None => {
-            let rtc = Arc::new(Rtc::from_pairs(&r_g));
+            let rtc = Arc::new(Rtc::from_pairs_with(&r_g, &ctx.representation));
             (rtc, Arc::new(r_g), None)
         }
     };
@@ -171,10 +179,11 @@ fn refresh_rtc(
     new_r_g: PairSet,
     config: &MaintenanceConfig,
     metrics: &mut MaintenanceMetrics,
+    representation: &RowSetPolicy,
 ) -> (Arc<Rtc>, Arc<PairSet>, Option<Arc<DynamicRtc>>) {
     let t = Instant::now();
     let Some(old_r_g) = stale.r_g else {
-        let rtc = Arc::new(Rtc::from_pairs(&new_r_g));
+        let rtc = Arc::new(Rtc::from_pairs_with(&new_r_g, representation));
         metrics.rebuild_refreshes += 1;
         metrics.rebuild_time += t.elapsed();
         return (rtc, Arc::new(new_r_g), None);
@@ -183,13 +192,13 @@ fn refresh_rtc(
         metrics.unchanged_refreshes += 1;
         return (stale.rtc, old_r_g, stale.dynamic);
     }
-    let inserted = new_r_g.difference(&old_r_g);
-    let deleted = old_r_g.difference(&new_r_g);
+    let inserted = new_r_g.difference(&old_r_g).into_vec();
+    let deleted = old_r_g.difference(&new_r_g).into_vec();
     let mut dynamic = match stale.dynamic {
         Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()),
         None => DynamicRtc::from_rtc(&stale.rtc, &old_r_g),
     };
-    let outcome = dynamic.apply(inserted.as_slice(), deleted.as_slice(), config);
+    let outcome = dynamic.apply(&inserted, &deleted, config);
     let rtc = Arc::new(dynamic.snapshot());
     match outcome {
         MaintenanceOutcome::Rebuilt(_) => {
@@ -230,12 +239,20 @@ fn obtain_full(
             full
         }
         Some(_) => {
-            let rebuilt = Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads));
+            let rebuilt = Arc::new(FullTc::from_pairs_parallel_with(
+                &r_g,
+                ctx.threads,
+                &ctx.representation,
+            ));
             ctx.maintenance.rebuild_refreshes += 1;
             ctx.maintenance.rebuild_time += t.elapsed();
             rebuilt
         }
-        None => Arc::new(FullTc::from_pairs_parallel(&r_g, ctx.threads)),
+        None => Arc::new(FullTc::from_pairs_parallel_with(
+            &r_g,
+            ctx.threads,
+            &ctx.representation,
+        )),
     };
     ctx.breakdown.shared_data += t.elapsed();
     ctx.cache
@@ -264,6 +281,7 @@ mod tests {
             fast_paths: false,
             threads: 1,
             maintenance_config: MaintenanceConfig::default(),
+            representation: RowSetPolicy::default(),
             breakdown: &mut breakdown,
             stats: &mut stats,
             maintenance: &mut maintenance,

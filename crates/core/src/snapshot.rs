@@ -21,7 +21,12 @@
 //! Layout, after the 8-byte magic `b"RPQESNP1"`: the graph section, then
 //! the RTC entry table, then the full-closure entry table, then the end
 //! marker `b"RPQEEND."`. All integers are little-endian; see the field
-//! comments in [`write_snapshot`] for the exact order. Loads re-validate
+//! comments in [`write_snapshot`] for the exact order. Closure rows are
+//! length-prefixed: a plain length word is followed by that many sorted
+//! `u32` ids (the legacy sparse encoding, byte-identical to pre-hybrid
+//! snapshots, so old files still load), while a length word with the
+//! [`DENSE_ROW_TAG`] high bit set counts `u64` bitset words of a dense
+//! row instead. Loads re-validate
 //! everything — magic, embedded graph, structural invariants of every
 //! cached structure, `R_G` pair ordering, and the end marker — so a
 //! truncated or corrupted file fails with [`EngineError::Snapshot`]
@@ -45,11 +50,16 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::EngineError;
-use rpq_graph::{PairSet, VertexId};
+use rpq_graph::{PairSet, RowSet, VertexId};
 use rpq_reduction::{FullTcParts, RtcParts};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
+
+/// High bit of a closure-row length word: set, the low 31 bits count the
+/// `u64` words of a dense bitset row; clear, they count sparse `u32` ids
+/// (the legacy encoding).
+pub const DENSE_ROW_TAG: u32 = 1 << 31;
 
 /// Leading magic of an engine snapshot; the trailing byte is the format
 /// version.
@@ -85,8 +95,7 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
         write_u32(&mut w, parts.scc_count)?;
         write_all_u32(&mut w, &parts.component_of)?;
         for row in &parts.closure_rows {
-            write_u32(&mut w, row.len() as u32)?;
-            write_all_u32(&mut w, row)?;
+            write_row(&mut w, row)?;
         }
         write_u64(&mut w, parts.er_edges)?;
         write_u64(&mut w, parts.ebar_edges)?;
@@ -102,8 +111,7 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
         write_u64(&mut w, parts.originals.len() as u64)?;
         write_all_u32(&mut w, &parts.originals)?;
         for row in &parts.rows {
-            write_u32(&mut w, row.len() as u32)?;
-            write_all_u32(&mut w, row)?;
+            write_row(&mut w, row)?;
         }
     }
 
@@ -145,8 +153,7 @@ pub fn read_snapshot<R: Read>(
         let component_of = read_vec_u32(&mut r, n, "RTC component table")?;
         let mut closure_rows = Vec::with_capacity((scc_count as usize).min(CAP));
         for _ in 0..scc_count {
-            let len = read_u32(&mut r, "RTC closure row length")? as usize;
-            closure_rows.push(read_vec_u32(&mut r, len, "RTC closure row")?);
+            closure_rows.push(read_row(&mut r, "RTC closure row")?);
         }
         let er_edges = read_u64(&mut r, "RTC |E_R|")?;
         let ebar_edges = read_u64(&mut r, "RTC |Ē_R|")?;
@@ -179,8 +186,7 @@ pub fn read_snapshot<R: Read>(
         let originals = read_vec_u32(&mut r, n, "full originals")?;
         let mut rows = Vec::with_capacity(n.min(CAP));
         for _ in 0..n {
-            let len = read_u32(&mut r, "full row length")? as usize;
-            rows.push(read_vec_u32(&mut r, len, "full row")?);
+            rows.push(read_row(&mut r, "full row")?);
         }
         let parts = FullTcParts { originals, rows };
         let full = Arc::new(
@@ -249,6 +255,41 @@ fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), EngineError> {
     }
     write_u32(w, s.len() as u32)?;
     w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+fn write_row<W: Write>(w: &mut W, row: &RowSet) -> Result<(), EngineError> {
+    match row {
+        RowSet::Sparse(ids) => {
+            write_u32(w, ids.len() as u32)?;
+            write_all_u32(w, ids)
+        }
+        RowSet::Dense(_) => {
+            let words = row.as_dense_words().expect("dense row has words");
+            write_u32(w, DENSE_ROW_TAG | words.len() as u32)?;
+            for &word in words {
+                w.write_all(&word.to_le_bytes()).map_err(io_err)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_row<R: Read>(r: &mut R, what: &str) -> Result<RowSet, EngineError> {
+    let len_word = read_u32(r, what)?;
+    if len_word & DENSE_ROW_TAG != 0 {
+        let words = (len_word & !DENSE_ROW_TAG) as usize;
+        let mut ws = Vec::with_capacity(words.min(CAP));
+        for _ in 0..words {
+            let mut buf = [0u8; 8];
+            read_exact(r, &mut buf, what)?;
+            ws.push(u64::from_le_bytes(buf));
+        }
+        Ok(RowSet::dense_from_words(ws))
+    } else {
+        // The legacy sparse encoding; sortedness is re-validated when the
+        // parts assemble.
+        Ok(RowSet::Sparse(read_vec_u32(r, len_word as usize, what)?))
+    }
 }
 
 fn write_opt_pairs<W: Write>(w: &mut W, pairs: Option<&Arc<PairSet>>) -> Result<(), EngineError> {
@@ -516,6 +557,46 @@ mod tests {
             matches!(err, EngineError::Snapshot(ref m) if m.contains("cap")),
             "{err}"
         );
+    }
+
+    /// ISSUE 7: dense closure rows survive the tagged encoding, a
+    /// sparse-only writer emits the legacy encoding, and either file
+    /// restores under any representation policy with identical results.
+    #[test]
+    fn dense_and_sparse_rows_roundtrip_across_policies() {
+        use rpq_graph::RowSetPolicy;
+        let dense_cfg = EngineConfig {
+            representation: RowSetPolicy::dense(),
+            ..EngineConfig::default()
+        };
+        let sparse_cfg = EngineConfig {
+            representation: RowSetPolicy::sparse(),
+            ..EngineConfig::default()
+        };
+        let g = paper_graph();
+
+        let dense_engine = Engine::with_config(&g, dense_cfg);
+        let expected = dense_engine.evaluate_str("d.(b.c)+.c").unwrap();
+        let bytes = snapshot_bytes(&dense_engine);
+        let warm = read_snapshot(&bytes[..], sparse_cfg).unwrap();
+        assert!(
+            warm.cache().rtc_dense_rows() > 0,
+            "dense rows must survive the roundtrip"
+        );
+        assert_eq!(warm.evaluate_str("d.(b.c)+.c").unwrap(), expected);
+        assert_eq!(warm.cache().misses(), 0);
+
+        let sparse_engine = Engine::with_config(&g, sparse_cfg);
+        sparse_engine.evaluate_str("d.(b.c)+.c").unwrap();
+        let bytes = snapshot_bytes(&sparse_engine);
+        let warm = read_snapshot(&bytes[..], dense_cfg).unwrap();
+        assert_eq!(
+            warm.cache().rtc_dense_rows(),
+            0,
+            "sparse rows restore as written (the legacy on-disk form)"
+        );
+        assert_eq!(warm.evaluate_str("d.(b.c)+.c").unwrap(), expected);
+        assert_eq!(warm.cache().misses(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod multigraph;
 pub mod pairset;
 pub mod par;
+pub mod rowset;
 pub mod scc;
 pub mod snapshot;
 pub mod stats;
@@ -49,7 +50,8 @@ pub use ids::{LabelId, SccId, VertexId};
 pub use label_dict::LabelDict;
 pub use metrics::Distribution;
 pub use multigraph::{GraphBuilder, LabeledMultigraph};
-pub use pairset::PairSet;
+pub use pairset::{Ends, PairSet};
+pub use rowset::{ReprMode, RowSet, RowSetPolicy, RowTable};
 pub use scc::{tarjan_scc, Scc};
 pub use stats::GraphStats;
 pub use versioned::{DeltaSummary, GraphDelta, GraphView, VersionedGraph};

@@ -2,35 +2,74 @@
 //!
 //! Definition 2 of the paper makes an RPQ result a *set* of ordered vertex
 //! pairs `R_G = {(v_i, v_j) | a path p(v_i, v_j) satisfying R exists}`.
-//! `PairSet` stores that relation as a sorted, duplicate-free vector of
-//! `(start, end)` pairs, which gives
+//! `PairSet` stores that relation behind one of two backings:
 //!
-//! * `O(log n)` membership tests by binary search,
-//! * linear-time merge-based union (the `∪` of Algorithm 1 line 13),
-//! * grouping by start vertex for join pipelines for free (the pairs are
-//!   already clustered by `start`).
+//! * **Flat** — a sorted, duplicate-free vector of `(start, end)` pairs:
+//!   `O(log n)` membership by binary search, linear-time merge union (the
+//!   `∪` of Algorithm 1 line 13), grouping by start for free.
+//! * **Grouped** — a sorted vector of start vertices, each owning an
+//!   [`Arc<RowSet>`] of its end vertices. This is the shape closure
+//!   expansion produces naturally (Theorem 1: every member of an SCC shares
+//!   one target row), so the same hybrid sparse/dense row is shared —
+//!   not copied per member — from the `Rtc` all the way into the result,
+//!   and unions of grouped results are per-row `Arc` clones plus
+//!   word-parallel merges instead of whole-relation pair merges.
+//!
+//! The backing is an implementation detail: equality, iteration order and
+//! every set operation are representation-independent.
 
 use crate::ids::VertexId;
+use crate::rowset::{RowIter, RowSet};
 use rustc_hash::FxHashSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// A sorted, duplicate-free set of ordered vertex pairs.
-#[derive(Clone, PartialEq, Eq, Default)]
+/// A sorted, duplicate-free set of ordered vertex pairs (flat or
+/// grouped-by-start backing — see the module docs).
+#[derive(Clone)]
 pub struct PairSet {
-    pairs: Vec<(VertexId, VertexId)>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Sorted unique `(start, end)` pairs.
+    Flat(Vec<(VertexId, VertexId)>),
+    /// Sorted starts, each with a shared row of end ids.
+    Grouped(Grouped),
+}
+
+#[derive(Clone)]
+struct Grouped {
+    /// Ascending, unique start vertices with non-empty rows.
+    starts: Vec<VertexId>,
+    /// `rows[i]` = end ids of `starts[i]`, shared via `Arc`.
+    rows: Vec<Arc<RowSet>>,
+    /// Cached `Σ rows[i].len()`.
+    len: usize,
+}
+
+impl Default for PairSet {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PairSet {
     /// The empty relation.
     pub fn new() -> Self {
-        Self { pairs: Vec::new() }
+        Self {
+            repr: Repr::Flat(Vec::new()),
+        }
     }
 
     /// Builds a `PairSet` from possibly unsorted, possibly duplicated pairs.
     pub fn from_pairs(mut pairs: Vec<(VertexId, VertexId)>) -> Self {
         pairs.sort_unstable();
         pairs.dedup();
-        Self { pairs }
+        Self {
+            repr: Repr::Flat(pairs),
+        }
     }
 
     /// Builds a `PairSet` from pairs already known to be sorted and unique.
@@ -41,7 +80,27 @@ impl PairSet {
             pairs.windows(2).all(|w| w[0] < w[1]),
             "pairs not sorted+unique"
         );
-        Self { pairs }
+        Self {
+            repr: Repr::Flat(pairs),
+        }
+    }
+
+    /// Builds a grouped relation from `(start, ends)` rows. Starts may
+    /// arrive in any order but must be unique; empty rows are dropped.
+    /// Rows are shared, not copied — this is the zero-copy path from
+    /// closure expansion into results.
+    pub fn from_grouped_rows(mut groups: Vec<(VertexId, Arc<RowSet>)>) -> Self {
+        groups.retain(|(_, row)| !row.is_empty());
+        groups.sort_unstable_by_key(|&(s, _)| s);
+        debug_assert!(
+            groups.windows(2).all(|w| w[0].0 < w[1].0),
+            "grouped starts must be unique"
+        );
+        let len = groups.iter().map(|(_, r)| r.len()).sum();
+        let (starts, rows) = groups.into_iter().unzip();
+        Self {
+            repr: Repr::Grouped(Grouped { starts, rows, len }),
+        }
     }
 
     /// Builds the identity relation `{(v, v) | v ∈ 0..n}`.
@@ -50,54 +109,82 @@ impl PairSet {
     /// `n` vertices.
     pub fn identity(n: usize) -> Self {
         Self {
-            pairs: (0..n as u32).map(|v| (VertexId(v), VertexId(v))).collect(),
+            repr: Repr::Flat((0..n as u32).map(|v| (VertexId(v), VertexId(v))).collect()),
         }
     }
 
     /// Number of pairs in the relation.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        match &self.repr {
+            Repr::Flat(pairs) => pairs.len(),
+            Repr::Grouped(g) => g.len,
+        }
     }
 
     /// Whether the relation is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len() == 0
     }
 
-    /// Membership test by binary search.
+    /// Whether the grouped-by-start backing is active (observability for
+    /// tests and metrics; semantics never depend on it).
+    pub fn is_grouped(&self) -> bool {
+        matches!(self.repr, Repr::Grouped(_))
+    }
+
+    /// Membership test: binary search (flat) or start probe + row probe
+    /// (grouped).
     pub fn contains(&self, start: VertexId, end: VertexId) -> bool {
-        self.pairs.binary_search(&(start, end)).is_ok()
+        match &self.repr {
+            Repr::Flat(pairs) => pairs.binary_search(&(start, end)).is_ok(),
+            Repr::Grouped(g) => match g.starts.binary_search(&start) {
+                Ok(i) => g.rows[i].contains(end.raw()),
+                Err(_) => false,
+            },
+        }
     }
 
-    /// All pairs, sorted ascending by `(start, end)`.
-    #[inline]
-    pub fn as_slice(&self) -> &[(VertexId, VertexId)] {
-        &self.pairs
+    /// Iterates over the pairs in ascending `(start, end)` order.
+    pub fn iter(&self) -> PairIter<'_> {
+        PairIter(match &self.repr {
+            Repr::Flat(pairs) => PairIterInner::Flat(pairs.iter()),
+            Repr::Grouped(g) => PairIterInner::Grouped {
+                set: g,
+                group: 0,
+                row: g.rows.first().map(|r| r.iter()),
+            },
+        })
     }
 
-    /// Iterates over the pairs in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.pairs.iter().copied()
-    }
-
-    /// The end vertices reachable from `start`, as a sorted sub-slice.
-    pub fn ends_of(&self, start: VertexId) -> &[(VertexId, VertexId)] {
-        let lo = self.pairs.partition_point(|&(s, _)| s < start);
-        let hi = self.pairs.partition_point(|&(s, _)| s <= start);
-        &self.pairs[lo..hi]
+    /// The end vertices reachable from `start`, as a borrowed view.
+    pub fn ends_of(&self, start: VertexId) -> Ends<'_> {
+        match &self.repr {
+            Repr::Flat(pairs) => {
+                let lo = pairs.partition_point(|&(s, _)| s < start);
+                let hi = pairs.partition_point(|&(s, _)| s <= start);
+                Ends::Pairs(&pairs[lo..hi])
+            }
+            Repr::Grouped(g) => match g.starts.binary_search(&start) {
+                Ok(i) => Ends::Row(&g.rows[i]),
+                Err(_) => Ends::Pairs(&[]),
+            },
+        }
     }
 
     /// Iterates over `(start, ends)` groups in ascending start order.
     pub fn groups(&self) -> PairGroups<'_> {
-        PairGroups {
-            pairs: &self.pairs,
-            at: 0,
-        }
+        PairGroups(match &self.repr {
+            Repr::Flat(pairs) => PairGroupsInner::Flat { pairs, at: 0 },
+            Repr::Grouped(g) => PairGroupsInner::Grouped { set: g, at: 0 },
+        })
     }
 
-    /// Set union, implemented as a linear merge of the two sorted vectors.
+    /// Set union. Flat∪flat is the classic linear merge; grouped∪grouped
+    /// merges per start — rows present on one side are `Arc`-shared, and
+    /// collisions union word-parallel when dense. Mixed backings fall back
+    /// to a pair merge over both iterators.
     pub fn union(&self, other: &PairSet) -> PairSet {
         if self.is_empty() {
             return other.clone();
@@ -105,87 +192,132 @@ impl PairSet {
         if other.is_empty() {
             return self.clone();
         }
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        let (a, b) = (&self.pairs, &other.pairs);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
+        match (&self.repr, &other.repr) {
+            (Repr::Grouped(a), Repr::Grouped(b)) => PairSet::from_grouped_rows(union_grouped(a, b)),
+            _ => {
+                let mut out = Vec::with_capacity(self.len() + other.len());
+                let (mut a, mut b) = (self.iter().peekable(), other.iter().peekable());
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(&x), Some(&y)) => {
+                            use std::cmp::Ordering::*;
+                            match x.cmp(&y) {
+                                Less => {
+                                    out.push(x);
+                                    a.next();
+                                }
+                                Greater => {
+                                    out.push(y);
+                                    b.next();
+                                }
+                                Equal => {
+                                    out.push(x);
+                                    a.next();
+                                    b.next();
+                                }
+                            }
+                        }
+                        (Some(_), None) => {
+                            out.extend(a.by_ref());
+                            break;
+                        }
+                        (None, _) => {
+                            out.extend(b.by_ref());
+                            break;
+                        }
+                    }
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
+                PairSet {
+                    repr: Repr::Flat(out),
                 }
             }
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        PairSet { pairs: out }
     }
 
     /// In-place union; keeps `self` sorted and unique.
+    ///
+    /// Flat∪=flat genuinely merges in place: the missing elements are
+    /// counted, the vector extended once, and the merge runs backward — no
+    /// scratch vector, no reallocation when capacity suffices.
+    /// Grouped∪=grouped rebuilds only the (cheap, `Arc`-cloned) group
+    /// spine. Mixed backings flatten.
     pub fn union_in_place(&mut self, other: &PairSet) {
         if other.is_empty() {
             return;
         }
         if self.is_empty() {
-            self.pairs = other.pairs.clone();
+            *self = other.clone();
             return;
         }
-        *self = self.union(other);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Flat(dst), Repr::Flat(src)) => union_pairs_in_place(dst, src),
+            (Repr::Grouped(a), Repr::Grouped(b)) => {
+                *self = PairSet::from_grouped_rows(union_grouped(a, b));
+            }
+            _ => *self = self.union(other),
+        }
     }
 
-    /// Set intersection by linear merge.
+    /// Set intersection by linear merge over both iterators.
     pub fn intersect(&self, other: &PairSet) -> PairSet {
-        let (a, b) = (&self.pairs, &other.pairs);
         let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
+        let (mut a, mut b) = (self.iter().peekable(), other.iter().peekable());
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            use std::cmp::Ordering::*;
+            match x.cmp(&y) {
+                Less => {
+                    a.next();
+                }
+                Greater => {
+                    b.next();
+                }
+                Equal => {
+                    out.push(x);
+                    a.next();
+                    b.next();
                 }
             }
         }
-        PairSet { pairs: out }
+        PairSet {
+            repr: Repr::Flat(out),
+        }
     }
 
-    /// Set difference `self \ other` by linear merge.
+    /// Set difference `self \ other` by linear merge over both iterators.
     pub fn difference(&self, other: &PairSet) -> PairSet {
-        let (a, b) = (&self.pairs, &other.pairs);
         let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() {
-            if j >= b.len() || a[i] < b[j] {
-                out.push(a[i]);
-                i += 1;
-            } else if a[i] > b[j] {
-                j += 1;
-            } else {
-                i += 1;
-                j += 1;
+        let (mut a, mut b) = (self.iter().peekable(), other.iter().peekable());
+        while let Some(&x) = a.peek() {
+            match b.peek() {
+                None => {
+                    out.extend(a.by_ref());
+                    break;
+                }
+                Some(&y) if x < y => {
+                    out.push(x);
+                    a.next();
+                }
+                Some(&y) if x > y => {
+                    b.next();
+                }
+                Some(_) => {
+                    a.next();
+                    b.next();
+                }
             }
         }
-        PairSet { pairs: out }
+        PairSet {
+            repr: Repr::Flat(out),
+        }
     }
 
     /// Relational composition `self ⋈ other` (the join of Lemma 4):
-    /// `{(a, c) | (a, b) ∈ self ∧ (b, c) ∈ other}`.
+    /// `{(a, c) | (a, b) ∈ self ∧ (b, c) ∈ other}`. Consumes grouped rows
+    /// of `other` directly — no per-probe slice materialization.
     pub fn compose(&self, other: &PairSet) -> PairSet {
         let mut out = FxHashSet::default();
         for (a, b) in self.iter() {
-            for &(_, c) in other.ends_of(b) {
+            for c in other.ends_of(b).iter() {
                 out.insert((a, c));
             }
         }
@@ -194,29 +326,147 @@ impl PairSet {
 
     /// Distinct start vertices, sorted ascending.
     pub fn starts(&self) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> = self.groups().map(|(s, _)| s).collect();
-        out.dedup();
-        out
+        match &self.repr {
+            Repr::Flat(pairs) => {
+                let mut out: Vec<VertexId> = pairs.iter().map(|&(s, _)| s).collect();
+                out.dedup();
+                out
+            }
+            Repr::Grouped(g) => g.starts.clone(),
+        }
     }
 
     /// Distinct end vertices, sorted ascending.
     pub fn ends(&self) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> = self.pairs.iter().map(|&(_, e)| e).collect();
+        let mut out: Vec<VertexId> = self.iter().map(|(_, e)| e).collect();
         out.sort_unstable();
         out.dedup();
         out
     }
 
-    /// Consumes the set, returning the sorted pair vector.
+    /// Consumes the set, returning the sorted pair vector (materializing a
+    /// grouped backing).
     pub fn into_vec(self) -> Vec<(VertexId, VertexId)> {
-        self.pairs
+        match self.repr {
+            Repr::Flat(pairs) => pairs,
+            Repr::Grouped(_) => self.iter().collect(),
+        }
     }
 
     /// Builds a hash-set view for repeated O(1) membership probes.
     pub fn to_hash_set(&self) -> FxHashSet<(VertexId, VertexId)> {
-        self.pairs.iter().copied().collect()
+        self.iter().collect()
+    }
+
+    /// Heap footprint in bytes. Grouped rows are charged in full to every
+    /// holder (an `Arc`-shared row is counted once per referencing set).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Flat(pairs) => pairs.capacity() * std::mem::size_of::<(VertexId, VertexId)>(),
+            Repr::Grouped(g) => {
+                g.starts.capacity() * std::mem::size_of::<VertexId>()
+                    + g.rows.capacity() * std::mem::size_of::<Arc<RowSet>>()
+                    + g.rows.iter().map(|r| r.heap_bytes()).sum::<usize>()
+            }
+        }
     }
 }
+
+/// Merges sorted unique `src` into sorted unique `dst` in place: counts
+/// the missing pairs, extends once, merges backward.
+fn union_pairs_in_place(dst: &mut Vec<(VertexId, VertexId)>, src: &[(VertexId, VertexId)]) {
+    let mut fresh = 0usize;
+    {
+        let mut i = 0;
+        for &x in src {
+            while i < dst.len() && dst[i] < x {
+                i += 1;
+            }
+            if i >= dst.len() || dst[i] != x {
+                fresh += 1;
+            }
+        }
+    }
+    if fresh == 0 {
+        return;
+    }
+    let old_len = dst.len();
+    dst.resize(old_len + fresh, (VertexId(0), VertexId(0)));
+    let (mut i, mut j, mut w) = (old_len, src.len(), dst.len());
+    while j > 0 {
+        if i > 0 && dst[i - 1] > src[j - 1] {
+            dst[w - 1] = dst[i - 1];
+            i -= 1;
+        } else {
+            if i > 0 && dst[i - 1] == src[j - 1] {
+                i -= 1;
+            }
+            dst[w - 1] = src[j - 1];
+            j -= 1;
+        }
+        w -= 1;
+    }
+    while i > 0 {
+        dst[w - 1] = dst[i - 1];
+        i -= 1;
+        w -= 1;
+    }
+}
+
+/// Start-wise union of two grouped backings: one-sided rows are shared,
+/// colliding rows are unioned (word-parallel when dense).
+fn union_grouped(a: &Grouped, b: &Grouped) -> Vec<(VertexId, Arc<RowSet>)> {
+    let mut out = Vec::with_capacity(a.starts.len().max(b.starts.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.starts.len() && j < b.starts.len() {
+        use std::cmp::Ordering::*;
+        match a.starts[i].cmp(&b.starts[j]) {
+            Less => {
+                out.push((a.starts[i], Arc::clone(&a.rows[i])));
+                i += 1;
+            }
+            Greater => {
+                out.push((b.starts[j], Arc::clone(&b.rows[j])));
+                j += 1;
+            }
+            Equal => {
+                let row = if a.rows[i] == b.rows[j] {
+                    Arc::clone(&a.rows[i])
+                } else {
+                    Arc::new(a.rows[i].union(&b.rows[j]))
+                };
+                out.push((a.starts[i], row));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(
+        a.starts[i..]
+            .iter()
+            .zip(&a.rows[i..])
+            .map(|(&s, r)| (s, Arc::clone(r))),
+    );
+    out.extend(
+        b.starts[j..]
+            .iter()
+            .zip(&b.rows[j..])
+            .map(|(&s, r)| (s, Arc::clone(r))),
+    );
+    out
+}
+
+impl PartialEq for PairSet {
+    /// Content equality, independent of the backing.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Flat(a), Repr::Flat(b)) => a == b,
+            _ => self.len() == other.len() && self.iter().eq(other.iter()),
+        }
+    }
+}
+
+impl Eq for PairSet {}
 
 impl FromIterator<(VertexId, VertexId)> for PairSet {
     fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
@@ -237,30 +487,149 @@ impl FromIterator<(u32, u32)> for PairSet {
 impl fmt::Debug for PairSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set()
-            .entries(self.pairs.iter().map(|(a, b)| format!("({a},{b})")))
+            .entries(self.iter().map(|(a, b)| format!("({a},{b})")))
             .finish()
     }
 }
 
-/// Iterator over `(start, group)` runs of a [`PairSet`].
-pub struct PairGroups<'a> {
-    pairs: &'a [(VertexId, VertexId)],
-    at: usize,
+/// Ascending `(start, end)` iterator over a [`PairSet`].
+pub struct PairIter<'a>(PairIterInner<'a>);
+
+enum PairIterInner<'a> {
+    Flat(std::slice::Iter<'a, (VertexId, VertexId)>),
+    Grouped {
+        set: &'a Grouped,
+        group: usize,
+        row: Option<RowIter<'a>>,
+    },
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            PairIterInner::Flat(it) => it.next().copied(),
+            PairIterInner::Grouped { set, group, row } => loop {
+                let it = row.as_mut()?;
+                if let Some(end) = it.next() {
+                    return Some((set.starts[*group], VertexId(end)));
+                }
+                *group += 1;
+                *row = set.rows.get(*group).map(|r| r.iter());
+            },
+        }
+    }
+}
+
+/// Borrowed view of the end vertices of one start — the group payload
+/// [`PairSet::ends_of`] and [`PairSet::groups`] hand out. Join pipelines
+/// consume grouped [`RowSet`] rows through this without materializing
+/// pair slices.
+pub enum Ends<'a> {
+    /// Ends embedded in a flat pair slice (all pairs share one start).
+    Pairs(&'a [(VertexId, VertexId)]),
+    /// Ends as a shared hybrid row.
+    Row(&'a RowSet),
+    /// A single synthesized end (identity relations).
+    Single(VertexId),
+}
+
+impl<'a> Ends<'a> {
+    /// Number of end vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            Ends::Pairs(p) => p.len(),
+            Ends::Row(r) => r.len(),
+            Ends::Single(_) => 1,
+        }
+    }
+
+    /// Whether there are no ends.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test for an end vertex.
+    pub fn contains(&self, end: VertexId) -> bool {
+        match self {
+            Ends::Pairs(p) => p.binary_search_by(|&(_, e)| e.cmp(&end)).is_ok(),
+            Ends::Row(r) => r.contains(end.raw()),
+            Ends::Single(v) => *v == end,
+        }
+    }
+
+    /// End vertices ascending.
+    pub fn iter(&self) -> EndsIter<'a> {
+        match self {
+            Ends::Pairs(p) => EndsIter::Pairs(p.iter()),
+            Ends::Row(r) => EndsIter::Row(r.iter()),
+            Ends::Single(v) => EndsIter::Single(Some(*v)),
+        }
+    }
+}
+
+/// Ascending iterator over an [`Ends`] view.
+pub enum EndsIter<'a> {
+    /// Flat pair slice.
+    Pairs(std::slice::Iter<'a, (VertexId, VertexId)>),
+    /// Hybrid row.
+    Row(RowIter<'a>),
+    /// At most one synthesized end.
+    Single(Option<VertexId>),
+}
+
+impl Iterator for EndsIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            EndsIter::Pairs(it) => it.next().map(|&(_, e)| e),
+            EndsIter::Row(it) => it.next().map(VertexId),
+            EndsIter::Single(v) => v.take(),
+        }
+    }
+}
+
+/// Iterator over `(start, ends)` runs of a [`PairSet`].
+pub struct PairGroups<'a>(PairGroupsInner<'a>);
+
+enum PairGroupsInner<'a> {
+    Flat {
+        pairs: &'a [(VertexId, VertexId)],
+        at: usize,
+    },
+    Grouped {
+        set: &'a Grouped,
+        at: usize,
+    },
 }
 
 impl<'a> Iterator for PairGroups<'a> {
-    type Item = (VertexId, &'a [(VertexId, VertexId)]);
+    type Item = (VertexId, Ends<'a>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.at >= self.pairs.len() {
-            return None;
+        match &mut self.0 {
+            PairGroupsInner::Flat { pairs, at } => {
+                if *at >= pairs.len() {
+                    return None;
+                }
+                let start = pairs[*at].0;
+                let begin = *at;
+                while *at < pairs.len() && pairs[*at].0 == start {
+                    *at += 1;
+                }
+                Some((start, Ends::Pairs(&pairs[begin..*at])))
+            }
+            PairGroupsInner::Grouped { set, at } => {
+                if *at >= set.starts.len() {
+                    return None;
+                }
+                let i = *at;
+                *at += 1;
+                Some((set.starts[i], Ends::Row(&set.rows[i])))
+            }
         }
-        let start = self.pairs[self.at].0;
-        let begin = self.at;
-        while self.at < self.pairs.len() && self.pairs[self.at].0 == start {
-            self.at += 1;
-        }
-        Some((start, &self.pairs[begin..self.at]))
     }
 }
 
@@ -272,26 +641,38 @@ mod tests {
         pairs.iter().copied().collect()
     }
 
+    /// The same relation with the grouped backing.
+    fn grouped(pairs: &[(u32, u32)]) -> PairSet {
+        let flat = ps(pairs);
+        let mut groups: Vec<(VertexId, Arc<RowSet>)> = Vec::new();
+        for (s, ends) in flat.groups() {
+            let row: Vec<u32> = ends.iter().map(VertexId::raw).collect();
+            groups.push((s, Arc::new(RowSet::from_sorted_vec(row))));
+        }
+        let g = PairSet::from_grouped_rows(groups);
+        assert!(g.is_grouped() || g.is_empty());
+        g
+    }
+
+    fn vecs(s: &PairSet) -> Vec<(u32, u32)> {
+        s.iter().map(|(a, b)| (a.raw(), b.raw())).collect()
+    }
+
     #[test]
     fn from_pairs_sorts_and_dedups() {
         let s = ps(&[(2, 1), (0, 0), (2, 1), (1, 5)]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.as_slice(),
-            &[
-                (VertexId(0), VertexId(0)),
-                (VertexId(1), VertexId(5)),
-                (VertexId(2), VertexId(1))
-            ]
-        );
+        assert_eq!(vecs(&s), vec![(0, 0), (1, 5), (2, 1)]);
     }
 
     #[test]
     fn contains_via_binary_search() {
-        let s = ps(&[(1, 2), (3, 4)]);
-        assert!(s.contains(VertexId(1), VertexId(2)));
-        assert!(!s.contains(VertexId(1), VertexId(3)));
-        assert!(!s.contains(VertexId(0), VertexId(0)));
+        let pairs = [(1, 2), (3, 4)];
+        for s in [ps(&pairs), grouped(&pairs)] {
+            assert!(s.contains(VertexId(1), VertexId(2)));
+            assert!(!s.contains(VertexId(1), VertexId(3)));
+            assert!(!s.contains(VertexId(0), VertexId(0)));
+        }
     }
 
     #[test]
@@ -302,6 +683,20 @@ mod tests {
             assert!(s.contains(VertexId(v), VertexId(v)));
         }
         assert!(PairSet::identity(0).is_empty());
+    }
+
+    #[test]
+    fn grouped_equals_flat_and_iterates_identically() {
+        let pairs = [(0, 1), (0, 7), (2, 3), (9, 0)];
+        let (f, g) = (ps(&pairs), grouped(&pairs));
+        assert_eq!(f, g);
+        assert_eq!(g, f);
+        assert_eq!(vecs(&f), vecs(&g));
+        assert_eq!(f.len(), g.len());
+        assert_eq!(f.starts(), g.starts());
+        assert_eq!(f.ends(), g.ends());
+        assert_eq!(f.to_hash_set(), g.to_hash_set());
+        assert_eq!(f.clone().into_vec(), g.clone().into_vec());
     }
 
     #[test]
@@ -316,12 +711,74 @@ mod tests {
     }
 
     #[test]
+    fn union_across_backings() {
+        let a = [(0u32, 1u32), (2, 3), (2, 9)];
+        let b = [(0u32, 1u32), (1, 1), (2, 4)];
+        let expect = ps(&[(0, 1), (1, 1), (2, 3), (2, 4), (2, 9)]);
+        for lhs in [ps(&a), grouped(&a)] {
+            for rhs in [ps(&b), grouped(&b)] {
+                assert_eq!(lhs.union(&rhs), expect);
+                let mut in_place = lhs.clone();
+                in_place.union_in_place(&rhs);
+                assert_eq!(in_place, expect);
+            }
+        }
+        // Grouped ∪ grouped keeps the grouped backing.
+        assert!(grouped(&a).union(&grouped(&b)).is_grouped());
+    }
+
+    #[test]
+    fn union_of_grouped_shares_unchanged_rows() {
+        let a = grouped(&[(0, 1), (0, 2)]);
+        let b = grouped(&[(5, 7)]);
+        let u = a.union(&b);
+        assert!(u.is_grouped());
+        assert_eq!(u, ps(&[(0, 1), (0, 2), (5, 7)]));
+        // Disjoint starts: both rows are Arc-shared, not copied.
+        match (&a.repr, &u.repr) {
+            (Repr::Grouped(ga), Repr::Grouped(gu)) => {
+                assert!(Arc::ptr_eq(&ga.rows[0], &gu.rows[0]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
     fn union_in_place_matches_union() {
         let mut a = ps(&[(0, 1), (5, 5)]);
         let b = ps(&[(0, 2), (5, 5)]);
         let expect = a.union(&b);
         a.union_in_place(&b);
         assert_eq!(a, expect);
+    }
+
+    /// ISSUE 7 satellite: flat ∪= must merge in place — same result as
+    /// `union`, and no reallocation when capacity suffices.
+    #[test]
+    fn union_in_place_is_actually_in_place() {
+        let mut seed = Vec::with_capacity(32);
+        seed.extend([
+            (VertexId(1), VertexId(1)),
+            (VertexId(3), VertexId(3)),
+            (VertexId(9), VertexId(9)),
+        ]);
+        let mut a = PairSet::from_sorted_unique(seed);
+        let expect = a.union(&ps(&[(0, 5), (3, 3), (4, 4)]));
+        let Repr::Flat(v) = &a.repr else {
+            unreachable!()
+        };
+        let ptr = v.as_ptr();
+        assert!(v.capacity() >= 32, "fixture must have spare capacity");
+        a.union_in_place(&ps(&[(0, 5), (3, 3), (4, 4)]));
+        assert_eq!(a, expect);
+        assert_eq!(vecs(&a), vec![(0, 5), (1, 1), (3, 3), (4, 4), (9, 9)]);
+        let Repr::Flat(v) = &a.repr else {
+            unreachable!()
+        };
+        assert_eq!(v.as_ptr(), ptr, "capacity sufficed: must not reallocate");
+        // Subset union: no growth, no movement.
+        a.union_in_place(&ps(&[(1, 1), (9, 9)]));
+        assert_eq!(a.len(), 5);
     }
 
     #[test]
@@ -331,6 +788,15 @@ mod tests {
         assert_eq!(a.intersect(&b), ps(&[(1, 2), (2, 3)]));
         assert_eq!(a.difference(&b), ps(&[(0, 1)]));
         assert_eq!(b.difference(&a), ps(&[(3, 4)]));
+        // Same answers through the grouped backing.
+        assert_eq!(
+            grouped(&[(0, 1), (1, 2), (2, 3)]).intersect(&b),
+            ps(&[(1, 2), (2, 3)])
+        );
+        assert_eq!(
+            a.difference(&grouped(&[(1, 2), (2, 3), (3, 4)])),
+            ps(&[(0, 1)])
+        );
     }
 
     #[test]
@@ -340,6 +806,8 @@ mod tests {
         let bc = ps(&[(1, 7), (2, 7), (2, 8)]);
         let c = ab.compose(&bc);
         assert_eq!(c, ps(&[(0, 7), (0, 8), (3, 7)]));
+        // Grouped right side feeds the join through its rows directly.
+        assert_eq!(ab.compose(&grouped(&[(1, 7), (2, 7), (2, 8)])), c);
     }
 
     #[test]
@@ -352,21 +820,29 @@ mod tests {
 
     #[test]
     fn ends_of_returns_group() {
-        let s = ps(&[(1, 2), (1, 5), (2, 0)]);
-        let group: Vec<u32> = s
-            .ends_of(VertexId(1))
-            .iter()
-            .map(|&(_, e)| e.raw())
-            .collect();
-        assert_eq!(group, vec![2, 5]);
-        assert!(s.ends_of(VertexId(9)).is_empty());
+        for s in [
+            ps(&[(1, 2), (1, 5), (2, 0)]),
+            grouped(&[(1, 2), (1, 5), (2, 0)]),
+        ] {
+            let ends = s.ends_of(VertexId(1));
+            assert_eq!(ends.len(), 2);
+            assert!(ends.contains(VertexId(5)));
+            assert!(!ends.contains(VertexId(0)));
+            let group: Vec<u32> = ends.iter().map(VertexId::raw).collect();
+            assert_eq!(group, vec![2, 5]);
+            assert!(s.ends_of(VertexId(9)).is_empty());
+        }
     }
 
     #[test]
     fn groups_iterates_runs() {
-        let s = ps(&[(1, 2), (1, 5), (3, 0)]);
-        let runs: Vec<(u32, usize)> = s.groups().map(|(v, g)| (v.raw(), g.len())).collect();
-        assert_eq!(runs, vec![(1, 2), (3, 1)]);
+        for s in [
+            ps(&[(1, 2), (1, 5), (3, 0)]),
+            grouped(&[(1, 2), (1, 5), (3, 0)]),
+        ] {
+            let runs: Vec<(u32, usize)> = s.groups().map(|(v, g)| (v.raw(), g.len())).collect();
+            assert_eq!(runs, vec![(1, 2), (3, 1)]);
+        }
     }
 
     #[test]
@@ -401,5 +877,26 @@ mod tests {
         let h = s.to_hash_set();
         assert_eq!(h.len(), 2);
         assert!(h.contains(&(VertexId(0), VertexId(1))));
+    }
+
+    #[test]
+    fn from_grouped_rows_drops_empty_and_sorts() {
+        let g = PairSet::from_grouped_rows(vec![
+            (VertexId(7), Arc::new(RowSet::from_sorted_vec(vec![0, 3]))),
+            (VertexId(1), Arc::new(RowSet::empty())),
+            (VertexId(2), Arc::new(RowSet::singleton(9))),
+        ]);
+        assert_eq!(vecs(&g), vec![(2, 9), (7, 0), (7, 3)]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn heap_bytes_counts_both_backings() {
+        let flat = ps(&[(0, 1), (2, 3)]);
+        assert!(flat.heap_bytes() >= 2 * std::mem::size_of::<(VertexId, VertexId)>());
+        let g = grouped(&[(0, 1), (0, 2), (5, 7)]);
+        // starts + Arc spine + row payloads, all non-zero here.
+        assert!(g.heap_bytes() >= 3 * 4);
+        assert_eq!(PairSet::new().heap_bytes(), 0);
     }
 }

@@ -6,14 +6,16 @@
 //! `G_R` (`O(|V_R|·|E_R|)` — TABLE III's left column) and stores grouped by
 //! source for the join in the baseline's batch-unit evaluation.
 
-use rpq_graph::{Csr, MappedDigraph, PairSet, VertexId, VertexMapping};
+use rpq_graph::{MappedDigraph, PairSet, RowSet, RowSetPolicy, RowTable, VertexId, VertexMapping};
+use std::sync::Arc;
 
 /// `R⁺_G` materialized and grouped by start vertex.
 #[derive(Clone, Debug)]
 pub struct FullTc {
     mapping: VertexMapping,
-    /// Row per compact vertex: sorted compact vertices reachable via ≥ 1 edge.
-    rows: Csr<u32>,
+    /// Row per compact vertex: compact vertices reachable via ≥ 1 edge
+    /// (hybrid sparse/dense per the build policy).
+    rows: RowTable,
     pair_count: usize,
 }
 
@@ -29,6 +31,16 @@ impl FullTc {
         Self::from_reduced_parallel(MappedDigraph::from_pairset(r_g), threads)
     }
 
+    /// [`FullTc::from_pairs_parallel`] with an explicit row-representation
+    /// policy.
+    pub fn from_pairs_parallel_with(
+        r_g: &PairSet,
+        threads: usize,
+        policy: &RowSetPolicy,
+    ) -> FullTc {
+        Self::from_reduced_parallel_with(MappedDigraph::from_pairset(r_g), threads, policy)
+    }
+
     /// Builds `R⁺_G` from an already-built `G_R`.
     pub fn from_reduced(gr: MappedDigraph) -> FullTc {
         Self::from_reduced_parallel(gr, 1)
@@ -36,8 +48,23 @@ impl FullTc {
 
     /// [`FullTc::from_reduced`] with a parallel closure sweep.
     pub fn from_reduced_parallel(gr: MappedDigraph, threads: usize) -> FullTc {
-        let rows = crate::tc::tc_naive_parallel(&gr.graph, threads);
-        let pair_count = rows.len();
+        Self::from_reduced_parallel_with(gr, threads, &RowSetPolicy::default())
+    }
+
+    /// [`FullTc::from_reduced_parallel`] with an explicit
+    /// row-representation policy.
+    pub fn from_reduced_parallel_with(
+        gr: MappedDigraph,
+        threads: usize,
+        policy: &RowSetPolicy,
+    ) -> FullTc {
+        let csr = crate::tc::tc_naive_parallel(&gr.graph, threads);
+        let n = gr.graph.vertex_count() as u32;
+        let rows: Vec<RowSet> = (0..csr.rows())
+            .map(|v| RowSet::from_sorted_vec(csr.row(v).to_vec()))
+            .collect();
+        let rows = RowTable::from_rows_with(rows, n, policy);
+        let pair_count = rows.total_len();
         FullTc {
             mapping: gr.mapping,
             rows,
@@ -47,14 +74,14 @@ impl FullTc {
 
     /// Borrows the internal tables for serialization
     /// ([`crate::snapshot::FullTcParts`]).
-    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &Csr<u32>) {
+    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &RowTable) {
         (&self.mapping, &self.rows)
     }
 
     /// Reassembles a closure from deserialized tables (validated by
     /// [`crate::snapshot::FullTcParts::assemble`]).
-    pub(crate) fn from_raw_parts(mapping: VertexMapping, rows: Csr<u32>) -> FullTc {
-        let pair_count = rows.len();
+    pub(crate) fn from_raw_parts(mapping: VertexMapping, rows: RowTable) -> FullTc {
+        let pair_count = rows.total_len();
         FullTc {
             mapping,
             rows,
@@ -69,29 +96,51 @@ impl FullTc {
 
     /// `|V_R|`.
     pub fn vertex_count(&self) -> usize {
-        self.rows.rows()
+        self.rows.len()
+    }
+
+    /// Heap bytes held by the closure rows — FullSharing's shared-data
+    /// memory, comparable against [`crate::Rtc::closure_heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.heap_bytes()
+    }
+
+    /// Number of closure rows currently stored as dense bitsets.
+    pub fn dense_rows(&self) -> usize {
+        self.rows.dense_rows()
     }
 
     /// End vertices of `R⁺` paths from original vertex `v`, as original ids
     /// in ascending order. Empty if `v ∉ V_R`.
     pub fn successors_original(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        let row: &[u32] = match self.mapping.compact(v) {
-            Some(c) => self.rows.row(c as usize),
-            None => &[],
-        };
-        row.iter().map(move |&c| self.mapping.original(c))
+        self.mapping
+            .compact(v)
+            .map(|c| self.rows.row(c as usize))
+            .into_iter()
+            .flat_map(|row| row.iter())
+            .map(move |c| self.mapping.original(c))
     }
 
-    /// Materializes the full pair set (for tests and size accounting).
+    /// Materializes the full pair set (for tests and size accounting), as
+    /// a grouped [`PairSet`] with one target row per source vertex.
     pub fn expand(&self) -> PairSet {
-        let mut pairs = Vec::with_capacity(self.pair_count);
-        for v in 0..self.rows.rows() {
-            let src = self.mapping.original(v as u32);
-            for &c in self.rows.row(v) {
-                pairs.push((src, self.mapping.original(c)));
+        let mut groups: Vec<(VertexId, Arc<RowSet>)> = Vec::new();
+        for v in 0..self.rows.len() {
+            let row = self.rows.row(v);
+            if row.is_empty() {
+                continue;
             }
+            let mut targets: Vec<u32> =
+                row.iter().map(|c| self.mapping.original(c).raw()).collect();
+            // The pairset mapping is monotone, making this a no-op sweep,
+            // but RowSet rows must be sorted by contract.
+            targets.sort_unstable();
+            groups.push((
+                self.mapping.original(v as u32),
+                Arc::new(RowSet::from_sorted_vec(targets)),
+            ));
         }
-        PairSet::from_pairs(pairs)
+        PairSet::from_grouped_rows(groups)
     }
 }
 

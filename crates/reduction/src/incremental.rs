@@ -39,7 +39,10 @@
 //! property-tested end-to-end in `tests/dynamic_equivalence.rs`.
 
 use crate::rtc::Rtc;
-use rpq_graph::{tarjan_scc, Csr, Digraph, PairSet, Scc, SccId, VertexId, VertexMapping};
+use rpq_graph::{
+    tarjan_scc, Digraph, PairSet, RowSet, RowSetPolicy, RowTable, Scc, SccId, VertexId,
+    VertexMapping,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Tuning knobs for incremental maintenance.
@@ -122,8 +125,12 @@ pub struct DynamicRtc {
     /// Representatives of SCCs with an internal ≥1-length cycle.
     cyclic: FxHashSet<u32>,
     /// Representative → SCC reps reachable via ≥1 condensation step
-    /// (contains the rep itself iff cyclic).
-    closure: FxHashMap<u32, FxHashSet<u32>>,
+    /// (contains the rep itself iff cyclic). Rows are [`RowSet`]s over the
+    /// *rep-id* space — sparse in practice (rep ids are arbitrary original
+    /// vertex ids, so a bitset universe would span the whole id range),
+    /// but every repair below goes through the set-algebra API, so a dense
+    /// row arriving via churn still word-masks.
+    closure: FxHashMap<u32, RowSet>,
     edge_count: usize,
 }
 
@@ -150,7 +157,7 @@ impl DynamicRtc {
             for &m in &members {
                 dyn_rtc.comp.insert(m, rep);
             }
-            if rtc.successors(scc).binary_search(&scc.raw()).is_ok() {
+            if rtc.successors(scc).contains(scc.raw()) {
                 dyn_rtc.cyclic.insert(rep);
             }
             dyn_rtc.members.insert(rep, members);
@@ -159,11 +166,12 @@ impl DynamicRtc {
         // Closure rows, re-keyed by representative.
         for s in 0..k {
             let rep = rep_of[s];
-            let row: FxHashSet<u32> = rtc
-                .successors(SccId::from_usize(s))
-                .iter()
-                .map(|&t| rep_of[t as usize])
-                .collect();
+            let row = RowSet::from_unsorted(
+                rtc.successors(SccId::from_usize(s))
+                    .iter()
+                    .map(|t| rep_of[t as usize])
+                    .collect(),
+            );
             dyn_rtc.closure.insert(rep, row);
             dyn_rtc.scc_out.insert(rep, FxHashMap::default());
             dyn_rtc.scc_in.insert(rep, FxHashMap::default());
@@ -299,15 +307,22 @@ impl DynamicRtc {
         // Remap member vertex ids (original) to compact ids? `Scc` here is
         // over compact ids already because `comp_of` is indexed by compact
         // id — membership rows come out as compact ids by construction.
-        let closure = Csr::from_rows(reps.iter().map(|r| {
-            let mut row: Vec<u32> = self.closure[r].iter().map(|t| dense_of[t]).collect();
-            row.sort_unstable();
-            row
-        }));
+        let rows: Vec<RowSet> = reps
+            .iter()
+            .map(|r| {
+                let mut row: Vec<u32> = self.closure[r].iter().map(|t| dense_of[&t]).collect();
+                row.sort_unstable();
+                RowSet::from_sorted_vec(row)
+            })
+            .collect();
+        // Renumbering to dense SCC ids makes the adaptive policy
+        // meaningful again (rep-id rows stay sparse; see `closure` docs).
+        let policy = RowSetPolicy::default();
+        let closure = RowTable::from_rows_with(rows, reps.len() as u32, &policy);
         let ebar_edges: usize =
             self.scc_out.values().map(FxHashMap::len).sum::<usize>() + self.cyclic.len();
         let mapping = VertexMapping::from_sorted_vertices(vertices);
-        Rtc::from_parts(mapping, scc, closure, self.edge_count, ebar_edges)
+        Rtc::from_parts(mapping, scc, closure, self.edge_count, ebar_edges, policy)
     }
 
     // ---- internals ----
@@ -386,7 +401,7 @@ impl DynamicRtc {
         }
         self.comp.insert(v, v);
         self.members.insert(v, vec![v]);
-        self.closure.insert(v, FxHashSet::default());
+        self.closure.insert(v, RowSet::empty());
         self.scc_out.insert(v, FxHashMap::default());
         self.scc_in.insert(v, FxHashMap::default());
         self.out.entry(v).or_default();
@@ -468,7 +483,7 @@ impl DynamicRtc {
             || new_cond.iter().any(|&(_, b)| {
                 new_cond
                     .iter()
-                    .any(|&(a2, _)| a2 == b || self.closure[&b].contains(&a2))
+                    .any(|&(a2, _)| a2 == b || self.closure[&b].contains(a2))
             });
         if maybe_cycle {
             self.absorb_cond_edges(&new_cond, stats);
@@ -525,17 +540,14 @@ impl DynamicRtc {
     /// New acyclic condensation edge `a → b`: push `{b} ∪ closure(b)`
     /// backward from `a`, pruning wherever a row already absorbs it.
     fn propagate_insert(&mut self, a: u32, b: u32, stats: &mut MaintenanceStats) {
-        let mut delta: Vec<u32> = self.closure[&b].iter().copied().collect();
-        delta.push(b);
+        let mut delta = self.closure[&b].clone();
+        delta.insert(b);
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         seen.insert(a);
         let mut queue = vec![a];
         while let Some(s) = queue.pop() {
             let row = self.closure.get_mut(&s).unwrap();
-            let mut changed = false;
-            for &d in &delta {
-                changed |= row.insert(d);
-            }
+            let changed = row.union_in_place(&delta);
             // If the row already contained the delta, every predecessor's
             // row (a superset, by the closure invariant) did too.
             if changed {
@@ -575,7 +587,7 @@ impl DynamicRtc {
             self.closure.remove(&s);
         }
         self.cyclic.insert(r); // the group is a cycle by construction
-        self.closure.insert(r, FxHashSet::default());
+        self.closure.insert(r, RowSet::empty());
 
         // Condensation adjacency: union the merged SCCs' maps (edges
         // between them become internal) and re-point external neighbors.
@@ -649,7 +661,7 @@ impl DynamicRtc {
                     // chain in `recompute_rows` carries it up through `a`.
                     let redundant = self.scc_out[&a]
                         .keys()
-                        .any(|&t| t == b || self.closure[&t].contains(&b));
+                        .any(|&t| t == b || self.closure[&t].contains(b));
                     if !redundant {
                         row_frontier.insert(a);
                     }
@@ -659,7 +671,7 @@ impl DynamicRtc {
                 // ancestors still reach it either way.
                 debug_assert_eq!(u, v);
                 if !self.out[&u].contains(&u) && self.cyclic.remove(&a) {
-                    self.closure.get_mut(&a).unwrap().remove(&a);
+                    self.closure.get_mut(&a).unwrap().remove(a);
                     stats.rows_touched += 1;
                 }
             } else {
@@ -777,7 +789,7 @@ impl DynamicRtc {
                 self.cyclic.insert(rep);
             }
             self.members.insert(rep, sub_members);
-            self.closure.insert(rep, FxHashSet::default());
+            self.closure.insert(rep, RowSet::empty());
             self.scc_out.insert(rep, FxHashMap::default());
             self.scc_in.insert(rep, FxHashMap::default());
             sub_reps.push(rep);
@@ -846,14 +858,15 @@ impl DynamicRtc {
                 let must_recompute =
                     frontier.contains(&s) || self.scc_out[&s].keys().any(|t| changed.contains(t));
                 if must_recompute {
-                    let mut row: FxHashSet<u32> = FxHashSet::default();
+                    let mut ids: Vec<u32> = Vec::new();
                     for &t in self.scc_out[&s].keys() {
-                        row.insert(t);
-                        row.extend(self.closure[&t].iter().copied());
+                        ids.push(t);
+                        ids.extend(self.closure[&t].iter());
                     }
                     if self.cyclic.contains(&s) {
-                        row.insert(s);
+                        ids.push(s);
                     }
+                    let row = RowSet::from_unsorted(ids);
                     if row != self.closure[&s] {
                         changed.insert(s);
                         self.closure.insert(s, row);

@@ -13,10 +13,12 @@
 //! implements Theorem 1's enumeration
 //! `R⁺_G = ⋃ {s_k × s_l | (s̄_k, s̄_l) ∈ TC(Ḡ_R)}`.
 
-use crate::tc::closure_of_condensation;
+use crate::tc::closure_of_condensation_rows;
 use rpq_graph::{
-    par, tarjan_scc, Condensation, Csr, MappedDigraph, PairSet, Scc, SccId, VertexId, VertexMapping,
+    par, tarjan_scc, Condensation, MappedDigraph, PairSet, RowSet, RowSetPolicy, RowTable, Scc,
+    SccId, VertexId, VertexMapping,
 };
+use std::sync::Arc;
 
 /// Size/shape statistics of an RTC, reported by the experiment harness
 /// (Figs. 12 and 13 compare `closure_pairs` and `scc_count` against the
@@ -41,8 +43,10 @@ pub struct RtcStats {
 pub struct Rtc {
     mapping: VertexMapping,
     scc: Scc,
-    /// Per-SCC sorted closure rows over SCC ids.
-    closure: Csr<u32>,
+    /// Per-SCC closure rows over SCC ids (hybrid sparse/dense).
+    closure: RowTable,
+    /// Representation policy used for closure rows and expansion rows.
+    policy: RowSetPolicy,
     stats: RtcStats,
 }
 
@@ -54,22 +58,33 @@ impl Rtc {
         Self::from_reduced(reduceable(r_g))
     }
 
+    /// [`Rtc::from_pairs`] with an explicit row-representation policy.
+    pub fn from_pairs_with(r_g: &PairSet, policy: &RowSetPolicy) -> Rtc {
+        Self::from_reduced_with(reduceable(r_g), policy)
+    }
+
     /// Computes the RTC from an already-built `G_R`.
     pub fn from_reduced(gr: MappedDigraph) -> Rtc {
+        Self::from_reduced_with(gr, &RowSetPolicy::default())
+    }
+
+    /// [`Rtc::from_reduced`] with an explicit row-representation policy.
+    pub fn from_reduced_with(gr: MappedDigraph, policy: &RowSetPolicy) -> Rtc {
         let scc = tarjan_scc(&gr.graph);
         let cond = Condensation::new(&gr.graph, &scc);
-        let closure = closure_of_condensation(&cond);
+        let closure = closure_of_condensation_rows(&cond, policy);
         let stats = RtcStats {
             vr_vertices: gr.graph.vertex_count(),
             er_edges: gr.graph.edge_count(),
             scc_count: scc.count(),
             ebar_edges: cond.edge_count(),
-            closure_pairs: closure.len(),
+            closure_pairs: closure.total_len(),
         };
         Rtc {
             mapping: gr.mapping,
             scc,
             closure,
+            policy: *policy,
             stats,
         }
     }
@@ -83,29 +98,47 @@ impl Rtc {
     pub(crate) fn from_parts(
         mapping: VertexMapping,
         scc: Scc,
-        closure: Csr<u32>,
+        closure: RowTable,
         er_edges: usize,
         ebar_edges: usize,
+        policy: RowSetPolicy,
     ) -> Rtc {
         let stats = RtcStats {
             vr_vertices: mapping.len(),
             er_edges,
             scc_count: scc.count(),
             ebar_edges,
-            closure_pairs: closure.len(),
+            closure_pairs: closure.total_len(),
         };
         Rtc {
             mapping,
             scc,
             closure,
+            policy,
             stats,
         }
     }
 
     /// Borrows the internal tables for serialization
     /// ([`crate::snapshot::RtcParts`]).
-    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &Scc, &Csr<u32>, &RtcStats) {
+    pub(crate) fn raw_parts(&self) -> (&VertexMapping, &Scc, &RowTable, &RtcStats) {
         (&self.mapping, &self.scc, &self.closure, &self.stats)
+    }
+
+    /// The row-representation policy this RTC was built with.
+    pub fn policy(&self) -> &RowSetPolicy {
+        &self.policy
+    }
+
+    /// Heap bytes held by the closure rows (`TC(Ḡ_R)`) — the shared-data
+    /// memory of RTCSharing, comparable against [`crate::FullTc::heap_bytes`].
+    pub fn closure_heap_bytes(&self) -> usize {
+        self.closure.heap_bytes()
+    }
+
+    /// Number of closure rows currently stored as dense bitsets.
+    pub fn dense_closure_rows(&self) -> usize {
+        self.closure.dense_rows()
     }
 
     /// Size statistics.
@@ -120,7 +153,7 @@ impl Rtc {
 
     /// Number of pairs in `TC(Ḡ_R)` — the shared-data size of RTCSharing.
     pub fn closure_pair_count(&self) -> usize {
-        self.closure.len()
+        self.stats.closure_pairs
     }
 
     /// Average number of vertices per SCC (1.00 means vertex-level
@@ -139,10 +172,11 @@ impl Rtc {
         self.mapping.compact(v).map(|c| self.scc.component_of(c))
     }
 
-    /// SCC ids reachable from `s` via ≥ 1 step of `Ḡ_R`, sorted ascending.
-    /// Contains `s` itself iff the SCC has an internal cycle/self-loop.
+    /// SCC ids reachable from `s` via ≥ 1 step of `Ḡ_R`. Iteration is
+    /// ascending regardless of the row's representation. Contains `s`
+    /// itself iff the SCC has an internal cycle/self-loop.
     #[inline]
-    pub fn successors(&self, s: SccId) -> &[u32] {
+    pub fn successors(&self, s: SccId) -> &RowSet {
         self.closure.row(s.index())
     }
 
@@ -161,17 +195,19 @@ impl Rtc {
 
     /// Materializes `R⁺_G` per Theorem 1:
     /// `{(v_i, v_j) | (s̄_k, s̄_l) ∈ TC(Ḡ_R) ∧ (v_i, v_j) ∈ s_k × s_l}`.
+    ///
+    /// The result is a grouped [`PairSet`]: the target row of each source
+    /// SCC is gathered once and *shared* (`Arc`) among every member of the
+    /// SCC, so expansion costs `O(|V̄_R|·row)` materialized memory instead
+    /// of `O(|R⁺_G|)` — Theorem 1's `s_k × s_l` without the product.
     pub fn expand(&self) -> PairSet {
-        // Rows are built per-SCC; pairs are unique by construction (SCC
-        // member sets are disjoint — the useless-2 argument), but sources
-        // interleave across SCCs, so a sort is still needed.
-        PairSet::from_pairs(self.expand_pairs_range(0..self.scc.count()))
+        PairSet::from_grouped_rows(self.expand_groups_range(0..self.scc.count()))
     }
 
-    /// Parallel [`Rtc::expand`]: the per-SCC Cartesian products are
-    /// sharded over `threads` scoped workers (0 = all cores) and the
-    /// shard outputs merged through the same final sort. Output is
-    /// identical to [`Rtc::expand`] (property-tested).
+    /// Parallel [`Rtc::expand`]: the per-SCC target rows are sharded over
+    /// `threads` scoped workers (0 = all cores) and the shard outputs
+    /// merged into the same grouped spine. Output is identical to
+    /// [`Rtc::expand`] (property-tested).
     pub fn expand_parallel(&self, threads: usize) -> PairSet {
         let k = self.scc.count();
         let threads = par::effective_threads(threads);
@@ -180,36 +216,39 @@ impl Rtc {
         }
         let chunk = par::balanced_chunk(k, threads, 4, 512);
         let mut shards =
-            par::par_map_chunks(threads, k, chunk, |range| self.expand_pairs_range(range));
-        let mut pairs = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+            par::par_map_chunks(threads, k, chunk, |range| self.expand_groups_range(range));
+        let mut groups = Vec::with_capacity(shards.iter().map(Vec::len).sum());
         for shard in &mut shards {
-            pairs.append(shard);
+            groups.append(shard);
         }
-        PairSet::from_pairs(pairs)
+        PairSet::from_grouped_rows(groups)
     }
 
-    /// Theorem 1's enumeration restricted to source SCCs in `sccs`, as raw
-    /// (unsorted across SCCs) pairs — the shard unit of both expansion
-    /// paths.
-    fn expand_pairs_range(&self, sccs: std::ops::Range<usize>) -> Vec<(VertexId, VertexId)> {
-        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    /// Theorem 1's enumeration restricted to source SCCs in `sccs`, as
+    /// (source vertex, shared target row) groups — the shard unit of both
+    /// expansion paths. Each SCC's target row is built once and Arc-cloned
+    /// per member vertex.
+    fn expand_groups_range(&self, sccs: std::ops::Range<usize>) -> Vec<(VertexId, Arc<RowSet>)> {
+        let mut groups: Vec<(VertexId, Arc<RowSet>)> = Vec::new();
         for s in sccs {
             let succ = self.closure.row(s);
             if succ.is_empty() {
                 continue;
             }
             // Gather target vertices once per source SCC.
-            let mut targets: Vec<VertexId> = Vec::new();
-            for &t in succ {
-                targets.extend(self.members_original(SccId(t)));
+            let mut targets: Vec<u32> = Vec::new();
+            for t in succ.iter() {
+                targets.extend(self.members_original(SccId(t)).map(|v| v.raw()));
             }
             targets.sort_unstable();
+            let mut row = RowSet::from_sorted_vec(targets);
+            row.normalize(0, &self.policy);
+            let row = Arc::new(row);
             for &m in self.scc.members(SccId(s as u32)) {
-                let src = self.mapping.original(m);
-                pairs.extend(targets.iter().map(|&dst| (src, dst)));
+                groups.push((self.mapping.original(m), Arc::clone(&row)));
             }
         }
-        pairs
+        groups
     }
 
     /// The number of pairs [`Rtc::expand`] would produce, computed without
@@ -220,7 +259,7 @@ impl Rtc {
             .collect();
         let mut total = 0usize;
         for s in 0..self.scc.count() {
-            let succ_total: usize = self.closure.row(s).iter().map(|&t| sizes[t as usize]).sum();
+            let succ_total: usize = self.closure.row(s).iter().map(|t| sizes[t as usize]).sum();
             total += sizes[s] * succ_total;
         }
         total
@@ -352,12 +391,28 @@ mod tests {
         let s6 = rtc.scc_of_original(VertexId(6)).unwrap();
         let s35 = rtc.scc_of_original(VertexId(3)).unwrap();
         // s{2,4} reaches itself (cycle) and s{6}.
-        assert!(rtc.successors(s24).contains(&s24.raw()));
-        assert!(rtc.successors(s24).contains(&s6.raw()));
+        assert!(rtc.successors(s24).contains(s24.raw()));
+        assert!(rtc.successors(s24).contains(s6.raw()));
         // s{6} reaches nothing.
         assert!(rtc.successors(s6).is_empty());
         // s{3,5} reaches only itself.
-        assert_eq!(rtc.successors(s35), &[s35.raw()]);
+        assert_eq!(rtc.successors(s35).to_vec(), vec![s35.raw()]);
+    }
+
+    #[test]
+    fn expand_is_grouped_and_policies_agree() {
+        let r_g: PairSet = [(2u32, 4u32), (2, 6), (3, 5), (4, 2), (5, 3)]
+            .into_iter()
+            .collect();
+        let adaptive = Rtc::from_pairs(&r_g);
+        let dense = Rtc::from_pairs_with(&r_g, &RowSetPolicy::dense());
+        let sparse = Rtc::from_pairs_with(&r_g, &RowSetPolicy::sparse());
+        assert!(adaptive.expand().is_grouped());
+        assert_eq!(dense.expand(), sparse.expand());
+        assert_eq!(adaptive.expand(), dense.expand());
+        assert!(dense.dense_closure_rows() > 0);
+        assert_eq!(sparse.dense_closure_rows(), 0);
+        assert!(sparse.closure_heap_bytes() > 0);
     }
 
     #[test]

@@ -17,8 +17,36 @@
 
 use crate::full_tc::FullTc;
 use crate::rtc::Rtc;
-use rpq_graph::{Csr, Scc, VertexId, VertexMapping};
+use rpq_graph::{RowSet, RowSetPolicy, RowTable, Scc, VertexId, VertexMapping};
 use std::fmt;
+
+/// Validates one closure row against universe `k`: sparse rows must be
+/// strictly ascending and in range; dense rows are sorted and deduplicated
+/// by construction, so only the range check applies.
+fn check_row(row: &RowSet, k: usize, what: &str, i: usize) -> Result<(), PartsError> {
+    match row {
+        RowSet::Sparse(ids) => {
+            if !ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(PartsError::new(format!(
+                    "{what} row {i} is not strictly ascending"
+                )));
+            }
+            if let Some(&t) = ids.iter().find(|&&t| t as usize >= k) {
+                return Err(PartsError::new(format!(
+                    "{what} row {i} references id {t} out of range ({k})"
+                )));
+            }
+        }
+        RowSet::Dense(_) => {
+            if let Some(t) = row.max().filter(|&t| t as usize >= k) {
+                return Err(PartsError::new(format!(
+                    "{what} row {i} references id {t} out of range ({k})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A structural-invariant violation found while reassembling parts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,9 +76,10 @@ pub struct RtcParts {
     pub component_of: Vec<u32>,
     /// Number of SCCs (`|V̄_R|`).
     pub scc_count: u32,
-    /// Per-SCC closure rows over SCC ids, each sorted ascending —
-    /// `TC(Ḡ_R)` exactly as [`Rtc::successors`] serves it.
-    pub closure_rows: Vec<Vec<u32>>,
+    /// Per-SCC closure rows over SCC ids — `TC(Ḡ_R)` exactly as
+    /// [`Rtc::successors`] serves it, in either representation (sparse
+    /// rows sorted ascending).
+    pub closure_rows: Vec<RowSet>,
     /// `|E_R|` (= `|R_G|`), carried for [`crate::RtcStats`].
     pub er_edges: u64,
     /// `|Ē_R|`, carried for [`crate::RtcStats`].
@@ -65,7 +94,7 @@ impl RtcParts {
             originals: mapping.originals().iter().map(|v| v.raw()).collect(),
             component_of: scc.component_table().to_vec(),
             scc_count: scc.count() as u32,
-            closure_rows: (0..scc.count()).map(|s| closure.row(s).to_vec()).collect(),
+            closure_rows: closure.iter().cloned().collect(),
             er_edges: stats.er_edges as u64,
             ebar_edges: stats.ebar_edges as u64,
         }
@@ -105,27 +134,19 @@ impl RtcParts {
             )));
         }
         for (s, row) in self.closure_rows.iter().enumerate() {
-            if !row.windows(2).all(|w| w[0] < w[1]) {
-                return Err(PartsError::new(format!(
-                    "closure row {s} is not strictly ascending"
-                )));
-            }
-            if let Some(&t) = row.iter().find(|&&t| t as usize >= k) {
-                return Err(PartsError::new(format!(
-                    "closure row {s} references SCC {t} out of range (scc_count = {k})"
-                )));
-            }
+            check_row(row, k, "closure", s)?;
         }
         let mapping =
             VertexMapping::from_sorted_vertices(self.originals.into_iter().map(VertexId).collect());
         let scc = Scc::from_component_table(self.component_of, k);
-        let closure = Csr::from_rows(self.closure_rows);
+        let closure = RowTable::from_rows(self.closure_rows, k as u32);
         Ok(Rtc::from_parts(
             mapping,
             scc,
             closure,
             self.er_edges as usize,
             self.ebar_edges as usize,
+            RowSetPolicy::default(),
         ))
     }
 }
@@ -135,9 +156,10 @@ impl RtcParts {
 pub struct FullTcParts {
     /// Original-graph vertices of `V_R`, strictly ascending.
     pub originals: Vec<u32>,
-    /// Per-compact-vertex reachability rows over compact ids, each sorted
-    /// ascending (`len == originals.len()`).
-    pub rows: Vec<Vec<u32>>,
+    /// Per-compact-vertex reachability rows over compact ids
+    /// (`len == originals.len()`), in either representation (sparse rows
+    /// sorted ascending).
+    pub rows: Vec<RowSet>,
 }
 
 impl FullTcParts {
@@ -146,7 +168,7 @@ impl FullTcParts {
         let (mapping, rows) = full.raw_parts();
         FullTcParts {
             originals: mapping.originals().iter().map(|v| v.raw()).collect(),
-            rows: (0..rows.rows()).map(|v| rows.row(v).to_vec()).collect(),
+            rows: rows.iter().cloned().collect(),
         }
     }
 
@@ -165,20 +187,14 @@ impl FullTcParts {
             )));
         }
         for (v, row) in self.rows.iter().enumerate() {
-            if !row.windows(2).all(|w| w[0] < w[1]) {
-                return Err(PartsError::new(format!(
-                    "reachability row {v} is not strictly ascending"
-                )));
-            }
-            if let Some(&t) = row.iter().find(|&&t| t as usize >= n) {
-                return Err(PartsError::new(format!(
-                    "reachability row {v} references compact vertex {t} out of range ({n})"
-                )));
-            }
+            check_row(row, n, "reachability", v)?;
         }
         let mapping =
             VertexMapping::from_sorted_vertices(self.originals.into_iter().map(VertexId).collect());
-        Ok(FullTc::from_raw_parts(mapping, Csr::from_rows(self.rows)))
+        Ok(FullTc::from_raw_parts(
+            mapping,
+            RowTable::from_rows(self.rows, n as u32),
+        ))
     }
 }
 
@@ -247,12 +263,16 @@ mod tests {
         assert!(p.assemble().is_err());
 
         let mut p = good.clone();
-        if let Some(row) = p.closure_rows.iter_mut().find(|r| r.len() >= 2) {
-            row.swap(0, 1); // break sortedness
-        } else {
-            p.closure_rows[0] = vec![1, 0];
-        }
+        p.closure_rows[0] = RowSet::Sparse(vec![1, 0]); // break sortedness
         assert!(p.assemble().is_err());
+
+        let mut p = good.clone();
+        p.closure_rows[0] = RowSet::dense_from_iter(64, [40u32]); // SCC 40 ∉ [0,k)
+        assert!(p
+            .assemble()
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
 
         let mut p = good.clone();
         p.originals.reverse();
@@ -261,8 +281,18 @@ mod tests {
         // An SCC id with no member vertex.
         let mut p = good;
         p.scc_count += 1;
-        p.closure_rows.push(Vec::new());
+        p.closure_rows.push(RowSet::empty());
         assert!(p.assemble().unwrap_err().to_string().contains("no members"));
+    }
+
+    #[test]
+    fn dense_rtc_parts_roundtrip() {
+        let rtc = Rtc::from_pairs_with(&bc_pairs(), &rpq_graph::RowSetPolicy::dense());
+        let parts = RtcParts::of(&rtc);
+        assert!(parts.closure_rows.iter().any(|r| r.is_dense()));
+        let back = parts.assemble().unwrap();
+        assert_eq!(back.stats(), rtc.stats());
+        assert_eq!(back.expand(), rtc.expand());
     }
 
     #[test]
@@ -275,7 +305,7 @@ mod tests {
         assert!(p.assemble().is_err());
 
         let mut p = good.clone();
-        p.rows[0] = vec![250];
+        p.rows[0] = RowSet::Sparse(vec![250]);
         assert!(p
             .assemble()
             .unwrap_err()

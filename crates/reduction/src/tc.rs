@@ -22,7 +22,10 @@
 //!
 //! All closure rows are sorted ascending, so downstream joins can merge.
 
-use rpq_graph::{par, tarjan_scc, BitMatrix, Condensation, Csr, Digraph, EpochVisited, Scc, SccId};
+use rpq_graph::{
+    par, tarjan_scc, Condensation, Csr, Digraph, EpochVisited, RowSet, RowSetPolicy, RowTable, Scc,
+    SccId,
+};
 
 /// Naive transitive closure: one BFS per vertex. Row `v` holds the sorted
 /// vertices reachable from `v` via ≥ 1 edge.
@@ -185,26 +188,70 @@ pub fn nuutila_closure(g: &Digraph) -> (Scc, Csr<u32>) {
     (scc, Csr::from_rows(rows))
 }
 
-/// Bitset variant of the condensation closure: each row is a dense bit
-/// vector and the reverse-topological sweep unions successor rows with
-/// word-parallel ORs. Faster than list merging when the closure is dense;
-/// memory is `|V̄_R|²/8` bytes, so callers should prefer
-/// [`closure_of_condensation`] for large condensations (the
-/// `tc_ablation` bench quantifies the crossover).
-pub fn closure_of_condensation_bitset(cond: &Condensation) -> BitMatrix {
+/// Hybrid variant of the condensation closure: each row is a [`RowSet`]
+/// whose representation is chosen per `policy`. Sparse rows are built with
+/// the same epoch-stamped merge as [`closure_of_condensation`]; rows whose
+/// *estimated* merged size crosses the policy's density crossover are built
+/// dense up front, so successor unions run as word-parallel ORs instead of
+/// list merges. After the merge each row is normalized (an over-estimated
+/// dense row demotes back to sparse under the adaptive policy).
+pub fn closure_of_condensation_rows(cond: &Condensation, policy: &RowSetPolicy) -> RowTable {
     let k = cond.vertex_count();
-    let mut m = BitMatrix::new(k);
-    // Ascending SCC ids are reverse-topological: successors close first.
-    for s in 0..k {
-        if cond.has_self_loop(SccId(s as u32)) {
-            m.set(s, s);
+    let mut rows: Vec<RowSet> = Vec::with_capacity(k);
+    let mut stamp = EpochVisited::new(k);
+    for s in 0..k as u32 {
+        let self_loop = cond.has_self_loop(SccId(s));
+        // Upper bound of the merged row: the successor edges plus their
+        // closure rows (duplicates counted). Deciding the representation
+        // *before* merging is what makes the dense path cheap — the
+        // alternative (build sparse, then promote) pays the merge twice.
+        let mut estimate = usize::from(self_loop);
+        for &t in cond.out(SccId(s)) {
+            estimate += 1 + rows[t as usize].len();
         }
-        for &t in cond.out(SccId(s as u32)) {
-            m.set(s, t as usize);
-            m.or_row_into(t as usize, s);
-        }
+        let mut row = if policy.wants_dense(estimate.min(k), k as u32) {
+            let mut row = RowSet::dense_from_iter(k as u32, std::iter::empty());
+            if self_loop {
+                row.insert(s);
+            }
+            for &t in cond.out(SccId(s)) {
+                row.insert(t);
+                row.union_in_place(&rows[t as usize]);
+            }
+            row
+        } else {
+            stamp.clear();
+            let mut row: Vec<u32> = Vec::new();
+            if self_loop && stamp.insert(s) {
+                row.push(s);
+            }
+            for &t in cond.out(SccId(s)) {
+                if stamp.insert(t) {
+                    row.push(t);
+                }
+                for q in rows[t as usize].iter() {
+                    if stamp.insert(q) {
+                        row.push(q);
+                    }
+                }
+            }
+            row.sort_unstable();
+            RowSet::from_sorted_vec(row)
+        };
+        row.normalize(k as u32, policy);
+        rows.push(row);
     }
-    m
+    RowTable::from_rows(rows, k as u32)
+}
+
+/// Bitset variant of the condensation closure: every non-empty row is a
+/// dense bit vector and the reverse-topological sweep unions successor
+/// rows with word-parallel ORs. Faster than list merging when the closure
+/// is dense; memory is up to `|V̄_R|²/8` bytes, so callers should prefer
+/// the adaptive [`closure_of_condensation_rows`] for large condensations
+/// (the `tc_ablation` and `repr_ablation` benches quantify the crossover).
+pub fn closure_of_condensation_bitset(cond: &Condensation) -> RowTable {
+    closure_of_condensation_rows(cond, &RowSetPolicy::dense())
 }
 
 /// Expands a per-SCC closure to per-vertex rows (the Cartesian products of
@@ -501,10 +548,19 @@ mod tests {
             let cond = Condensation::new(g, &scc);
             let lists = closure_of_condensation(&cond);
             let bits = closure_of_condensation_bitset(&cond);
-            assert_eq!(bits.count_ones(), lists.len(), "graph {i}: pair totals");
+            assert_eq!(bits.total_len(), lists.len(), "graph {i}: pair totals");
             for s in 0..cond.vertex_count() {
-                let from_bits: Vec<u32> = bits.row_iter(s).collect();
-                assert_eq!(from_bits, lists.row(s), "graph {i}, scc {s}");
+                let row = bits.row(s);
+                assert!(row.is_dense() || row.is_empty(), "graph {i}, scc {s}: repr");
+                assert_eq!(row.to_vec(), lists.row(s), "graph {i}, scc {s}");
+            }
+            // The adaptive and forced-sparse sweeps agree element-wise too.
+            for policy in [RowSetPolicy::adaptive(), RowSetPolicy::sparse()] {
+                let rows = closure_of_condensation_rows(&cond, &policy);
+                assert_eq!(rows.total_len(), lists.len(), "graph {i}: {policy:?}");
+                for s in 0..cond.vertex_count() {
+                    assert_eq!(rows.row(s).to_vec(), lists.row(s), "graph {i}, scc {s}");
+                }
             }
         }
     }

@@ -638,8 +638,9 @@ impl Session {
         let g = view.graph();
         let config = self.overlay.resolve(view.config());
         let (lo, hi, views) = self.shared.retained_span();
+        let c = view.cache();
         Response::ok(format!(
-            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}, views {views} (epochs {lo}..{hi}), conns {}/{}",
+            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}, views {views} (epochs {lo}..{hi}), conns {}/{}, structural {} B",
             published.source(),
             g.vertex_count(),
             g.edge_count(),
@@ -651,6 +652,7 @@ impl Session {
             if self.overlay.binary { "on" } else { "off" },
             self.shared.live_conns(),
             self.shared.max_conns(),
+            c.rtc_heap_bytes() + c.full_heap_bytes(),
         ))
     }
 
@@ -945,6 +947,17 @@ impl Session {
                 self.shared.live_conns(),
                 self.shared.max_conns(),
             ),
+            {
+                let c = view.cache();
+                format!(
+                    "  memory: structural={} B (rtc={} B, {} dense rows; full={} B, {} dense rows)",
+                    c.rtc_heap_bytes() + c.full_heap_bytes(),
+                    c.rtc_heap_bytes(),
+                    c.rtc_dense_rows(),
+                    c.full_heap_bytes(),
+                    c.full_dense_rows(),
+                )
+            },
         ];
         Response::ok("metrics".to_string()).with_lines(lines)
     }
@@ -962,6 +975,11 @@ impl Session {
                 c.rtc_total_sccs(),
                 c.full_count(),
                 c.full_shared_pairs()
+            ),
+            format!(
+                "  memory: {} B structural heap ({} dense rows)",
+                c.rtc_heap_bytes() + c.full_heap_bytes(),
+                c.rtc_dense_rows() + c.full_dense_rows(),
             ),
             format!(
                 "  lookups: {} hits, {} misses, {} stale hits (epoch {})",
@@ -1057,6 +1075,32 @@ mod tests {
         // Second evaluation is a result-cache view hit.
         ok_summary(s.execute("query d.(b.c)+.c"));
         assert!(s.engine().results().view_hits() >= 1);
+    }
+
+    /// ISSUE 7 satellite: `info`, `metrics` and `cache` surface the heap
+    /// bytes held by the hybrid structural tables.
+    #[test]
+    fn memory_metrics_expose_structural_heap_bytes() {
+        let mut s = Session::new();
+        ok_summary(s.execute("gen paper"));
+        ok_summary(s.execute("query d.(b.c)+.c"));
+        assert!(s.engine().structural_heap_bytes() > 0);
+        let info = ok_summary(s.execute("info"));
+        assert!(info.contains("structural"), "{info}");
+        let m = s.execute("metrics").unwrap();
+        assert!(
+            m.lines
+                .iter()
+                .any(|l| l.contains("memory: structural=") && !l.contains("structural=0 B")),
+            "{:?}",
+            m.lines
+        );
+        let c = s.execute("cache").unwrap();
+        assert!(
+            c.lines.iter().any(|l| l.contains("B structural heap")),
+            "{:?}",
+            c.lines
+        );
     }
 
     #[test]

@@ -337,9 +337,10 @@ fn pair_count(status: &str) -> usize {
 /// from the per-epoch result cache — with the identical count.
 #[test]
 fn mvcc_slow_query_stays_pinned_while_writers_publish() {
-    // RMAT_3 at 2^12 vertices: `l0+` materializes ~2.5M closure pairs —
-    // seconds of work in a debug build.
-    let addr = spawn_server(&["gen rmat 3 12 42".to_string()]);
+    // RMAT_3 at 2^13 vertices: `l0+` materializes ~10M closure pairs —
+    // over a second of work even in a debug build with dense bitset rows
+    // (2^12 used to suffice, but the hybrid representation got too fast).
+    let addr = spawn_server(&["gen rmat 3 13 42".to_string()]);
     let mut a = Client::connect(addr);
     let mut b = Client::connect(addr);
     a.roundtrip("limit 0");
@@ -527,9 +528,10 @@ proptest! {
 /// orders of magnitude earlier.
 #[test]
 fn slow_query_does_not_block_fast_reader() {
-    // RMAT_3 at 2^12 vertices: `l0+` materializes ~2.5M closure pairs —
-    // seconds of work in a debug build, comfortably slow everywhere.
-    let addr = spawn_server(&["gen rmat 3 12 42".to_string()]);
+    // RMAT_3 at 2^13 vertices: `l0+` materializes ~10M closure pairs —
+    // over a second of work in a debug build even with dense bitset rows,
+    // comfortably slow everywhere.
+    let addr = spawn_server(&["gen rmat 3 13 42".to_string()]);
     let mut a = Client::connect(addr);
     let mut b = Client::connect(addr);
     a.roundtrip("limit 0");

@@ -99,7 +99,7 @@ fn main() {
         .ends_of(receptor)
         .iter()
         .take(8)
-        .map(|&(_, t)| t.raw())
+        .map(|t| t.raw())
         .collect();
     println!(
         "receptor v3 can (transitively) silence {} proteins; first few: {targets:?}",

@@ -119,7 +119,7 @@ fn main() {
     let recs: Vec<u32> = reach
         .ends_of(user)
         .iter()
-        .map(|&(_, g)| g.raw())
+        .map(|g| g.raw())
         .filter(|g| !own_groups.contains(g))
         .take(5)
         .collect();

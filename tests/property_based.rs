@@ -4,10 +4,10 @@
 mod common;
 
 use proptest::prelude::*;
-use rtc_rpq::core::{Engine, Strategy as EvalStrategy};
+use rtc_rpq::core::{Engine, EngineConfig, Strategy as EvalStrategy};
 use rtc_rpq::eval::algebraic::plus_closure;
 use rtc_rpq::eval::evaluate_algebraic;
-use rtc_rpq::graph::{GraphBuilder, PairSet, VertexId};
+use rtc_rpq::graph::{GraphBuilder, PairSet, ReprMode, RowSet, RowSetPolicy, VertexId};
 use rtc_rpq::reduction::{FullTc, Rtc};
 use rtc_rpq::regex::Regex;
 
@@ -92,8 +92,75 @@ proptest! {
     #[test]
     fn pairset_always_sorted_unique(pairs in arb_pairs(20, 60)) {
         let p: PairSet = pairs.into_iter().collect();
-        let v = p.as_slice();
+        let v: Vec<_> = p.iter().collect();
         prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+// ---------- RowSet hybrid representation ----------
+
+fn arb_ids(max_v: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..max_v, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dense and sparse backings agree on union, intersection, difference
+    /// and iteration for every mix of representations. Up to 80 draws over
+    /// a 160-id universe straddles the default 1/32 promotion boundary
+    /// from both sides.
+    #[test]
+    fn rowset_dense_equals_sparse(a in arb_ids(160, 80), b in arb_ids(160, 80)) {
+        let sa = RowSet::from_unsorted(a);
+        let sb = RowSet::from_unsorted(b);
+        let mut da = sa.clone();
+        da.promote(160);
+        let mut db = sb.clone();
+        db.promote(160);
+        // Promotion preserves contents, length and iteration order.
+        prop_assert_eq!(&sa, &da);
+        prop_assert_eq!(sa.len(), da.len());
+        prop_assert!(sa.iter().eq(da.iter()));
+        let union = sa.union(&sb).to_vec();
+        let inter = sa.intersect(&sb).to_vec();
+        let diff = sa.difference(&sb).to_vec();
+        for (x, y) in [(&sa, &sb), (&sa, &db), (&da, &sb), (&da, &db)] {
+            prop_assert_eq!(x.union(y).to_vec(), union.clone());
+            prop_assert_eq!(x.intersect(y).to_vec(), inter.clone());
+            prop_assert_eq!(x.difference(y).to_vec(), diff.clone());
+            // In-place forms agree with the pure forms, and their changed
+            // flags tell the truth.
+            let mut u = x.clone();
+            prop_assert_eq!(u.union_in_place(y), union != x.to_vec());
+            prop_assert_eq!(u.to_vec(), union.clone());
+            let mut d = x.clone();
+            prop_assert_eq!(d.difference_in_place(y), diff != x.to_vec());
+            prop_assert_eq!(d.to_vec(), diff.clone());
+        }
+    }
+
+    /// `normalize` never changes contents, for any mode at any crossover —
+    /// the promotion/demotion boundary only moves the representation.
+    #[test]
+    fn rowset_normalize_preserves_contents(
+        ids in arb_ids(200, 100),
+        crossover in prop::sample::select(vec![0.0, 1.0 / 64.0, 1.0 / 32.0, 1.0 / 16.0, 0.5, 1.0]),
+    ) {
+        let base = RowSet::from_unsorted(ids);
+        for mode in [ReprMode::Adaptive, ReprMode::ForceSparse, ReprMode::ForceDense] {
+            let policy = RowSetPolicy { mode, crossover };
+            let mut r = base.clone();
+            r.normalize(200, &policy);
+            prop_assert_eq!(&r, &base, "mode {:?} crossover {}", mode, crossover);
+            prop_assert_eq!(r.len(), base.len());
+            if mode == ReprMode::ForceSparse {
+                prop_assert!(!r.is_dense());
+            }
+            if mode == ReprMode::ForceDense && !base.is_empty() {
+                prop_assert!(r.is_dense());
+            }
+        }
     }
 }
 
@@ -151,6 +218,40 @@ proptest! {
         let star = Engine::new(&g).evaluate(&Regex::star(q)).unwrap();
         let id = PairSet::identity(g.vertex_count());
         prop_assert_eq!(star, plus.union(&id));
+    }
+
+    /// Representation-ablation invariance: forced-sparse, forced-dense and
+    /// adaptive engines return identical results under every strategy at 1
+    /// and 2 threads (ISSUE 7 satellite).
+    #[test]
+    fn engine_invariant_under_representation(g in arb_graph(), q in arb_regex()) {
+        let oracle = evaluate_algebraic(&g, &q);
+        for strategy in EvalStrategy::ALL {
+            for threads in [1usize, 2] {
+                for policy in [
+                    RowSetPolicy::sparse(),
+                    RowSetPolicy::dense(),
+                    RowSetPolicy::adaptive(),
+                ] {
+                    let config = EngineConfig {
+                        strategy,
+                        threads,
+                        representation: policy,
+                        ..EngineConfig::default()
+                    };
+                    let got = Engine::with_config(&g, config).evaluate(&q).unwrap();
+                    prop_assert_eq!(
+                        &got,
+                        &oracle,
+                        "strategy {} threads {} mode {:?} on {}",
+                        strategy,
+                        threads,
+                        policy.mode,
+                        &q
+                    );
+                }
+            }
+        }
     }
 
     /// Query results only mention vertices that exist in the graph.

@@ -169,7 +169,7 @@ fn vertex_level_reduction_invariants() {
         let full = FullTc::from_pairs(&pairs);
         for s in 0..rtc.scc_count() as u32 {
             let sid = rtc_rpq::graph::SccId(s);
-            let self_reach = rtc.successors(sid).contains(&s);
+            let self_reach = rtc.successors(sid).contains(s);
             let member_self = rtc
                 .members_original(sid)
                 .any(|v| full.successors_original(v).any(|w| w == v));
