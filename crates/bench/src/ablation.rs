@@ -292,9 +292,148 @@ pub fn repr_ablation_table(profile: Profile) -> Table {
     t
 }
 
+/// A Zipf-ranked pool of closure-heavy queries over the RMAT labels
+/// `l0..l3`: 16 two-label closures plus 4 single-label ones, so the
+/// structural cache sees 20 distinct shared bodies with a long tail.
+fn zipf_query_pool() -> Vec<String> {
+    let mut pool = Vec::with_capacity(20);
+    for i in 0..4 {
+        for j in 0..4 {
+            pool.push(format!("(l{i}.l{j})+"));
+        }
+    }
+    for i in 0..4 {
+        pool.push(format!("(l{i})+"));
+    }
+    pool
+}
+
+/// A deterministic Zipf stream of `len` indices into a `pool`-sized
+/// rank list (rank r drawn with weight `(r+1)^-1.75`; LCG-driven, no RNG
+/// dep). The exponent keeps the head heavy enough that half the
+/// unbounded footprint covers most of the traffic while the tail still
+/// churns the eviction path.
+fn zipf_stream(pool: usize, len: usize, mut state: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..pool).map(|r| (r as f64 + 1.0).powf(-1.75)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut u = (state >> 11) as f64 / (1u64 << 53) as f64 * total;
+            for (r, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return r;
+                }
+                u -= w;
+            }
+            pool - 1
+        })
+        .collect()
+}
+
+struct PressureRun {
+    elapsed: Duration,
+    hit_rate: f64,
+    occupancy: usize,
+}
+
+/// Table 5: cache pressure — the same Zipf query stream against an
+/// unbounded cache and against a byte budget at **half** the unbounded
+/// steady state. The bounded run asserts occupancy ≤ budget after every
+/// query (the budget is a hard bound, not advisory), and its hit rate
+/// should stay within ~20% of unbounded: Zipf's head fits in half the
+/// footprint, so eviction mostly recycles the tail. `budget(B)` is the
+/// deterministic structural footprint each mode may retain;
+/// `scripts/bench_drift.py` gates it alongside the stream time.
+pub fn cache_pressure_table(profile: Profile) -> Table {
+    let mut t = Table::new(
+        "Ablation: cache pressure (Zipf stream, bounded vs unbounded)",
+        &[
+            "cache",
+            "budget(B)",
+            "eval(s)",
+            "hit ratio",
+            "occ vs budget",
+        ],
+    );
+    let scale = profile.rmat_scale().min(11);
+    let graph = rmat_n_scaled(2, scale, 19);
+    let pool = zipf_query_pool();
+    let len = match profile {
+        Profile::Fast => 120,
+        _ => 400,
+    };
+    let stream = zipf_stream(pool.len(), len, 0x2f1e_5eed);
+
+    let run = |budget: Option<usize>| -> PressureRun {
+        let config = rpq_core::EngineConfig {
+            cache_budget: rpq_core::CacheBudget {
+                max_bytes: budget,
+                ..rpq_core::CacheBudget::default()
+            },
+            ..rpq_core::EngineConfig::default()
+        };
+        let engine = rpq_core::Engine::with_config(&graph, config);
+        let t = Instant::now();
+        for &r in &stream {
+            engine.evaluate_str(&pool[r]).unwrap();
+            if let Some(max) = budget {
+                // The acceptance probe: never over budget, at any point.
+                assert!(
+                    engine.cache().occupancy_bytes() <= max,
+                    "occupancy {} B over the {} B budget",
+                    engine.cache().occupancy_bytes(),
+                    max
+                );
+            }
+        }
+        let elapsed = t.elapsed();
+        let c = engine.cache();
+        PressureRun {
+            elapsed,
+            hit_rate: c.hits() as f64 / (c.hits() + c.misses()).max(1) as f64,
+            occupancy: c.occupancy_bytes(),
+        }
+    };
+
+    let unbounded = run(None);
+    let budget = (unbounded.occupancy / 2).max(1);
+    let bounded = run(Some(budget));
+
+    for (label, cap, r) in [
+        ("unbounded", unbounded.occupancy, &unbounded),
+        ("bounded 1/2", budget, &bounded),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            cap.to_string(),
+            fmt_secs(r.elapsed),
+            format!("{:.3}", r.hit_rate),
+            fmt_ratio(r.occupancy as f64, budget as f64),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_pressure_fast_profile() {
+        let t = cache_pressure_table(Profile::Fast);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_head_heavy() {
+        let a = zipf_stream(20, 200, 42);
+        assert_eq!(a, zipf_stream(20, 200, 42));
+        let head = a.iter().filter(|&&r| r < 5).count();
+        assert!(head > a.len() / 3, "head ranks drew only {head}/200");
+    }
 
     #[test]
     fn ablation_tables_fast_profile() {

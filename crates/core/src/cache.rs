@@ -31,18 +31,246 @@
 //! lock, so exactly one racer receives the refreshable state — the others
 //! see a plain miss and rebuild from scratch, which is correct, just not
 //! incremental.
+//!
+//! ## Budgets and eviction
+//!
+//! By default the cache is unbounded — every distinct closure body pins
+//! its structures forever. A [`CacheBudget`] (engine-config field, the
+//! `RPQ_CACHE_BUDGET` environment variable, or the `rpq --cache-budget`
+//! flag) caps the retained footprint: every entry records its heap bytes,
+//! the wall-clock nanos spent building it (the cost to rebuild) and a
+//! last-hit tick, and whenever an insert pushes the cache over
+//! `max_bytes`/`max_entries` the entry with the lowest
+//! `cost_to_rebuild / bytes` score is evicted. Scores are compared by
+//! order of magnitude (power-of-8 buckets): measured build times jitter
+//! from run to run, so raw float scores would never tie and a hot entry
+//! whose build happened to measure fast would thrash; entries of
+//! comparable rebuild density instead *tie* and the least-recently-hit
+//! one goes (then key order, so eviction is deterministic). Entries
+//! whose epoch is pinned by a live [`EpochPin`] — i.e. retained by an
+//! [`crate::EpochView`] — are never evicted; if pinned entries alone
+//! exceed the budget, enforcement is best-effort until the pins drop.
+//! `ttl_epochs` adds a [`SharedCache::sweep`] run on every epoch advance
+//! that drops unpinned entries too many epochs behind the live one.
+//! Eviction never affects results — an evicted structure is rebuilt on
+//! its next miss (counted in
+//! [`EvictionCounters::rebuilds_after_evict`]) — it only trades memory
+//! for rebuild time.
 
 use rpq_graph::PairSet;
 use rpq_reduction::{DynamicRtc, FullTc, Rtc};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of independent lock-protected map shards. A small power of two:
 /// enough to keep a handful of serving threads off each other's locks,
 /// small enough that whole-cache aggregates stay cheap.
 const SHARD_COUNT: usize = 8;
+
+/// Bound on the evicted-key set behind the rebuild-after-evict counter.
+/// Purely accounting state; when it fills up it is dropped wholesale
+/// rather than growing without limit (the counter becomes best-effort).
+const EVICTED_KEYS_CAP: usize = 4096;
+
+/// Retention budget for the engine's caches. `Default` is unbounded on
+/// every axis — the pre-budget behavior.
+///
+/// Parsed from specs like `64k`, `bytes=1m,entries=128,ttl=4` (sizes
+/// take `k`/`m`/`g` binary suffixes; a bare size means `max_bytes`), set
+/// via [`crate::EngineConfig::cache_budget`], the `RPQ_CACHE_BUDGET`
+/// environment variable or the server's `--cache-budget` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum retained heap bytes (structures plus recorded base
+    /// relations, both namespaces combined); `None` = unbounded.
+    pub max_bytes: Option<usize>,
+    /// Maximum number of retained entries (RTCs plus full closures);
+    /// `None` = unbounded.
+    pub max_entries: Option<usize>,
+    /// Entries whose build epoch trails the live epoch by more than this
+    /// many epochs are dropped by [`SharedCache::sweep`]; `None` keeps
+    /// stale entries indefinitely (they back incremental refreshes).
+    pub ttl_epochs: Option<u64>,
+}
+
+impl CacheBudget {
+    /// Whether no axis is bounded (the default).
+    pub fn is_unbounded(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Parses a budget spec: comma-separated `bytes=SIZE`, `entries=N`,
+    /// `ttl=N` parts, a bare `SIZE` (meaning `bytes=SIZE`), or the word
+    /// `unbounded`. Sizes accept `k`/`m`/`g` binary suffixes
+    /// (case-insensitive). Returns `None` on anything malformed.
+    pub fn parse(spec: &str) -> Option<Self> {
+        fn size(s: &str) -> Option<usize> {
+            let s = s.trim();
+            let (digits, mult) = match s.as_bytes().last()? {
+                b'k' | b'K' => (&s[..s.len() - 1], 1usize << 10),
+                b'm' | b'M' => (&s[..s.len() - 1], 1usize << 20),
+                b'g' | b'G' => (&s[..s.len() - 1], 1usize << 30),
+                _ => (s, 1usize),
+            };
+            digits.trim().parse::<usize>().ok()?.checked_mul(mult)
+        }
+        if spec.trim().eq_ignore_ascii_case("unbounded") {
+            return Some(Self::default());
+        }
+        let mut budget = Self::default();
+        let mut any = false;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim()),
+                None => ("bytes", part),
+            };
+            match key {
+                "bytes" => budget.max_bytes = Some(size(value)?),
+                "entries" => budget.max_entries = Some(value.parse().ok()?),
+                "ttl" => budget.ttl_epochs = Some(value.parse().ok()?),
+                _ => return None,
+            }
+            any = true;
+        }
+        any.then_some(budget)
+    }
+
+    /// The budget named by `RPQ_CACHE_BUDGET`, or the unbounded default
+    /// when the variable is unset or malformed (mirrors
+    /// `RowSetPolicy::from_env_or_default`).
+    pub fn from_env_or_default() -> Self {
+        match std::env::var("RPQ_CACHE_BUDGET") {
+            Ok(spec) => Self::parse(&spec).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_unbounded() {
+            return write!(f, "unbounded");
+        }
+        let mut parts = Vec::new();
+        if let Some(b) = self.max_bytes {
+            parts.push(format!("bytes={b}"));
+        }
+        if let Some(e) = self.max_entries {
+            parts.push(format!("entries={e}"));
+        }
+        if let Some(t) = self.ttl_epochs {
+            parts.push(format!("ttl={t}"));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+/// Point-in-time copy of the eviction counters, by reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionCounters {
+    /// Entries evicted because the byte budget overflowed.
+    pub by_bytes: u64,
+    /// Entries evicted because the entry budget overflowed.
+    pub by_entries: u64,
+    /// Entries dropped by the TTL sweep.
+    pub by_ttl: u64,
+    /// Stale entries displaced by a newer-epoch insert under their key.
+    pub by_stale: u64,
+    /// Misses on keys that were previously evicted under budget pressure
+    /// — each one is a rebuild the budget caused.
+    pub rebuilds_after_evict: u64,
+}
+
+impl EvictionCounters {
+    /// Total evictions across every reason.
+    pub fn total(&self) -> u64 {
+        self.by_bytes + self.by_entries + self.by_ttl + self.by_stale
+    }
+}
+
+/// RAII pin on an epoch: while any pin for epoch `E` is alive, budget
+/// eviction and the TTL sweep never remove entries stamped `E`, so an
+/// [`crate::EpochView`] retained by the serving layer keeps getting
+/// fresh hits for the structures it already paid for. Dropping the last
+/// pin makes the epoch's entries evictable again.
+pub struct EpochPin {
+    cache: Arc<SharedCache>,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// Pins `epoch` in `cache` until the returned guard drops.
+    pub fn new(cache: Arc<SharedCache>, epoch: u64) -> Self {
+        cache.pin_epoch(epoch);
+        Self { cache, epoch }
+    }
+
+    /// The pinned epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.cache.unpin_epoch(self.epoch);
+    }
+}
+
+/// Per-entry retention metadata: everything eviction scores on.
+struct EntryMeta {
+    /// Retained heap bytes: the structure plus its recorded base
+    /// relation (the maintainable form is not counted — it only exists
+    /// transiently between refreshes).
+    bytes: usize,
+    /// Wall-clock nanos spent building the structure — the cost a future
+    /// miss would pay again. 0 when the insert path measured none, which
+    /// scores the entry cheapest-to-rebuild (evicted first).
+    build_nanos: u64,
+    /// Tick of the most recent fresh hit (insert counts as one); updated
+    /// under the shard *read* lock, hence atomic.
+    last_hit: AtomicU64,
+}
+
+impl EntryMeta {
+    /// Eviction score: nanos of rebuild work bought per retained byte.
+    /// Lowest goes first.
+    fn score(&self) -> f64 {
+        self.build_nanos as f64 / self.bytes.max(1) as f64
+    }
+
+    /// The score's power-of-8 bucket, used for victim comparison.
+    /// Build times are measured wall-clock and jitter between runs, so
+    /// comparing raw float scores never produces the tie the recency
+    /// rule needs — a hot entry whose build happened to measure fast
+    /// would be re-evicted on every round of tail churn. Bucketing by
+    /// order of magnitude makes entries of comparable rebuild density
+    /// tie, and recency picks among them. Unmeasured entries (cost 0)
+    /// sort below every bucket and go first.
+    fn score_class(&self) -> i32 {
+        let score = self.score();
+        if score <= 0.0 {
+            return i32::MIN;
+        }
+        (score.log2() / 3.0).floor() as i32
+    }
+}
+
+impl Clone for EntryMeta {
+    fn clone(&self) -> Self {
+        Self {
+            bytes: self.bytes,
+            build_nanos: self.build_nanos,
+            last_hit: AtomicU64::new(self.last_hit.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// A cached RTC with its provenance.
 #[derive(Clone)]
@@ -55,6 +283,7 @@ struct RtcEntry {
     /// The maintainable form, once a refresh has materialized it.
     dynamic: Option<Arc<DynamicRtc>>,
     epoch: u64,
+    meta: EntryMeta,
 }
 
 /// A cached full closure with its provenance.
@@ -63,6 +292,7 @@ struct FullEntry {
     full: Arc<FullTc>,
     r_g: Option<Arc<PairSet>>,
     epoch: u64,
+    meta: EntryMeta,
 }
 
 /// Result of an epoch-aware RTC lookup.
@@ -122,17 +352,36 @@ struct Shard {
 #[derive(Default)]
 pub struct SharedCache {
     shards: [Shard; SHARD_COUNT],
+    /// The retention budget; immutable after construction.
+    budget: CacheBudget,
     /// The graph epoch this cache serves; entries with an older epoch are
     /// stale.
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     stale_hits: AtomicU64,
+    /// Monotone logical clock stamped into entries' `last_hit` — the
+    /// recency axis of the eviction tie-break.
+    tick: AtomicU64,
+    /// Retained footprint across both namespaces, maintained on every
+    /// map mutation so budget checks are O(1).
+    occ_bytes: AtomicU64,
+    occ_entries: AtomicU64,
+    ev_bytes: AtomicU64,
+    ev_entries: AtomicU64,
+    ev_ttl: AtomicU64,
+    ev_stale: AtomicU64,
+    rebuilds_after_evict: AtomicU64,
+    /// Epoch → number of live [`EpochPin`] guards.
+    pinned: Mutex<FxHashMap<u64, usize>>,
+    /// Keys evicted under budget pressure (namespace-prefixed), consumed
+    /// by the first subsequent miss to count a rebuild-after-evict.
+    evicted_keys: Mutex<FxHashSet<String>>,
 }
 
 impl Clone for SharedCache {
     fn clone(&self) -> Self {
-        let clone = SharedCache::new();
+        let clone = SharedCache::with_budget(self.budget);
         for (mine, theirs) in clone.shards.iter().zip(&self.shards) {
             *write(&mine.rtcs) = read(&theirs.rtcs).clone();
             *write(&mine.fulls) = read(&theirs.fulls).clone();
@@ -141,6 +390,26 @@ impl Clone for SharedCache {
         clone.hits.store(self.hits(), Ordering::Relaxed);
         clone.misses.store(self.misses(), Ordering::Relaxed);
         clone.stale_hits.store(self.stale_hits(), Ordering::Relaxed);
+        clone
+            .tick
+            .store(self.tick.load(Ordering::Relaxed), Ordering::Relaxed);
+        clone
+            .occ_bytes
+            .store(self.occ_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        clone
+            .occ_entries
+            .store(self.occ_entries.load(Ordering::Relaxed), Ordering::Relaxed);
+        let ev = self.eviction_counters();
+        clone.ev_bytes.store(ev.by_bytes, Ordering::Relaxed);
+        clone.ev_entries.store(ev.by_entries, Ordering::Relaxed);
+        clone.ev_ttl.store(ev.by_ttl, Ordering::Relaxed);
+        clone.ev_stale.store(ev.by_stale, Ordering::Relaxed);
+        clone
+            .rebuilds_after_evict
+            .store(ev.rebuilds_after_evict, Ordering::Relaxed);
+        *lock(&clone.evicted_keys) = lock(&self.evicted_keys).clone();
+        // Pins are deliberately not cloned: each EpochPin guard releases
+        // against the cache it was created on.
         clone
     }
 }
@@ -157,10 +426,28 @@ fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Acquires a mutex, clearing poisoning (see [`read`]).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl SharedCache {
-    /// An empty cache at epoch 0.
+    /// An empty, **unbounded** cache at epoch 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache at epoch 0 enforcing `budget` on every insert.
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The retention budget this cache enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
     }
 
     fn shard(&self, key: &str) -> &Shard {
@@ -182,6 +469,60 @@ impl SharedCache {
         // reports the caller that *tried* to.
         let previous = self.epoch.fetch_max(epoch, Ordering::AcqRel);
         assert!(epoch >= previous, "cache epoch must be monotone");
+        self.sweep();
+    }
+
+    /// Stamps a fresh hit: bumps the counter and the entry's recency
+    /// tick. Safe under a shard read lock (the tick is atomic).
+    fn note_fresh_hit(&self, meta: &EntryMeta) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        meta.last_hit
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Counts a miss, and a rebuild-after-evict when the key was
+    /// previously evicted under budget pressure (`ns` keeps the RTC and
+    /// full namespaces from colliding in the evicted-key set).
+    fn note_miss(&self, ns: char, key: &str) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.budget.is_unbounded() {
+            return;
+        }
+        let mut evicted = lock(&self.evicted_keys);
+        if !evicted.is_empty() && evicted.remove(&format!("{ns}:{key}")) {
+            self.rebuilds_after_evict.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `key` as budget-evicted so its next miss counts as a
+    /// rebuild. The set is accounting state only and bounded.
+    fn remember_evicted(&self, ns: char, key: &str) {
+        let mut evicted = lock(&self.evicted_keys);
+        if evicted.len() >= EVICTED_KEYS_CAP {
+            evicted.clear();
+        }
+        evicted.insert(format!("{ns}:{key}"));
+    }
+
+    /// Occupancy bookkeeping for an insert that replaced `replaced`.
+    fn note_insert(&self, added_bytes: usize, replaced: Option<&EntryMeta>) {
+        self.occ_bytes
+            .fetch_add(added_bytes as u64, Ordering::AcqRel);
+        match replaced {
+            Some(old) => {
+                self.occ_bytes.fetch_sub(old.bytes as u64, Ordering::AcqRel);
+            }
+            None => {
+                self.occ_entries.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Occupancy bookkeeping for a removal (claim, eviction, sweep).
+    fn note_remove(&self, meta: &EntryMeta) {
+        self.occ_bytes
+            .fetch_sub(meta.bytes as u64, Ordering::AcqRel);
+        self.occ_entries.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Epoch-aware RTC lookup. Counts a hit for [`RtcLookup::Fresh`], a
@@ -214,14 +555,14 @@ impl SharedCache {
             let map = read(&shard.rtcs);
             match map.get(key) {
                 Some(entry) if entry.epoch == epoch => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.note_fresh_hit(&entry.meta);
                     return RtcLookup::Fresh(Arc::clone(&entry.rtc));
                 }
                 Some(_) if epoch == self.epoch() => {
                     // Stale at the front: claim it below, under the write lock.
                 }
                 _ => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.note_miss('r', key);
                     return RtcLookup::Miss;
                 }
             }
@@ -231,12 +572,15 @@ impl SharedCache {
         // refreshed the entry (now fresh) or claimed it (now gone).
         match map.get(key) {
             Some(entry) if entry.epoch == epoch => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_fresh_hit(&entry.meta);
                 RtcLookup::Fresh(Arc::clone(&entry.rtc))
             }
             Some(_) => {
                 self.stale_hits.fetch_add(1, Ordering::Relaxed);
                 let entry = map.remove(key).expect("stale entry present");
+                // A claim is a refresh hand-off, not an eviction — but
+                // the entry did leave the cache, so occupancy drops.
+                self.note_remove(&entry.meta);
                 RtcLookup::Stale(StaleRtc {
                     rtc: entry.rtc,
                     r_g: entry.r_g,
@@ -244,7 +588,7 @@ impl SharedCache {
                 })
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss('r', key);
                 RtcLookup::Miss
             }
         }
@@ -257,11 +601,11 @@ impl SharedCache {
         let epoch = self.epoch();
         match read(&self.shard(key).rtcs).get(key) {
             Some(entry) if entry.epoch == epoch => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_fresh_hit(&entry.meta);
                 Some(Arc::clone(&entry.rtc))
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss('r', key);
                 None
             }
         }
@@ -280,19 +624,7 @@ impl SharedCache {
     /// not clobber what live readers are sharing. Ties overwrite
     /// (structures are deterministic per `(key, epoch)`).
     pub fn insert_rtc_at(&self, key: String, rtc: Arc<Rtc>, epoch: u64) {
-        let mut map = write(&self.shard(&key).rtcs);
-        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
-            return;
-        }
-        map.insert(
-            key,
-            RtcEntry {
-                rtc,
-                r_g: None,
-                dynamic: None,
-                epoch,
-            },
-        );
+        self.insert_rtc_inner(key, rtc, None, None, epoch, 0);
     }
 
     /// Stores an RTC with its base relation (and optionally its
@@ -317,19 +649,75 @@ impl SharedCache {
         dynamic: Option<Arc<DynamicRtc>>,
         epoch: u64,
     ) {
-        let mut map = write(&self.shard(&key).rtcs);
-        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
-            return;
+        self.insert_rtc_inner(key, rtc, Some(r_g), dynamic, epoch, 0);
+    }
+
+    /// [`SharedCache::insert_rtc_entry_at`] recording `build` — the wall
+    /// clock spent constructing the structure — as its cost-to-rebuild.
+    /// The insert every measured evaluation path uses; the uncosted
+    /// variants stamp cost 0 (cheapest to rebuild, evicted first).
+    pub fn insert_rtc_entry_costed(
+        &self,
+        key: String,
+        rtc: Arc<Rtc>,
+        r_g: Arc<PairSet>,
+        dynamic: Option<Arc<DynamicRtc>>,
+        epoch: u64,
+        build: std::time::Duration,
+    ) {
+        self.insert_rtc_inner(key, rtc, Some(r_g), dynamic, epoch, build.as_nanos() as u64);
+    }
+
+    /// [`SharedCache::insert_rtc_at`] carrying a cost-to-rebuild — the
+    /// snapshot loader's insert for entries persisted without `R_G`.
+    pub fn insert_rtc_at_costed(
+        &self,
+        key: String,
+        rtc: Arc<Rtc>,
+        epoch: u64,
+        build: std::time::Duration,
+    ) {
+        self.insert_rtc_inner(key, rtc, None, None, epoch, build.as_nanos() as u64);
+    }
+
+    fn insert_rtc_inner(
+        &self,
+        key: String,
+        rtc: Arc<Rtc>,
+        r_g: Option<Arc<PairSet>>,
+        dynamic: Option<Arc<DynamicRtc>>,
+        epoch: u64,
+        build_nanos: u64,
+    ) {
+        let bytes = rtc.closure_heap_bytes() + r_g.as_ref().map_or(0, |p| p.heap_bytes());
+        let meta = EntryMeta {
+            bytes,
+            build_nanos,
+            last_hit: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+        };
+        {
+            let mut map = write(&self.shard(&key).rtcs);
+            if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+                return;
+            }
+            let replaced = map.insert(
+                key,
+                RtcEntry {
+                    rtc,
+                    r_g,
+                    dynamic,
+                    epoch,
+                    meta,
+                },
+            );
+            if let Some(old) = &replaced {
+                if old.epoch < epoch {
+                    self.ev_stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.note_insert(bytes, replaced.as_ref().map(|e| &e.meta));
         }
-        map.insert(
-            key,
-            RtcEntry {
-                rtc,
-                r_g: Some(r_g),
-                dynamic,
-                epoch,
-            },
-        );
+        self.enforce_budget();
     }
 
     /// Whether a fresh (current-epoch) RTC exists for `key`, without
@@ -357,7 +745,7 @@ impl SharedCache {
     pub fn lookup_full_at(&self, key: &str, epoch: u64) -> FullLookup {
         match read(&self.shard(key).fulls).get(key) {
             Some(entry) if entry.epoch == epoch => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_fresh_hit(&entry.meta);
                 FullLookup::Fresh(Arc::clone(&entry.full))
             }
             Some(entry) if epoch == self.epoch() => {
@@ -368,7 +756,7 @@ impl SharedCache {
                 })
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss('f', key);
                 FullLookup::Miss
             }
         }
@@ -380,11 +768,11 @@ impl SharedCache {
         let epoch = self.epoch();
         match read(&self.shard(key).fulls).get(key) {
             Some(entry) if entry.epoch == epoch => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_fresh_hit(&entry.meta);
                 Some(Arc::clone(&entry.full))
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss('f', key);
                 None
             }
         }
@@ -399,18 +787,7 @@ impl SharedCache {
     /// [`SharedCache::insert_full`] stamped with an explicit `epoch`
     /// (newest epoch wins — see [`SharedCache::insert_rtc_at`]).
     pub fn insert_full_at(&self, key: String, full: Arc<FullTc>, epoch: u64) {
-        let mut map = write(&self.shard(&key).fulls);
-        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
-            return;
-        }
-        map.insert(
-            key,
-            FullEntry {
-                full,
-                r_g: None,
-                epoch,
-            },
-        );
+        self.insert_full_inner(key, full, None, epoch, 0);
     }
 
     /// Stores a materialized `R⁺_G` with its base relation.
@@ -427,18 +804,70 @@ impl SharedCache {
         r_g: Arc<PairSet>,
         epoch: u64,
     ) {
-        let mut map = write(&self.shard(&key).fulls);
-        if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
-            return;
+        self.insert_full_inner(key, full, Some(r_g), epoch, 0);
+    }
+
+    /// [`SharedCache::insert_full_entry_at`] recording `build` as the
+    /// cost-to-rebuild (see [`SharedCache::insert_rtc_entry_costed`]).
+    pub fn insert_full_entry_costed(
+        &self,
+        key: String,
+        full: Arc<FullTc>,
+        r_g: Arc<PairSet>,
+        epoch: u64,
+        build: std::time::Duration,
+    ) {
+        self.insert_full_inner(key, full, Some(r_g), epoch, build.as_nanos() as u64);
+    }
+
+    /// [`SharedCache::insert_full_at`] carrying a cost-to-rebuild — the
+    /// snapshot loader's insert for entries persisted without `R_G`.
+    pub fn insert_full_at_costed(
+        &self,
+        key: String,
+        full: Arc<FullTc>,
+        epoch: u64,
+        build: std::time::Duration,
+    ) {
+        self.insert_full_inner(key, full, None, epoch, build.as_nanos() as u64);
+    }
+
+    fn insert_full_inner(
+        &self,
+        key: String,
+        full: Arc<FullTc>,
+        r_g: Option<Arc<PairSet>>,
+        epoch: u64,
+        build_nanos: u64,
+    ) {
+        let bytes = full.heap_bytes() + r_g.as_ref().map_or(0, |p| p.heap_bytes());
+        let meta = EntryMeta {
+            bytes,
+            build_nanos,
+            last_hit: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+        };
+        {
+            let mut map = write(&self.shard(&key).fulls);
+            if map.get(&key).is_some_and(|existing| existing.epoch > epoch) {
+                return;
+            }
+            let replaced = map.insert(
+                key,
+                FullEntry {
+                    full,
+                    r_g,
+                    epoch,
+                    meta,
+                },
+            );
+            if let Some(old) = &replaced {
+                if old.epoch < epoch {
+                    self.ev_stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.note_insert(bytes, replaced.as_ref().map(|e| &e.meta));
         }
-        map.insert(
-            key,
-            FullEntry {
-                full,
-                r_g: Some(r_g),
-                epoch,
-            },
-        );
+        self.enforce_budget();
     }
 
     /// Whether a fresh (current-epoch) full closure exists for `key`,
@@ -451,12 +880,14 @@ impl SharedCache {
     }
 
     /// Collects the **fresh** (current-epoch) RTC entries as
-    /// `(key, rtc, recorded base relation)` — the persistence surface used
-    /// by the engine snapshot ([`crate::snapshot`]). Stale entries are
-    /// skipped: they would need a refresh before being served anyway, so a
-    /// snapshot simply drops them. Returns an owned point-in-time copy
-    /// (cheap `Arc` clones), since the interior is lock-protected.
-    pub fn fresh_rtc_entries(&self) -> Vec<(String, Arc<Rtc>, Option<Arc<PairSet>>)> {
+    /// `(key, rtc, recorded base relation, build nanos)` — the
+    /// persistence surface used by the engine snapshot
+    /// ([`crate::snapshot`]). Stale entries are skipped: they would need
+    /// a refresh before being served anyway, so a snapshot simply drops
+    /// them. Returns an owned point-in-time copy (cheap `Arc` clones),
+    /// since the interior is lock-protected.
+    #[allow(clippy::type_complexity)]
+    pub fn fresh_rtc_entries(&self) -> Vec<(String, Arc<Rtc>, Option<Arc<PairSet>>, u64)> {
         let epoch = self.epoch();
         self.shards
             .iter()
@@ -464,7 +895,14 @@ impl SharedCache {
                 read(&s.rtcs)
                     .iter()
                     .filter(|(_, e)| e.epoch == epoch)
-                    .map(|(k, e)| (k.clone(), Arc::clone(&e.rtc), e.r_g.clone()))
+                    .map(|(k, e)| {
+                        (
+                            k.clone(),
+                            Arc::clone(&e.rtc),
+                            e.r_g.clone(),
+                            e.meta.build_nanos,
+                        )
+                    })
                     .collect::<Vec<_>>()
             })
             .collect()
@@ -472,7 +910,8 @@ impl SharedCache {
 
     /// Collects the fresh full-closure entries (see
     /// [`SharedCache::fresh_rtc_entries`]).
-    pub fn fresh_full_entries(&self) -> Vec<(String, Arc<FullTc>, Option<Arc<PairSet>>)> {
+    #[allow(clippy::type_complexity)]
+    pub fn fresh_full_entries(&self) -> Vec<(String, Arc<FullTc>, Option<Arc<PairSet>>, u64)> {
         let epoch = self.epoch();
         self.shards
             .iter()
@@ -480,7 +919,14 @@ impl SharedCache {
                 read(&s.fulls)
                     .iter()
                     .filter(|(_, e)| e.epoch == epoch)
-                    .map(|(k, e)| (k.clone(), Arc::clone(&e.full), e.r_g.clone()))
+                    .map(|(k, e)| {
+                        (
+                            k.clone(),
+                            Arc::clone(&e.full),
+                            e.r_g.clone(),
+                            e.meta.build_nanos,
+                        )
+                    })
                     .collect::<Vec<_>>()
             })
             .collect()
@@ -584,13 +1030,235 @@ impl SharedCache {
         self.sum_fulls(|e| e.full.dense_rows())
     }
 
-    /// Resets the hit/miss/stale counters while **preserving** every
-    /// cached structure — the metric-reset half of [`SharedCache::clear`],
-    /// used by `Engine::reset_metrics`.
+    /// Resets the hit/miss/stale and eviction counters while
+    /// **preserving** every cached structure — the metric-reset half of
+    /// [`SharedCache::clear`], used by `Engine::reset_metrics`.
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.stale_hits.store(0, Ordering::Relaxed);
+        self.ev_bytes.store(0, Ordering::Relaxed);
+        self.ev_entries.store(0, Ordering::Relaxed);
+        self.ev_ttl.store(0, Ordering::Relaxed);
+        self.ev_stale.store(0, Ordering::Relaxed);
+        self.rebuilds_after_evict.store(0, Ordering::Relaxed);
+        lock(&self.evicted_keys).clear();
+    }
+
+    /// Point-in-time copy of the eviction counters.
+    pub fn eviction_counters(&self) -> EvictionCounters {
+        EvictionCounters {
+            by_bytes: self.ev_bytes.load(Ordering::Relaxed),
+            by_entries: self.ev_entries.load(Ordering::Relaxed),
+            by_ttl: self.ev_ttl.load(Ordering::Relaxed),
+            by_stale: self.ev_stale.load(Ordering::Relaxed),
+            rebuilds_after_evict: self.rebuilds_after_evict.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Retained heap bytes across both namespaces (structures plus
+    /// recorded base relations — the footprint the byte budget governs;
+    /// [`SharedCache::rtc_heap_bytes`] and friends measure the
+    /// structures alone).
+    pub fn occupancy_bytes(&self) -> usize {
+        self.occ_bytes.load(Ordering::Acquire) as usize
+    }
+
+    /// Retained entries across both namespaces.
+    pub fn occupancy_entries(&self) -> usize {
+        self.occ_entries.load(Ordering::Acquire) as usize
+    }
+
+    /// Retained heap bytes held by entries whose epoch is currently
+    /// pinned — the part of the footprint eviction cannot reclaim.
+    pub fn pinned_occupancy_bytes(&self) -> usize {
+        let pinned: FxHashSet<u64> = lock(&self.pinned).keys().copied().collect();
+        if pinned.is_empty() {
+            return 0;
+        }
+        let in_pins = |epoch: u64| pinned.contains(&epoch);
+        self.sum_rtcs(|e| if in_pins(e.epoch) { e.meta.bytes } else { 0 })
+            + self.sum_fulls(|e| if in_pins(e.epoch) { e.meta.bytes } else { 0 })
+    }
+
+    /// Registers a pin on `epoch` (see [`EpochPin`], which pairs this
+    /// with the release).
+    pub fn pin_epoch(&self, epoch: u64) {
+        *lock(&self.pinned).entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Releases one pin on `epoch`.
+    pub fn unpin_epoch(&self, epoch: u64) {
+        let mut pinned = lock(&self.pinned);
+        if let Some(count) = pinned.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                pinned.remove(&epoch);
+            }
+        }
+    }
+
+    /// Whether any live pin covers `epoch`.
+    pub fn is_pinned(&self, epoch: u64) -> bool {
+        lock(&self.pinned).contains_key(&epoch)
+    }
+
+    /// Evicts lowest-score entries until the byte/entry budget holds (or
+    /// only pinned entries remain — enforcement is best-effort under
+    /// pins). Inserts call this themselves; it is public for bulk paths
+    /// (snapshot load, [`SharedCache::absorb`]) and tests.
+    pub fn enforce_budget(&self) {
+        let (max_bytes, max_entries) = (self.budget.max_bytes, self.budget.max_entries);
+        if max_bytes.is_none() && max_entries.is_none() {
+            return;
+        }
+        loop {
+            let over_bytes = max_bytes.is_some_and(|b| self.occupancy_bytes() > b);
+            let over_entries = max_entries.is_some_and(|e| self.occupancy_entries() > e);
+            if !over_bytes && !over_entries {
+                return;
+            }
+            if !self.evict_one(over_bytes) {
+                return;
+            }
+        }
+    }
+
+    /// Removes the unpinned entry with the lowest
+    /// `cost_to_rebuild / bytes` score class (ties — entries within the
+    /// same order of magnitude: least-recently-hit, then key order, RTCs
+    /// before fulls — fully deterministic for a given cache state).
+    /// Returns `false` when nothing is evictable. `for_bytes` selects
+    /// which reason counter the eviction lands in.
+    fn evict_one(&self, for_bytes: bool) -> bool {
+        struct Victim {
+            class: i32,
+            last_hit: u64,
+            key: String,
+            is_rtc: bool,
+            shard: usize,
+            epoch: u64,
+        }
+        let pinned: FxHashSet<u64> = lock(&self.pinned).keys().copied().collect();
+        let mut victim: Option<Victim> = None;
+        let mut consider = |cand: Victim| {
+            let better = match &victim {
+                None => true,
+                Some(cur) => {
+                    (cand.class, cand.last_hit, &cand.key, cand.is_rtc)
+                        < (cur.class, cur.last_hit, &cur.key, cur.is_rtc)
+                }
+            };
+            if better {
+                victim = Some(cand);
+            }
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (key, entry) in read(&shard.rtcs).iter() {
+                if pinned.contains(&entry.epoch) {
+                    continue;
+                }
+                consider(Victim {
+                    class: entry.meta.score_class(),
+                    last_hit: entry.meta.last_hit.load(Ordering::Relaxed),
+                    key: key.clone(),
+                    is_rtc: true,
+                    shard: i,
+                    epoch: entry.epoch,
+                });
+            }
+            for (key, entry) in read(&shard.fulls).iter() {
+                if pinned.contains(&entry.epoch) {
+                    continue;
+                }
+                consider(Victim {
+                    class: entry.meta.score_class(),
+                    last_hit: entry.meta.last_hit.load(Ordering::Relaxed),
+                    key: key.clone(),
+                    is_rtc: false,
+                    shard: i,
+                    epoch: entry.epoch,
+                });
+            }
+        }
+        let Some(v) = victim else {
+            return false;
+        };
+        // Re-check under the write lock: the entry may have been claimed,
+        // replaced or re-pinned since the scan. A lost race still returns
+        // `true` — the caller loops and re-reads occupancy.
+        let shard = &self.shards[v.shard];
+        let removed = if v.is_rtc {
+            let mut map = write(&shard.rtcs);
+            match map.get(&v.key) {
+                Some(e) if e.epoch == v.epoch && !self.is_pinned(e.epoch) => {
+                    let e = map.remove(&v.key).expect("victim present");
+                    self.note_remove(&e.meta);
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            let mut map = write(&shard.fulls);
+            match map.get(&v.key) {
+                Some(e) if e.epoch == v.epoch && !self.is_pinned(e.epoch) => {
+                    let e = map.remove(&v.key).expect("victim present");
+                    self.note_remove(&e.meta);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if removed {
+            if for_bytes {
+                self.ev_bytes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.ev_entries.fetch_add(1, Ordering::Relaxed);
+            }
+            self.remember_evicted(if v.is_rtc { 'r' } else { 'f' }, &v.key);
+        }
+        true
+    }
+
+    /// Drops unpinned entries whose build epoch trails the live epoch by
+    /// more than the budget's `ttl_epochs` (no-op without one). Runs on
+    /// every [`SharedCache::advance_epoch`]; public so servers can sweep
+    /// on their own cadence too. Merely-stale entries inside the TTL are
+    /// deliberately kept — they are what incremental refresh feeds on.
+    pub fn sweep(&self) {
+        let Some(ttl) = self.budget.ttl_epochs else {
+            return;
+        };
+        let live = self.epoch();
+        let pinned: FxHashSet<u64> = lock(&self.pinned).keys().copied().collect();
+        let expired = |epoch: u64| !pinned.contains(&epoch) && live.saturating_sub(epoch) > ttl;
+        for shard in &self.shards {
+            let mut rtcs = write(&shard.rtcs);
+            let doomed: Vec<String> = rtcs
+                .iter()
+                .filter(|(_, e)| expired(e.epoch))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in doomed {
+                let entry = rtcs.remove(&key).expect("expired entry present");
+                self.note_remove(&entry.meta);
+                self.ev_ttl.fetch_add(1, Ordering::Relaxed);
+                self.remember_evicted('r', &key);
+            }
+            drop(rtcs);
+            let mut fulls = write(&shard.fulls);
+            let doomed: Vec<String> = fulls
+                .iter()
+                .filter(|(_, e)| expired(e.epoch))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in doomed {
+                let entry = fulls.remove(&key).expect("expired entry present");
+                self.note_remove(&entry.meta);
+                self.ev_ttl.fetch_add(1, Ordering::Relaxed);
+                self.remember_evicted('f', &key);
+            }
+        }
     }
 
     /// Merges another cache's contents into this one: counters add up, and
@@ -604,6 +1272,13 @@ impl SharedCache {
         self.misses.fetch_add(other.misses(), Ordering::Relaxed);
         self.stale_hits
             .fetch_add(other.stale_hits(), Ordering::Relaxed);
+        let ev = other.eviction_counters();
+        self.ev_bytes.fetch_add(ev.by_bytes, Ordering::Relaxed);
+        self.ev_entries.fetch_add(ev.by_entries, Ordering::Relaxed);
+        self.ev_ttl.fetch_add(ev.by_ttl, Ordering::Relaxed);
+        self.ev_stale.fetch_add(ev.by_stale, Ordering::Relaxed);
+        self.rebuilds_after_evict
+            .fetch_add(ev.rebuilds_after_evict, Ordering::Relaxed);
         // Shard selection depends only on the key, so shard i of `other`
         // merges into shard i of `self`.
         for (mine, theirs) in self.shards.iter().zip(other.shards) {
@@ -616,7 +1291,9 @@ impl SharedCache {
                 match map.get(&key) {
                     Some(existing) if existing.epoch >= entry.epoch => {}
                     _ => {
-                        map.insert(key, entry);
+                        let bytes = entry.meta.bytes;
+                        let replaced = map.insert(key, entry);
+                        self.note_insert(bytes, replaced.as_ref().map(|e| &e.meta));
                     }
                 }
             }
@@ -630,11 +1307,16 @@ impl SharedCache {
                 match map.get(&key) {
                     Some(existing) if existing.epoch >= entry.epoch => {}
                     _ => {
-                        map.insert(key, entry);
+                        let bytes = entry.meta.bytes;
+                        let replaced = map.insert(key, entry);
+                        self.note_insert(bytes, replaced.as_ref().map(|e| &e.meta));
                     }
                 }
             }
         }
+        // A bulk merge bypasses the per-insert enforcement; settle the
+        // budget once at the end.
+        self.enforce_budget();
     }
 
     /// Drops all cached structures and resets counters (the epoch is
@@ -644,6 +1326,8 @@ impl SharedCache {
             write(&shard.rtcs).clear();
             write(&shard.fulls).clear();
         }
+        self.occ_bytes.store(0, Ordering::Release);
+        self.occ_entries.store(0, Ordering::Release);
         self.reset_counters();
     }
 }
@@ -930,5 +1614,243 @@ mod tests {
         assert_eq!(c.rtc_count(), 4 + THREADS * 50);
         assert_eq!(c.fresh_rtc_entries().len(), c.rtc_count());
         assert_eq!(c.misses(), 0);
+    }
+
+    use std::time::Duration;
+
+    fn insert_costed(c: &SharedCache, key: &str, epoch: u64, nanos: u64) {
+        c.insert_rtc_entry_costed(
+            key.into(),
+            sample_rtc(),
+            Arc::new(sample_pairs()),
+            None,
+            epoch,
+            Duration::from_nanos(nanos),
+        );
+    }
+
+    /// Bytes one sample entry occupies (same structures every time).
+    fn unit_bytes() -> usize {
+        let probe = SharedCache::new();
+        insert_costed(&probe, "probe", 0, 1);
+        probe.occupancy_bytes()
+    }
+
+    #[test]
+    fn budget_specs_parse() {
+        assert_eq!(CacheBudget::parse(""), None);
+        assert_eq!(CacheBudget::parse("nope=3"), None);
+        assert_eq!(CacheBudget::parse("bytes=abc"), None);
+        assert_eq!(
+            CacheBudget::parse("unbounded"),
+            Some(CacheBudget::default())
+        );
+        assert_eq!(
+            CacheBudget::parse("64k"),
+            Some(CacheBudget {
+                max_bytes: Some(64 << 10),
+                ..Default::default()
+            })
+        );
+        let full = CacheBudget::parse("bytes=1M, entries=128, ttl=4").unwrap();
+        assert_eq!(full.max_bytes, Some(1 << 20));
+        assert_eq!(full.max_entries, Some(128));
+        assert_eq!(full.ttl_epochs, Some(4));
+        assert_eq!(full.to_string(), "bytes=1048576,entries=128,ttl=4");
+        assert_eq!(CacheBudget::default().to_string(), "unbounded");
+        assert!(CacheBudget::default().is_unbounded());
+        assert!(!full.is_unbounded());
+    }
+
+    #[test]
+    fn occupancy_tracks_every_mutation() {
+        let c = SharedCache::new();
+        assert_eq!((c.occupancy_bytes(), c.occupancy_entries()), (0, 0));
+        insert_costed(&c, "a", 0, 10);
+        let unit = c.occupancy_bytes();
+        assert!(unit > 0);
+        assert_eq!(c.occupancy_entries(), 1);
+        // Replacement at the same key does not double-count.
+        insert_costed(&c, "a", 0, 20);
+        assert_eq!((c.occupancy_bytes(), c.occupancy_entries()), (unit, 1));
+        insert_costed(&c, "b", 0, 10);
+        assert_eq!(c.occupancy_entries(), 2);
+        // A stale claim removes the entry and its footprint.
+        c.advance_epoch(1);
+        assert!(matches!(c.lookup_rtc("a"), RtcLookup::Stale(_)));
+        assert_eq!((c.occupancy_bytes(), c.occupancy_entries()), (unit, 1));
+        c.clear();
+        assert_eq!((c.occupancy_bytes(), c.occupancy_entries()), (0, 0));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lowest_score_first() {
+        let unit = unit_bytes();
+        let c = SharedCache::with_budget(CacheBudget {
+            max_bytes: Some(2 * unit),
+            ..Default::default()
+        });
+        insert_costed(&c, "expensive", 0, 30_000);
+        insert_costed(&c, "cheap", 0, 1_000);
+        insert_costed(&c, "middling", 0, 20_000);
+        // Equal bytes, so the lowest build cost scores lowest and goes.
+        assert_eq!(c.occupancy_entries(), 2);
+        assert!(c.occupancy_bytes() <= 2 * unit);
+        assert!(c.contains_fresh_rtc("expensive"));
+        assert!(c.contains_fresh_rtc("middling"));
+        assert!(!c.contains_fresh_rtc("cheap"));
+        assert_eq!(c.eviction_counters().by_bytes, 1);
+        // The miss that rebuilds the evicted key is counted once.
+        assert!(c.get_rtc("cheap").is_none());
+        assert!(c.get_rtc("cheap").is_none());
+        assert_eq!(c.eviction_counters().rebuilds_after_evict, 1);
+    }
+
+    #[test]
+    fn entry_budget_evicts_with_recency_tie_break() {
+        let c = SharedCache::with_budget(CacheBudget {
+            max_entries: Some(2),
+            ..Default::default()
+        });
+        // Identical scores: the least-recently-hit entry goes.
+        insert_costed(&c, "old", 0, 5_000);
+        insert_costed(&c, "warm", 0, 5_000);
+        assert!(c.get_rtc("old").is_some()); // "old" now most recent
+        insert_costed(&c, "new", 0, 5_000);
+        assert_eq!(c.occupancy_entries(), 2);
+        assert!(c.contains_fresh_rtc("old"));
+        assert!(!c.contains_fresh_rtc("warm"));
+        assert!(c.contains_fresh_rtc("new"));
+        assert_eq!(c.eviction_counters().by_entries, 1);
+    }
+
+    /// Scores within the same order of magnitude count as a tie —
+    /// measured build times jitter, and a raw float comparison would let
+    /// a hot entry lose to a cold one over measurement noise.
+    #[test]
+    fn comparable_scores_tie_and_recency_decides() {
+        let c = SharedCache::with_budget(CacheBudget {
+            max_entries: Some(2),
+            ..Default::default()
+        });
+        // "hot" measured slightly cheaper than "cold" (same power-of-8
+        // bucket): under a raw float comparison "hot" would be the
+        // victim; under class comparison they tie and recency keeps it.
+        insert_costed(&c, "hot", 0, 5_000);
+        insert_costed(&c, "cold", 0, 6_000);
+        assert!(c.get_rtc("hot").is_some()); // "hot" now most recent
+        insert_costed(&c, "new", 0, 5_500);
+        assert!(c.contains_fresh_rtc("hot"));
+        assert!(!c.contains_fresh_rtc("cold"));
+        // An order-of-magnitude gap is *not* a tie: the far cheaper
+        // rebuild goes first no matter how recently it arrived — here
+        // the newcomer itself, evicted by its own insert's enforcement.
+        insert_costed(&c, "trivial", 0, 5_500 / 100);
+        assert!(!c.contains_fresh_rtc("trivial"));
+        assert!(c.contains_fresh_rtc("hot"));
+        assert!(c.contains_fresh_rtc("new"));
+    }
+
+    #[test]
+    fn pinned_epochs_survive_eviction() {
+        let c = Arc::new(SharedCache::with_budget(CacheBudget {
+            max_entries: Some(1),
+            ..Default::default()
+        }));
+        insert_costed(&c, "a", 0, 100);
+        let pin = EpochPin::new(Arc::clone(&c), 0);
+        assert_eq!(pin.epoch(), 0);
+        assert!(c.is_pinned(0));
+        assert_eq!(c.pinned_occupancy_bytes(), c.occupancy_bytes());
+        c.advance_epoch(1);
+        // Over budget, but only the unpinned newcomer is evictable — the
+        // pinned epoch-0 entry keeps serving its view.
+        insert_costed(&c, "b", 1, 1_000_000);
+        assert_eq!(c.occupancy_entries(), 1);
+        assert!(matches!(c.lookup_rtc_at("a", 0), RtcLookup::Fresh(_)));
+        // Dropping the pin makes epoch 0 evictable again.
+        drop(pin);
+        assert!(!c.is_pinned(0));
+        insert_costed(&c, "b", 1, 1_000_000);
+        assert_eq!(c.occupancy_entries(), 1);
+        assert!(matches!(c.lookup_rtc_at("a", 0), RtcLookup::Miss));
+        assert!(c.contains_fresh_rtc("b"));
+    }
+
+    #[test]
+    fn ttl_sweep_drops_entries_behind_the_live_epoch() {
+        let c = SharedCache::with_budget(CacheBudget {
+            ttl_epochs: Some(1),
+            ..Default::default()
+        });
+        insert_costed(&c, "k", 0, 100);
+        c.insert_full_entry(
+            "k".into(),
+            Arc::new(FullTc::from_pairs(&sample_pairs())),
+            Arc::new(sample_pairs()),
+        );
+        c.advance_epoch(1); // lag 1 ≤ ttl: kept (still refreshable)
+        assert_eq!(c.occupancy_entries(), 2);
+        c.advance_epoch(2); // lag 2 > ttl: swept
+        assert_eq!(c.occupancy_entries(), 0);
+        assert_eq!(c.eviction_counters().by_ttl, 2);
+    }
+
+    #[test]
+    fn ttl_sweep_spares_pinned_epochs() {
+        let c = Arc::new(SharedCache::with_budget(CacheBudget {
+            ttl_epochs: Some(0),
+            ..Default::default()
+        }));
+        insert_costed(&c, "k", 0, 100);
+        let pin = EpochPin::new(Arc::clone(&c), 0);
+        c.advance_epoch(5);
+        assert!(matches!(c.lookup_rtc_at("k", 0), RtcLookup::Fresh(_)));
+        drop(pin);
+        c.sweep();
+        assert_eq!(c.occupancy_entries(), 0);
+    }
+
+    #[test]
+    fn stale_displacement_is_counted() {
+        let c = SharedCache::new();
+        insert_costed(&c, "k", 0, 100);
+        c.advance_epoch(1);
+        // Re-inserting the key at the new epoch displaces the stale one.
+        insert_costed(&c, "k", 1, 100);
+        assert_eq!(c.eviction_counters().by_stale, 1);
+        assert_eq!(c.occupancy_entries(), 1);
+    }
+
+    #[test]
+    fn clone_carries_budget_and_occupancy() {
+        let unit = unit_bytes();
+        let c = SharedCache::with_budget(CacheBudget {
+            max_bytes: Some(10 * unit),
+            ..Default::default()
+        });
+        insert_costed(&c, "a", 0, 100);
+        let snapshot = c.clone();
+        assert_eq!(snapshot.budget(), c.budget());
+        assert_eq!(snapshot.occupancy_bytes(), c.occupancy_bytes());
+        assert_eq!(snapshot.occupancy_entries(), 1);
+    }
+
+    #[test]
+    fn absorb_enforces_the_budget_and_accounts_occupancy() {
+        let c = SharedCache::with_budget(CacheBudget {
+            max_entries: Some(2),
+            ..Default::default()
+        });
+        let worker = SharedCache::new();
+        insert_costed(&worker, "a", 0, 30_000);
+        insert_costed(&worker, "b", 0, 1_000);
+        insert_costed(&worker, "c", 0, 20_000);
+        c.absorb(worker);
+        assert_eq!(c.occupancy_entries(), 2);
+        assert!(c.contains_fresh_rtc("a"));
+        assert!(!c.contains_fresh_rtc("b"));
+        assert!(c.contains_fresh_rtc("c"));
+        assert!(c.eviction_counters().by_entries >= 1);
     }
 }

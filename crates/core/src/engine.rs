@@ -1,7 +1,7 @@
 //! The [`Engine`] facade: one graph, one strategy, shared caches, timings.
 
 use crate::breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
-use crate::cache::SharedCache;
+use crate::cache::{CacheBudget, SharedCache};
 use crate::error::EngineError;
 use crate::result_cache::ResultCache;
 use crate::sharing::{eval_query, EvalCtx, SharingKind};
@@ -85,6 +85,14 @@ pub struct EngineConfig {
     /// environment variable (`sparse` | `dense` | `adaptive`) so CI can
     /// run the whole suite under a forced representation.
     pub representation: RowSetPolicy,
+    /// Retention budget enforced by both caches: the structural
+    /// [`SharedCache`] (bytes, entries and a TTL sweep) and the
+    /// [`ResultCache`] (bytes on top of its entry capacity). Unbounded by
+    /// default; the default honours the `RPQ_CACHE_BUDGET` environment
+    /// variable (e.g. `64k` or `bytes=1m,entries=128,ttl=4`) so CI can
+    /// run the whole suite under eviction pressure. Results are identical
+    /// under any budget — eviction only trades memory for rebuild time.
+    pub cache_budget: CacheBudget,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +104,7 @@ impl Default for EngineConfig {
             threads: 1,
             maintenance: MaintenanceConfig::default(),
             representation: RowSetPolicy::from_env_or_default(),
+            cache_budget: CacheBudget::from_env_or_default(),
         }
     }
 }
@@ -217,9 +226,12 @@ impl<'g> Engine<'g> {
         Self {
             store,
             config,
-            cache: Arc::new(SharedCache::new()),
+            cache: Arc::new(SharedCache::with_budget(config.cache_budget)),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
-            results: Arc::new(ResultCache::new()),
+            results: Arc::new(ResultCache::with_capacity_and_budget(
+                crate::result_cache::DEFAULT_RESULT_CACHE_ENTRIES,
+                config.cache_budget.max_bytes,
+            )),
         }
     }
 
@@ -347,12 +359,19 @@ impl<'g> Engine<'g> {
             GraphStore::Borrowed(g) => Arc::new(GraphView::new((*g).clone(), 0)),
         };
         debug_assert_eq!(graph.epoch(), self.epoch());
+        // The view pins its epoch in the structural cache: while it (or
+        // any clone) is alive, budget eviction spares the epoch's entries.
+        let pin = Arc::new(crate::cache::EpochPin::new(
+            Arc::clone(&self.cache),
+            graph.epoch(),
+        ));
         EpochView::from_parts(
             graph,
             Arc::clone(&self.cache),
             Arc::clone(&self.results),
             Arc::clone(&self.metrics),
             self.config,
+            pin,
         )
     }
 

@@ -34,7 +34,10 @@ pub mod view;
 
 pub use batch_unit::{eval_batch_unit_full, eval_batch_unit_rtc};
 pub use breakdown::{Breakdown, EliminationStats, MaintenanceMetrics};
-pub use cache::{FullLookup, RtcLookup, SharedCache, StaleFull, StaleRtc};
+pub use cache::{
+    CacheBudget, EpochPin, EvictionCounters, FullLookup, RtcLookup, SharedCache, StaleFull,
+    StaleRtc,
+};
 pub use engine::{Engine, EngineConfig, PrepareReport, Strategy};
 pub use error::EngineError;
 pub use explain::{

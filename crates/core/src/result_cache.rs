@@ -12,28 +12,57 @@
 //! configuration: a result computed by one connection's overlay is a hit
 //! for every other connection pinned to the same epoch.
 //!
-//! The cache is bounded (FIFO eviction at [`ResultCache::capacity`]
-//! entries) because materialized results can dwarf the structures they
-//! were computed from, and epochs keep coming. Counters distinguish the
-//! serving layer's hit tiers: a **view hit** here short-circuits the
-//! whole evaluation; a miss falls through to the structural cache
-//! (whose own hit/miss counters make up the second tier).
+//! The cache is bounded — by entry count ([`ResultCache::capacity`])
+//! and optionally by heap bytes — because materialized results can dwarf
+//! the structures they were computed from, and epochs keep coming.
+//! Eviction uses the same cost-aware scoring as the structural cache
+//! (see [`crate::CacheBudget`]): the entry with the lowest
+//! `cost_to_rebuild / bytes` goes first, oldest-inserted among ties — so
+//! uncosted entries of equal size degrade to exactly the old FIFO
+//! behavior, and re-inserting an existing key never extends its
+//! eviction lifetime. Counters distinguish the serving
+//! layer's hit tiers: a **view hit** here short-circuits the whole
+//! evaluation; a miss falls through to the structural cache (whose own
+//! hit/miss counters make up the second tier).
 
 use rpq_graph::PairSet;
 use rustc_hash::FxHashMap;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Default bound on memoized results (see [`ResultCache::with_capacity`]).
 pub const DEFAULT_RESULT_CACHE_ENTRIES: usize = 256;
 
-/// The lock-protected interior: the memo map plus insertion order for
-/// FIFO eviction.
+/// One memoized result with its retention metadata.
+struct Entry {
+    result: Arc<PairSet>,
+    /// Heap bytes of the materialized result.
+    bytes: usize,
+    /// Nanos the evaluation took — the cost a future miss pays again.
+    build_nanos: u64,
+    /// Insertion sequence — the tie-break among equal scores; preserved
+    /// on re-insert so replacing a value never extends the entry's
+    /// eviction lifetime.
+    seq: u64,
+}
+
+impl Entry {
+    /// Eviction score: rebuild nanos bought per retained byte; lowest
+    /// goes first.
+    fn score(&self) -> f64 {
+        self.build_nanos as f64 / self.bytes.max(1) as f64
+    }
+}
+
+/// The lock-protected interior.
 #[derive(Default)]
 struct Inner {
-    map: FxHashMap<(u64, String), Arc<PairSet>>,
-    order: VecDeque<(u64, String)>,
+    map: FxHashMap<(u64, String), Entry>,
+    /// Retained result bytes (maintained incrementally).
+    bytes: usize,
+    /// Next insertion sequence number.
+    seq: u64,
 }
 
 /// Bounded map from `(epoch, canonical query)` to a materialized result.
@@ -44,9 +73,13 @@ struct Inner {
 /// result set is.
 pub struct ResultCache {
     capacity: usize,
+    /// Optional heap-byte bound on retained results (the result-cache
+    /// half of [`crate::CacheBudget::max_bytes`]).
+    max_bytes: Option<usize>,
     inner: Mutex<Inner>,
     view_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ResultCache {
@@ -57,7 +90,7 @@ impl Default for ResultCache {
 
 impl ResultCache {
     /// An empty cache with the default capacity
-    /// ([`DEFAULT_RESULT_CACHE_ENTRIES`]).
+    /// ([`DEFAULT_RESULT_CACHE_ENTRIES`]) and no byte bound.
     pub fn new() -> Self {
         Self::with_capacity(DEFAULT_RESULT_CACHE_ENTRIES)
     }
@@ -65,11 +98,19 @@ impl ResultCache {
     /// An empty cache bounded to `capacity` entries (0 disables
     /// memoization: every insert is immediately evicted).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_budget(capacity, None)
+    }
+
+    /// [`ResultCache::with_capacity`] with an additional heap-byte bound
+    /// on retained results.
+    pub fn with_capacity_and_budget(capacity: usize, max_bytes: Option<usize>) -> Self {
         Self {
             capacity,
+            max_bytes,
             inner: Mutex::new(Inner::default()),
             view_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -82,7 +123,10 @@ impl ResultCache {
     pub fn get(&self, epoch: u64, query: &str) -> Option<Arc<PairSet>> {
         // Borrow-friendly probe: build the owned key only on insert.
         let inner = self.lock();
-        let hit = inner.map.get(&(epoch, query.to_owned())).map(Arc::clone);
+        let hit = inner
+            .map
+            .get(&(epoch, query.to_owned()))
+            .map(|entry| Arc::clone(&entry.result));
         drop(inner);
         match &hit {
             Some(_) => self.view_hits.fetch_add(1, Ordering::Relaxed),
@@ -91,20 +135,62 @@ impl ResultCache {
         hit
     }
 
-    /// Memoizes `result` for `query` at `epoch`, evicting the oldest
-    /// entries past the capacity bound. Re-inserting an existing key
-    /// replaces the value without extending its eviction lifetime.
+    /// Memoizes `result` for `query` at `epoch` with no recorded build
+    /// cost (scores cheapest-to-rebuild; uncosted entries of equal size
+    /// evict in insertion order, the old FIFO behavior).
     pub fn insert(&self, epoch: u64, query: String, result: Arc<PairSet>) {
+        self.insert_costed(epoch, query, result, Duration::ZERO);
+    }
+
+    /// Memoizes `result`, recording `build` — the wall clock the
+    /// evaluation took — as its cost-to-rebuild, then evicts
+    /// lowest-score entries past the capacity and byte bounds.
+    /// Re-inserting an existing key replaces the value without extending
+    /// its eviction lifetime.
+    pub fn insert_costed(&self, epoch: u64, query: String, result: Arc<PairSet>, build: Duration) {
+        let bytes = result.heap_bytes();
         let mut inner = self.lock();
         let key = (epoch, query);
-        if inner.map.insert(key.clone(), result).is_none() {
-            inner.order.push_back(key);
+        let seq = match inner.map.get(&key) {
+            // Keep the original insertion point: replacement must not
+            // push the entry back in the eviction order.
+            Some(existing) => existing.seq,
+            None => {
+                inner.seq += 1;
+                inner.seq
+            }
+        };
+        let entry = Entry {
+            result,
+            bytes,
+            build_nanos: build.as_nanos() as u64,
+            seq,
+        };
+        inner.bytes += bytes;
+        if let Some(old) = inner.map.insert(key, entry) {
+            inner.bytes -= old.bytes;
         }
-        while inner.map.len() > self.capacity {
-            let Some(oldest) = inner.order.pop_front() else {
+        let mut evicted = 0u64;
+        while inner.map.len() > self.capacity || self.max_bytes.is_some_and(|b| inner.bytes > b) {
+            let victim = inner
+                .map
+                .iter()
+                .min_by(|(ka, a), (kb, b)| {
+                    (a.score(), a.seq, ka)
+                        .partial_cmp(&(b.score(), b.seq, kb))
+                        .expect("scores are finite")
+                })
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
                 break;
             };
-            inner.map.remove(&oldest);
+            let old = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= old.bytes;
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
@@ -118,9 +204,19 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// The eviction bound.
+    /// The entry-count eviction bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The heap-byte eviction bound, if one is set.
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.max_bytes
+    }
+
+    /// Retained heap bytes across every memoized result.
+    pub fn occupancy_bytes(&self) -> usize {
+        self.lock().bytes
     }
 
     /// Lookups answered from a memoized result since the last reset.
@@ -133,18 +229,24 @@ impl ResultCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Resets the hit/miss counters, preserving memoized results — the
-    /// result-cache half of `Engine::reset_metrics`.
+    /// Results evicted past the capacity/byte bounds since the last reset.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss/eviction counters, preserving memoized results
+    /// — the result-cache half of `Engine::reset_metrics`.
     pub fn reset_counters(&self) {
         self.view_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Drops every memoized result and resets the counters.
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.map.clear();
-        inner.order.clear();
+        inner.bytes = 0;
         drop(inner);
         self.reset_counters();
     }
@@ -181,6 +283,7 @@ mod tests {
         assert!(c.get(0, "a").is_none(), "oldest entry evicted");
         assert!(c.get(0, "b").is_some());
         assert!(c.get(0, "c").is_some());
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -216,5 +319,32 @@ mod tests {
         c.insert(0, "q".into(), pairs(1));
         assert_eq!(c.len(), 0);
         assert!(c.get(0, "q").is_none());
+    }
+
+    #[test]
+    fn costly_results_outlive_cheap_ones() {
+        let c = ResultCache::with_capacity(2);
+        c.insert_costed(0, "slow".into(), pairs(1), Duration::from_millis(50));
+        c.insert_costed(0, "fast".into(), pairs(1), Duration::from_micros(10));
+        c.insert_costed(0, "medium".into(), pairs(1), Duration::from_millis(5));
+        assert_eq!(c.len(), 2);
+        // Equal sizes: the cheapest-to-rebuild result goes, not the oldest.
+        assert!(c.get(0, "fast").is_none());
+        assert!(c.get(0, "slow").is_some());
+        assert!(c.get(0, "medium").is_some());
+    }
+
+    #[test]
+    fn byte_budget_bounds_retained_results() {
+        let unit = pairs(8).heap_bytes();
+        let c = ResultCache::with_capacity_and_budget(1024, Some(2 * unit));
+        c.insert_costed(0, "a".into(), pairs(8), Duration::from_millis(9));
+        c.insert_costed(0, "b".into(), pairs(8), Duration::from_millis(1));
+        assert_eq!(c.occupancy_bytes(), 2 * unit);
+        c.insert_costed(0, "c".into(), pairs(8), Duration::from_millis(5));
+        assert!(c.occupancy_bytes() <= 2 * unit);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, "b").is_none(), "lowest score evicted");
+        assert_eq!(c.evictions(), 1);
     }
 }

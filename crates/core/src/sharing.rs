@@ -162,9 +162,18 @@ fn obtain_rtc(ctx: &mut EvalCtx<'_, '_>, key: &str, r: &Regex) -> Result<Arc<Rtc
             (rtc, Arc::new(r_g), None)
         }
     };
-    ctx.breakdown.shared_data += t.elapsed();
-    ctx.cache
-        .insert_rtc_entry_at(key.to_owned(), Arc::clone(&rtc), r_g, dynamic, ctx.epoch);
+    let build = t.elapsed();
+    ctx.breakdown.shared_data += build;
+    // The construction time doubles as the entry's cost-to-rebuild under
+    // the cache's cost-aware eviction.
+    ctx.cache.insert_rtc_entry_costed(
+        key.to_owned(),
+        Arc::clone(&rtc),
+        r_g,
+        dynamic,
+        ctx.epoch,
+        build,
+    );
     Ok(rtc)
 }
 
@@ -254,9 +263,15 @@ fn obtain_full(
             &ctx.representation,
         )),
     };
-    ctx.breakdown.shared_data += t.elapsed();
-    ctx.cache
-        .insert_full_entry_at(key.to_owned(), Arc::clone(&full), Arc::new(r_g), ctx.epoch);
+    let build = t.elapsed();
+    ctx.breakdown.shared_data += build;
+    ctx.cache.insert_full_entry_costed(
+        key.to_owned(),
+        Arc::clone(&full),
+        Arc::new(r_g),
+        ctx.epoch,
+        build,
+    );
     Ok(full)
 }
 

@@ -18,15 +18,27 @@
 //! save: they would need a refresh before being served anyway, and the
 //! refresh needs live evaluation state a snapshot cannot carry.
 //!
-//! Layout, after the 8-byte magic `b"RPQESNP1"`: the graph section, then
+//! Layout, after the 8-byte magic `b"RPQESNP2"`: the graph section, then
 //! the RTC entry table, then the full-closure entry table, then the end
 //! marker `b"RPQEEND."`. All integers are little-endian; see the field
-//! comments in [`write_snapshot`] for the exact order. Closure rows are
+//! comments in [`write_snapshot`] for the exact order. Version `2` adds
+//! one `u64` per entry — the structure's build time in nanoseconds, the
+//! cost-to-rebuild that drives budgeted eviction — right after the key;
+//! version-`1` files (no cost word) still load, with cost 0. Closure
+//! rows are
 //! length-prefixed: a plain length word is followed by that many sorted
 //! `u32` ids (the legacy sparse encoding, byte-identical to pre-hybrid
 //! snapshots, so old files still load), while a length word with the
 //! [`DENSE_ROW_TAG`] high bit set counts `u64` bitset words of a dense
-//! row instead. Loads re-validate
+//! row instead.
+//!
+//! Budgets are honoured on both sides of the roundtrip. A save from an
+//! engine whose [`crate::CacheBudget`] is bounded trims to the
+//! highest-score subset that fits (pinned epochs can push the live cache
+//! past its budget; the file never is). A load inserts through the costed
+//! budget-enforcing path, so restoring into a *tighter* budget than the
+//! writer's deterministically keeps the highest-score entries and evicts
+//! the rest. Loads re-validate
 //! everything — magic, embedded graph, structural invariants of every
 //! cached structure, `R_G` pair ordering, and the end marker — so a
 //! truncated or corrupted file fails with [`EngineError::Snapshot`]
@@ -62,8 +74,9 @@ use std::sync::Arc;
 pub const DENSE_ROW_TAG: u32 = 1 << 31;
 
 /// Leading magic of an engine snapshot; the trailing byte is the format
-/// version.
-pub const MAGIC: [u8; 8] = *b"RPQESNP1";
+/// version this build *writes*. The reader also accepts the previous
+/// version `'1'`, which lacks per-entry build costs.
+pub const MAGIC: [u8; 8] = *b"RPQESNP2";
 
 /// Trailing end marker: present iff the file was written to completion.
 pub const END_MARKER: [u8; 8] = *b"RPQEEND.";
@@ -81,13 +94,89 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
     rpq_graph::snapshot::write_graph_snapshot(engine.graph(), engine.epoch(), &mut w)?;
 
     let cache = engine.cache();
-    // Collect and sort by key so snapshots of equal state are byte-equal
-    // (hash-map iteration order is not deterministic).
     let mut rtcs = cache.fresh_rtc_entries();
+    let mut fulls = cache.fresh_full_entries();
+
+    // A bounded cache can sit past its budget while pinned epochs hold
+    // entries hostage; the file must not inherit that excess. Trim to the
+    // highest-score subset that fits — same score as eviction
+    // (cost-to-rebuild per byte), ties broken by key then namespace, so
+    // equal states trim identically.
+    let budget = cache.budget();
+    if !budget.is_unbounded() {
+        struct Cand {
+            is_rtc: bool,
+            idx: usize,
+            bytes: usize,
+            score: f64,
+        }
+        let mut cands: Vec<Cand> = Vec::with_capacity(rtcs.len() + fulls.len());
+        for (idx, (_, rtc, r_g, nanos)) in rtcs.iter().enumerate() {
+            let bytes = rtc.closure_heap_bytes() + r_g.as_ref().map_or(0, |p| p.heap_bytes());
+            let score = *nanos as f64 / bytes.max(1) as f64;
+            cands.push(Cand {
+                is_rtc: true,
+                idx,
+                bytes,
+                score,
+            });
+        }
+        for (idx, (_, full, r_g, nanos)) in fulls.iter().enumerate() {
+            let bytes = full.heap_bytes() + r_g.as_ref().map_or(0, |p| p.heap_bytes());
+            let score = *nanos as f64 / bytes.max(1) as f64;
+            cands.push(Cand {
+                is_rtc: false,
+                idx,
+                bytes,
+                score,
+            });
+        }
+        let key_of = |c: &Cand| {
+            if c.is_rtc {
+                rtcs[c.idx].0.as_str()
+            } else {
+                fulls[c.idx].0.as_str()
+            }
+        };
+        cands.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| key_of(a).cmp(key_of(b)))
+                .then_with(|| b.is_rtc.cmp(&a.is_rtc))
+        });
+        let mut bytes_left = budget.max_bytes.unwrap_or(usize::MAX);
+        let mut entries_left = budget.max_entries.unwrap_or(usize::MAX);
+        let mut keep_rtc = vec![false; rtcs.len()];
+        let mut keep_full = vec![false; fulls.len()];
+        for c in &cands {
+            if entries_left == 0 {
+                break;
+            }
+            if c.bytes > bytes_left {
+                continue; // a smaller, lower-score entry may still fit
+            }
+            bytes_left -= c.bytes;
+            entries_left -= 1;
+            if c.is_rtc {
+                keep_rtc[c.idx] = true;
+            } else {
+                keep_full[c.idx] = true;
+            }
+        }
+        let mut keep = keep_rtc.iter();
+        rtcs.retain(|_| *keep.next().expect("one flag per RTC entry"));
+        let mut keep = keep_full.iter();
+        fulls.retain(|_| *keep.next().expect("one flag per full entry"));
+    }
+
+    // Sort by key so snapshots of equal state are byte-equal (hash-map
+    // iteration order is not deterministic).
     rtcs.sort_by(|a, b| a.0.cmp(&b.0));
     write_u32(&mut w, rtcs.len() as u32)?;
-    for (key, rtc, r_g) in &rtcs {
+    for (key, rtc, r_g, build_nanos) in &rtcs {
         write_str(&mut w, key)?;
+        write_u64(&mut w, *build_nanos)?;
         write_opt_pairs(&mut w, r_g.as_ref())?;
         let parts = RtcParts::of(rtc);
         write_u64(&mut w, parts.originals.len() as u64)?;
@@ -101,11 +190,11 @@ pub fn write_snapshot<W: Write>(engine: &Engine<'_>, mut w: W) -> Result<(), Eng
         write_u64(&mut w, parts.ebar_edges)?;
     }
 
-    let mut fulls = cache.fresh_full_entries();
     fulls.sort_by(|a, b| a.0.cmp(&b.0));
     write_u32(&mut w, fulls.len() as u32)?;
-    for (key, full, r_g) in &fulls {
+    for (key, full, r_g, build_nanos) in &fulls {
         write_str(&mut w, key)?;
+        write_u64(&mut w, *build_nanos)?;
         write_opt_pairs(&mut w, r_g.as_ref())?;
         let parts = FullTcParts::of(full);
         write_u64(&mut w, parts.originals.len() as u64)?;
@@ -134,10 +223,11 @@ pub fn read_snapshot<R: Read>(
             "bad magic: not an engine snapshot file".into(),
         ));
     }
-    if magic[7] != MAGIC[7] {
+    let version = magic[7];
+    if version != b'1' && version != MAGIC[7] {
         return Err(EngineError::Snapshot(format!(
-            "unsupported engine snapshot version '{}' (this build reads version '{}')",
-            magic[7] as char, MAGIC[7] as char,
+            "unsupported engine snapshot version '{}' (this build reads versions '1'..='{}')",
+            version as char, MAGIC[7] as char,
         )));
     }
     let graph = rpq_graph::snapshot::read_snapshot(&mut r)?;
@@ -146,6 +236,7 @@ pub fn read_snapshot<R: Read>(
     let rtc_count = read_u32(&mut r, "RTC entry count")?;
     for _ in 0..rtc_count {
         let key = read_str(&mut r, "RTC entry key")?;
+        let build = read_build_cost(&mut r, version, "RTC build cost")?;
         let r_g = read_opt_pairs(&mut r)?;
         let n = read_u64(&mut r, "RTC vertex count")? as usize;
         let originals = read_vec_u32(&mut r, n, "RTC originals")?;
@@ -170,17 +261,23 @@ pub fn read_snapshot<R: Read>(
                 .assemble()
                 .map_err(|e| EngineError::Snapshot(format!("entry '{key}': {e}")))?,
         );
+        // Costed inserts go through budget enforcement, so a restore into
+        // a tighter budget than the writer's trims deterministically.
+        let epoch = engine.epoch();
         match r_g {
-            Some(r_g) => engine
-                .cache()
-                .insert_rtc_entry(key, rtc, Arc::new(r_g), None),
-            None => engine.cache().insert_rtc(key, rtc),
+            Some(r_g) => {
+                engine
+                    .cache()
+                    .insert_rtc_entry_costed(key, rtc, Arc::new(r_g), None, epoch, build)
+            }
+            None => engine.cache().insert_rtc_at_costed(key, rtc, epoch, build),
         }
     }
 
     let full_count = read_u32(&mut r, "full-closure entry count")?;
     for _ in 0..full_count {
         let key = read_str(&mut r, "full entry key")?;
+        let build = read_build_cost(&mut r, version, "full build cost")?;
         let r_g = read_opt_pairs(&mut r)?;
         let n = read_u64(&mut r, "full vertex count")? as usize;
         let originals = read_vec_u32(&mut r, n, "full originals")?;
@@ -194,9 +291,16 @@ pub fn read_snapshot<R: Read>(
                 .assemble()
                 .map_err(|e| EngineError::Snapshot(format!("entry '{key}': {e}")))?,
         );
+        let epoch = engine.epoch();
         match r_g {
-            Some(r_g) => engine.cache().insert_full_entry(key, full, Arc::new(r_g)),
-            None => engine.cache().insert_full(key, full),
+            Some(r_g) => {
+                engine
+                    .cache()
+                    .insert_full_entry_costed(key, full, Arc::new(r_g), epoch, build)
+            }
+            None => engine
+                .cache()
+                .insert_full_at_costed(key, full, epoch, build),
         }
     }
 
@@ -321,6 +425,19 @@ fn read_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, EngineError> {
     let mut buf = [0u8; 4];
     read_exact(r, &mut buf, what)?;
     Ok(u32::from_le_bytes(buf))
+}
+
+/// The per-entry cost-to-rebuild word, added in version `2`; version-`1`
+/// entries carry no cost and restore as cost 0 (first in line to evict).
+fn read_build_cost<R: Read>(
+    r: &mut R,
+    version: u8,
+    what: &str,
+) -> Result<std::time::Duration, EngineError> {
+    if version < b'2' {
+        return Ok(std::time::Duration::ZERO);
+    }
+    Ok(std::time::Duration::from_nanos(read_u64(r, what)?))
 }
 
 fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, EngineError> {
@@ -597,6 +714,116 @@ mod tests {
         );
         assert_eq!(warm.evaluate_str("d.(b.c)+.c").unwrap(), expected);
         assert_eq!(warm.cache().misses(), 0);
+    }
+
+    /// Version-`2` snapshots persist each entry's cost-to-rebuild, so a
+    /// warm restart restores the same eviction order the writer had.
+    #[test]
+    fn build_costs_survive_the_roundtrip() {
+        use std::time::Duration;
+        let engine = Engine::new_dynamic(paper_graph());
+        let pairs = sample_pairs();
+        for (key, nanos) in [("cheap", 1_000u64), ("mid", 20_000), ("dear", 30_000)] {
+            engine.cache().insert_rtc_entry_costed(
+                key.to_owned(),
+                Arc::new(rpq_reduction::Rtc::from_pairs(&pairs)),
+                Arc::clone(&pairs),
+                None,
+                engine.epoch(),
+                Duration::from_nanos(nanos),
+            );
+        }
+        let bytes = snapshot_bytes(&engine);
+
+        // Restored into a tighter budget than the writer's, the costed
+        // inserts trim deterministically: lowest score evicted first.
+        let config = EngineConfig {
+            cache_budget: crate::CacheBudget {
+                max_entries: Some(2),
+                ..crate::CacheBudget::default()
+            },
+            ..EngineConfig::default()
+        };
+        let warm = read_snapshot(&bytes[..], config).unwrap();
+        assert_eq!(warm.cache().rtc_count(), 2);
+        assert_eq!(warm.cache().occupancy_entries(), 2);
+        assert!(warm.cache().contains_fresh_rtc("dear"));
+        assert!(warm.cache().contains_fresh_rtc("mid"));
+        assert!(!warm.cache().contains_fresh_rtc("cheap"));
+        assert_eq!(warm.cache().eviction_counters().by_entries, 1);
+    }
+
+    /// A pinned epoch can hold a bounded cache past its budget; the
+    /// snapshot trims to the highest-score subset that fits, so the file
+    /// — and any restore of it — is under budget from the first byte.
+    #[test]
+    fn over_budget_saves_trim_highest_score_first() {
+        use std::time::Duration;
+        let config = EngineConfig {
+            cache_budget: crate::CacheBudget {
+                max_entries: Some(1),
+                ..crate::CacheBudget::default()
+            },
+            ..EngineConfig::default()
+        };
+        let g = paper_graph();
+        let engine = Engine::with_config(&g, config);
+        let view = engine.pin(); // pins epoch 0: both entries below survive
+        let pairs = sample_pairs();
+        for (key, nanos) in [("cold", 1_000u64), ("hot", 9_000)] {
+            engine.cache().insert_rtc_entry_costed(
+                key.to_owned(),
+                Arc::new(rpq_reduction::Rtc::from_pairs(&pairs)),
+                Arc::clone(&pairs),
+                None,
+                engine.epoch(),
+                Duration::from_nanos(nanos),
+            );
+        }
+        assert_eq!(
+            engine.cache().rtc_count(),
+            2,
+            "the pin must hold the live cache over budget"
+        );
+
+        let bytes = snapshot_bytes(&engine);
+        drop(view);
+        let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(
+            warm.cache().rtc_count(),
+            1,
+            "the file was trimmed to budget"
+        );
+        assert!(warm.cache().contains_fresh_rtc("hot"));
+        assert!(!warm.cache().contains_fresh_rtc("cold"));
+    }
+
+    #[test]
+    fn version_1_files_load_with_zero_build_cost() {
+        // With an empty cache the v1 and v2 bodies are byte-identical
+        // (the cost word is per-entry), so rewriting the version byte
+        // forges a valid legacy file.
+        let engine = Engine::new_dynamic(paper_graph());
+        let mut bytes = snapshot_bytes(&engine);
+        assert_eq!(bytes[7], b'2');
+        bytes[7] = b'1';
+        let warm = read_snapshot(&bytes[..], EngineConfig::default()).unwrap();
+        assert_eq!(warm.cache().rtc_count(), 0);
+        assert_eq!(warm.epoch(), 0);
+
+        bytes[7] = b'3';
+        let err = expect_err(read_snapshot(&bytes[..], EngineConfig::default()));
+        assert!(
+            matches!(err, EngineError::Snapshot(ref m) if m.contains("unsupported")),
+            "{err}"
+        );
+    }
+
+    fn sample_pairs() -> Arc<PairSet> {
+        Arc::new(PairSet::from_sorted_unique(vec![
+            (VertexId(1), VertexId(2)),
+            (VertexId(2), VertexId(3)),
+        ]))
     }
 
     #[test]

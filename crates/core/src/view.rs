@@ -23,6 +23,7 @@
 //! atomic swap and retains a short ring of them for `query … at <epoch>`
 //! time travel.
 
+use crate::cache::EpochPin;
 use crate::engine::{eval_one, EngineConfig, EngineMetrics, Strategy};
 use crate::error::EngineError;
 use crate::result_cache::ResultCache;
@@ -42,6 +43,10 @@ pub struct EpochView {
     results: Arc<ResultCache>,
     metrics: Arc<Mutex<EngineMetrics>>,
     config: EngineConfig,
+    /// Shared pin on this view's epoch in the structural cache: while
+    /// any clone of the view is alive, budget eviction spares the
+    /// entries the view gets fresh hits on (see `CacheBudget`).
+    _pin: Arc<EpochPin>,
 }
 
 impl EpochView {
@@ -51,6 +56,7 @@ impl EpochView {
         results: Arc<ResultCache>,
         metrics: Arc<Mutex<EngineMetrics>>,
         config: EngineConfig,
+        pin: Arc<EpochPin>,
     ) -> Self {
         Self {
             graph,
@@ -58,6 +64,7 @@ impl EpochView {
             results,
             metrics,
             config,
+            _pin: pin,
         }
     }
 
@@ -124,10 +131,14 @@ impl EpochView {
         let t = Instant::now();
         let mut local = EngineMetrics::default();
         let result = eval_one(self.graph(), &config, &self.cache, epoch, &mut local, query);
-        local.breakdown.total = t.elapsed();
+        let build = t.elapsed();
+        local.breakdown.total = build;
         self.merge_metrics(local);
         let result = Arc::new(result?);
-        self.results.insert(epoch, key, Arc::clone(&result));
+        // The evaluation time is the entry's cost-to-rebuild under the
+        // result cache's cost-aware eviction.
+        self.results
+            .insert_costed(epoch, key, Arc::clone(&result), build);
         Ok(result)
     }
 

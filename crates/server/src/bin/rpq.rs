@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]
+//!           [--cache-budget SPEC]
 //! rpq serve --addr HOST:PORT [--max-conns N] [--load PATH]
-//!           [--strategy rtc|full|none] [--threads N]
+//!           [--strategy rtc|full|none] [--threads N] [--cache-budget SPEC]
 //! ```
 //!
 //! `repl` reads commands from stdin (interactive prompt on a TTY, silent
@@ -23,6 +24,7 @@ struct Options {
     load: Option<String>,
     strategy: Option<rpq_core::Strategy>,
     threads: Option<usize>,
+    cache_budget: Option<rpq_core::CacheBudget>,
     max_conns: usize,
 }
 
@@ -45,6 +47,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         load: None,
         strategy: None,
         threads: None,
+        cache_budget: None,
         max_conns: rpq_server::DEFAULT_MAX_CONNS,
     };
     while let Some(arg) = args.next() {
@@ -61,6 +64,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     Some(v.parse().map_err(|_| {
                         format!("--threads needs a non-negative integer, got '{v}'")
                     })?);
+            }
+            "--cache-budget" => {
+                let v = args
+                    .next()
+                    .ok_or("--cache-budget needs a spec like 'bytes=64m,entries=512,ttl=8'")?;
+                // Unlike the RPQ_CACHE_BUDGET env (which falls back to
+                // unbounded on garbage), a typo on the command line is an
+                // error the operator should see.
+                opts.cache_budget = Some(rpq_core::CacheBudget::parse(&v).ok_or(format!(
+                    "bad --cache-budget '{v}' (want 'bytes=SIZE,entries=N,ttl=N', a bare SIZE, or 'unbounded')"
+                ))?);
             }
             "--addr" => {
                 let v = args.next().ok_or("--addr needs HOST:PORT")?;
@@ -94,12 +108,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
 
 fn print_usage() {
     eprintln!("usage: rpq repl  [--load PATH] [--strategy rtc|full|none] [--threads N]");
+    eprintln!("                 [--cache-budget SPEC]");
     eprintln!("       rpq serve --addr HOST:PORT [--max-conns N] [--load PATH]");
-    eprintln!("                 [--strategy rtc|full|none] [--threads N]");
+    eprintln!("                 [--strategy rtc|full|none] [--threads N] [--cache-budget SPEC]");
     eprintln!();
     eprintln!("--load accepts an edge list, a graph snapshot, or an engine snapshot");
     eprintln!("(warm restart) — the format is auto-detected. --max-conns caps");
     eprintln!("simultaneous TCP clients (default 256; extras get 'ERR busy').");
+    eprintln!("--cache-budget bounds the shared cache: 'bytes=SIZE,entries=N,ttl=N'");
+    eprintln!("(SIZE takes k/m/g suffixes; any part may be omitted; a bare SIZE");
+    eprintln!("caps bytes; 'unbounded' disables). Overrides RPQ_CACHE_BUDGET.");
     eprintln!("Commands: see 'help' in the session or docs/QUERY_LANGUAGE.md.");
 }
 
@@ -118,7 +136,11 @@ fn main() -> ExitCode {
     // Startup flags set the engine's *base* configuration (not a
     // connection overlay): every connection inherits it, and an
     // engine-snapshot load picks it up too.
-    let mut session = Session::with_config(startup_config(opts.strategy, opts.threads));
+    let mut session = Session::with_config(startup_config(
+        opts.strategy,
+        opts.threads,
+        opts.cache_budget,
+    ));
     if let Some(path) = &opts.load {
         match session.execute(&format!("load {path}")) {
             Some(r) if matches!(r.status, rpq_server::Status::Ok(_)) => {

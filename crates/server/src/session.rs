@@ -640,7 +640,7 @@ impl Session {
         let (lo, hi, views) = self.shared.retained_span();
         let c = view.cache();
         Response::ok(format!(
-            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}, views {views} (epochs {lo}..{hi}), conns {}/{}, structural {} B",
+            "graph '{}': {} vertices, {} edges, {} labels, epoch {}, strategy {}, threads {}, limit {}, binary {}, views {views} (epochs {lo}..{hi}), conns {}/{}, structural {} B, budget {}, occupancy {} B",
             published.source(),
             g.vertex_count(),
             g.edge_count(),
@@ -653,6 +653,8 @@ impl Session {
             self.shared.live_conns(),
             self.shared.max_conns(),
             c.rtc_heap_bytes() + c.full_heap_bytes(),
+            c.budget(),
+            c.occupancy_bytes(),
         ))
     }
 
@@ -958,6 +960,22 @@ impl Session {
                     c.full_dense_rows(),
                 )
             },
+            {
+                let c = view.cache();
+                let ev = c.eviction_counters();
+                format!(
+                    "  budget: {} occupancy={} B/{} entries evictions={} (bytes={} entries={} ttl={} stale={}) rebuilds_after_evict={}",
+                    c.budget(),
+                    c.occupancy_bytes(),
+                    c.occupancy_entries(),
+                    ev.total(),
+                    ev.by_bytes,
+                    ev.by_entries,
+                    ev.by_ttl,
+                    ev.by_stale,
+                    ev.rebuilds_after_evict,
+                )
+            },
         ];
         Response::ok("metrics".to_string()).with_lines(lines)
     }
@@ -989,11 +1007,31 @@ impl Session {
                 c.epoch()
             ),
             format!(
-                "  results: {} memoized, {} view hits, {} result misses (cap {})",
+                "  budget: {} (occupancy {} B, {} entries, {} B pinned)",
+                c.budget(),
+                c.occupancy_bytes(),
+                c.occupancy_entries(),
+                c.pinned_occupancy_bytes(),
+            ),
+            {
+                let ev = c.eviction_counters();
+                format!(
+                    "  evictions: {} total (bytes={} entries={} ttl={} stale={}), {} rebuilds after evict",
+                    ev.total(),
+                    ev.by_bytes,
+                    ev.by_entries,
+                    ev.by_ttl,
+                    ev.by_stale,
+                    ev.rebuilds_after_evict,
+                )
+            },
+            format!(
+                "  results: {} memoized, {} view hits, {} result misses (cap {}), {} evicted",
                 r.len(),
                 r.view_hits(),
                 r.misses(),
-                r.capacity()
+                r.capacity(),
+                r.evictions(),
             ),
         ];
         let strategy = self.overlay.resolve(view.config()).strategy;
@@ -1035,14 +1073,23 @@ pub fn parse_strategy_flag(v: &str) -> Option<Strategy> {
     }
 }
 
-/// Builds the startup engine config from the binary's flags.
-pub fn startup_config(strategy: Option<Strategy>, threads: Option<usize>) -> EngineConfig {
+/// Builds the startup engine config from the binary's flags. A
+/// `--cache-budget` flag overrides the `RPQ_CACHE_BUDGET` environment
+/// default already folded into [`EngineConfig::default`].
+pub fn startup_config(
+    strategy: Option<Strategy>,
+    threads: Option<usize>,
+    cache_budget: Option<rpq_core::CacheBudget>,
+) -> EngineConfig {
     let mut config = EngineConfig::default();
     if let Some(s) = strategy {
         config.strategy = s;
     }
     if let Some(t) = threads {
         config.threads = t;
+    }
+    if let Some(b) = cache_budget {
+        config.cache_budget = b;
     }
     config
 }

@@ -54,11 +54,29 @@ fn base_config() -> rpq_core::EngineConfig {
     }
 }
 
+/// `base_config` with a deliberately tiny structural-cache budget: one
+/// entry, so every distinct closure body forces an eviction decision and
+/// epoch churn continuously evicts entries falling out of the view ring.
+fn tiny_budget_config() -> rpq_core::EngineConfig {
+    rpq_core::EngineConfig {
+        cache_budget: rpq_core::CacheBudget {
+            max_entries: Some(1),
+            ..rpq_core::CacheBudget::default()
+        },
+        ..base_config()
+    }
+}
+
 /// Spawns a server whose engine was primed with `setup` commands.
 fn spawn_server(setup: &[String]) -> SocketAddr {
+    spawn_server_with(base_config(), setup)
+}
+
+/// [`spawn_server`] under an explicit engine configuration.
+fn spawn_server_with(config: rpq_core::EngineConfig, setup: &[String]) -> SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let mut session = Session::with_config(base_config());
+    let mut session = Session::with_config(config);
     for cmd in setup {
         let r = session.execute(cmd).expect("setup command responds");
         assert!(
@@ -235,7 +253,16 @@ fn setup_commands(clients: usize) -> Vec<String> {
 /// Replays one client's log on a fresh single-threaded session over the
 /// same initial state, through the same wire encoding and parser.
 fn replay(setup: &[String], log: &[String]) -> Vec<WireResponse> {
-    let mut session = Session::with_config(base_config());
+    replay_with(base_config(), setup, log)
+}
+
+/// [`replay`] under an explicit engine configuration.
+fn replay_with(
+    config: rpq_core::EngineConfig,
+    setup: &[String],
+    log: &[String],
+) -> Vec<WireResponse> {
+    let mut session = Session::with_config(config);
     for cmd in setup {
         session.execute(cmd).expect("setup responds");
     }
@@ -296,6 +323,103 @@ fn concurrent_clients_match_single_threaded_replay() {
     }
 }
 
+/// The running total from the `metrics` budget line (`… evictions=N (…`).
+fn eviction_total(metrics: &WireResponse) -> u64 {
+    let line = metrics
+        .lines
+        .iter()
+        .find(|l| l.contains("evictions="))
+        .expect("metrics report the cache budget line");
+    line.split("evictions=")
+        .nth(1)
+        .unwrap()
+        .split([' ', '('])
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad eviction total in '{line}'"))
+}
+
+/// ISSUE 9: the equivalence property holds under continuous eviction
+/// churn. The same seeded 8-client schedules run against a server whose
+/// structural cache holds a single entry, so every closure alternation
+/// evicts and rebuilds while deltas advance epochs out of the view ring;
+/// responses must still be byte-identical to a single-threaded replay
+/// under the same budget — no ERR, no torn frames — while a monitor
+/// connection watches the eviction counters climb monotonically.
+#[test]
+fn concurrent_clients_under_tiny_budget_match_replay() {
+    const CLIENTS: usize = 8;
+    const COMMANDS: usize = 30;
+    let setup = setup_commands(CLIENTS);
+    let addr = spawn_server_with(tiny_budget_config(), &setup);
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let live: Vec<(Vec<String>, Vec<WireResponse>)> = std::thread::scope(|s| {
+        let monitor = s.spawn(|| {
+            let mut m = Client::connect(addr);
+            let mut last = 0u64;
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                let r = m.roundtrip("metrics");
+                assert!(r.status.starts_with("OK "), "{}", r.status);
+                let total = eviction_total(&r);
+                assert!(
+                    total >= last,
+                    "eviction counter went backwards: {last} -> {total}"
+                );
+                last = total;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let total = eviction_total(&m.roundtrip("metrics"));
+            assert!(total >= last, "final eviction total regressed");
+            m.quit_clean();
+            total
+        });
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let schedule = client_schedule(i, COMMANDS);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let responses: Vec<WireResponse> =
+                        schedule.iter().map(|cmd| client.roundtrip(cmd)).collect();
+                    client.quit_clean();
+                    (schedule, responses)
+                })
+            })
+            .collect();
+        let live = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        let evictions = monitor.join().unwrap();
+        assert!(
+            evictions > 0,
+            "a one-entry budget under 8 churning clients must evict"
+        );
+        live
+    });
+
+    for (i, (schedule, responses)) in live.iter().enumerate() {
+        let expected = replay_with(tiny_budget_config(), &setup, schedule);
+        assert_eq!(responses.len(), expected.len());
+        for (cmd, (got, want)) in schedule.iter().zip(responses.iter().zip(&expected)) {
+            assert!(
+                got.status.starts_with("OK "),
+                "client {i}, command '{cmd}': {}",
+                got.status
+            );
+            assert_eq!(
+                normalize(&got.status),
+                normalize(&want.status),
+                "client {i}, command '{cmd}'"
+            );
+            assert_eq!(got.lines, want.lines, "client {i}, command '{cmd}'");
+            assert_eq!(
+                got.binary, want.binary,
+                "client {i}, command '{cmd}': binary frames diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn responses_never_start_payload_with_status_prefix() {
     // A focused check of the framing invariant the parser relies on: run
@@ -340,7 +464,17 @@ fn mvcc_slow_query_stays_pinned_while_writers_publish() {
     // RMAT_3 at 2^13 vertices: `l0+` materializes ~10M closure pairs —
     // over a second of work even in a debug build with dense bitset rows
     // (2^12 used to suffice, but the hybrid representation got too fast).
-    let addr = spawn_server(&["gen rmat 3 13 42".to_string()]);
+    // The budget is pinned unbounded: the test asserts the pinned re-read
+    // is a *view hit*, and a result this size outgrows any stress budget
+    // an RPQ_CACHE_BUDGET CI leg might set (eviction would downgrade the
+    // re-read to a correct-but-slower replay).
+    let addr = spawn_server_with(
+        rpq_core::EngineConfig {
+            cache_budget: rpq_core::CacheBudget::default(),
+            ..base_config()
+        },
+        &["gen rmat 3 13 42".to_string()],
+    );
     let mut a = Client::connect(addr);
     let mut b = Client::connect(addr);
     a.roundtrip("limit 0");

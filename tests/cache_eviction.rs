@@ -1,0 +1,209 @@
+//! Eviction correctness under cache budgets.
+//!
+//! Budgeted engines are driven with deliberately tiny budgets so eviction
+//! churns on nearly every operation, and three invariants are checked:
+//!
+//! 1. **Answers never change.** Every query result is identical to a
+//!    fresh *unbounded* engine brought to the same epoch by the same
+//!    deltas — eviction may cost rebuild time, never correctness.
+//! 2. **The budget holds.** After any public call, occupancy stays within
+//!    `max_bytes`/`max_entries` (no pins held; pinned epochs may park a
+//!    cache over budget and are tested separately).
+//! 3. **Pins win.** Structures referenced by a live [`EpochView`] survive
+//!    eviction pressure at newer epochs, and time-travel evaluation at
+//!    the pinned epoch still answers from them (`Fresh`, not a rebuild).
+
+mod common;
+
+use common::{random_graph, rng, ALPHABET};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtc_rpq::core::{CacheBudget, Engine, EngineConfig, RtcLookup};
+use rtc_rpq::graph::{GraphDelta, LabeledMultigraph, VersionedGraph};
+use rtc_rpq::regex::Regex;
+
+fn bounded_config(max_bytes: Option<usize>, max_entries: Option<usize>) -> EngineConfig {
+    EngineConfig {
+        cache_budget: CacheBudget {
+            max_bytes,
+            max_entries,
+            ttl_epochs: None,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn dynamic_engine(graph: LabeledMultigraph, config: EngineConfig) -> Engine<'static> {
+    Engine::with_config_versioned(VersionedGraph::new(graph), config)
+}
+
+/// A few random edge insertions/deletions over `n` vertices.
+fn random_delta(r: &mut StdRng, n: u32) -> GraphDelta {
+    let mut d = GraphDelta::new();
+    for _ in 0..r.gen_range(1..4) {
+        let src = r.gen_range(0..n);
+        let dst = r.gen_range(0..n);
+        let label = ALPHABET[r.gen_range(0..ALPHABET.len())];
+        if r.gen_range(0..10) < 7 {
+            d.insert(src, label, dst);
+        } else {
+            d.delete(src, label, dst);
+        }
+    }
+    d
+}
+
+/// Closure-heavy random queries, so the structural cache sees traffic.
+fn random_closure_query(r: &mut StdRng, depth: u32) -> Regex {
+    common::random_regex(r, depth)
+}
+
+const N: u32 = 10;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants 1 + 2: a budgeted engine answers exactly like a fresh
+    /// unbounded engine at the same epoch, and its occupancy respects the
+    /// budget after every operation.
+    #[test]
+    fn bounded_engines_answer_like_unbounded_ones(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u32..2, 0u64..u64::MAX), 1..10),
+    ) {
+        let mut r = rng(seed);
+        let base = random_graph(&mut r, N, 30);
+        let (max_bytes, max_entries) = (4096usize, 3usize);
+        let mut bounded = dynamic_engine(
+            base.clone(),
+            bounded_config(Some(max_bytes), Some(max_entries)),
+        );
+        let mut deltas: Vec<GraphDelta> = Vec::new();
+        for (flag, op_seed) in ops {
+            let is_delta = flag == 1;
+            let mut or = rng(op_seed);
+            if is_delta {
+                let d = random_delta(&mut or, N);
+                bounded.apply_delta(&d);
+                deltas.push(d);
+            } else {
+                let q = random_closure_query(&mut or, 2);
+                let got = bounded.evaluate(&q).unwrap();
+                // The oracle replays the same history on an unbounded
+                // engine: same epoch, same graph, no evictions ever.
+                let mut oracle = dynamic_engine(base.clone(), EngineConfig::default());
+                for d in &deltas {
+                    oracle.apply_delta(d);
+                }
+                prop_assert_eq!(got, oracle.evaluate(&q).unwrap());
+            }
+            let c = bounded.cache();
+            prop_assert!(
+                c.occupancy_bytes() <= max_bytes,
+                "occupancy {} B over the {} B budget",
+                c.occupancy_bytes(),
+                max_bytes
+            );
+            prop_assert!(
+                c.occupancy_entries() <= max_entries,
+                "{} entries over the {}-entry budget",
+                c.occupancy_entries(),
+                max_entries
+            );
+        }
+    }
+
+    /// Invariant 3: a pinned epoch's structures survive churn at newer
+    /// epochs, and evaluating on the view still answers from the cache.
+    #[test]
+    fn pinned_views_survive_eviction_pressure(
+        seed in 0u64..1_000_000,
+        churn in prop::collection::vec((0u32..2, 0u64..u64::MAX), 1..8),
+    ) {
+        let mut r = rng(seed);
+        let base = random_graph(&mut r, N, 40);
+        // One entry of headroom: every later insert forces an eviction
+        // decision, and only the pin protects the view's structure.
+        let mut engine = dynamic_engine(base.clone(), bounded_config(None, Some(1)));
+
+        // Two queries sharing one outermost closure: warming the first
+        // caches the closure's RTC; the second can only answer `Fresh`
+        // from that same entry.
+        let body = Regex::concat(vec![Regex::label("a"), Regex::label("b")]);
+        let warm = Regex::concat(vec![Regex::label("c"), Regex::plus(body.clone())]);
+        let probe = Regex::concat(vec![Regex::plus(body.clone()), Regex::label("d")]);
+        let key = body.canonical_key();
+
+        engine.evaluate(&warm).unwrap();
+        let view = engine.pin();
+        let pinned_epoch = view.epoch();
+        prop_assert!(matches!(
+            engine.cache().lookup_rtc_at(&key, pinned_epoch),
+            RtcLookup::Fresh(_)
+        ));
+
+        for (flag, op_seed) in churn {
+            let is_delta = flag == 1;
+            let mut or = rng(op_seed);
+            if is_delta {
+                engine.apply_delta(&random_delta(&mut or, N));
+            } else {
+                engine.evaluate(&random_closure_query(&mut or, 2)).unwrap();
+            }
+        }
+
+        // The pinned structure is still resident at its epoch…
+        prop_assert!(
+            matches!(
+                engine.cache().lookup_rtc_at(&key, pinned_epoch),
+                RtcLookup::Fresh(_)
+            ),
+            "pinned RTC '{}' was evicted",
+            key
+        );
+        // …and time-travel evaluation answers from it, identical to an
+        // unbounded engine frozen at the pinned epoch.
+        let got = view.evaluate(&probe).unwrap();
+        let oracle = dynamic_engine(base, EngineConfig::default());
+        prop_assert_eq!(got.as_ref(), &oracle.evaluate(&probe).unwrap());
+
+        // Once the view drops, the pin releases and pressure reclaims
+        // the old epoch's entries again.
+        drop(view);
+        engine.cache().enforce_budget();
+        prop_assert!(engine.cache().occupancy_entries() <= 1);
+    }
+}
+
+/// Deterministic spelling of invariant 3's counter story: after churn,
+/// re-answering on the view is a structural *hit*, not a rebuild.
+#[test]
+fn pinned_view_answers_without_rebuilding() {
+    use rtc_rpq::graph::fixtures::paper_graph;
+    let mut engine = dynamic_engine(paper_graph(), bounded_config(None, Some(1)));
+    engine.evaluate_str("d.(b.c)+.c").unwrap();
+    let view = engine.pin();
+
+    // Churn: a delta, then a different closure at the live epoch, which
+    // (with one entry of budget) could only survive by evicting the
+    // pinned structure — it must lose and evict itself instead.
+    let mut delta = GraphDelta::new();
+    delta.insert(6, "b", 8).insert(8, "c", 6);
+    engine.apply_delta(&delta);
+    engine.evaluate_str("(a.b)+").unwrap();
+
+    let misses_before = engine.cache().misses();
+    let hits_before = engine.cache().hits();
+    // Different query string (no result-cache memo), same shared closure.
+    let got = view.evaluate_str("(b.c)+.c").unwrap();
+    assert_eq!(
+        engine.cache().misses(),
+        misses_before,
+        "rebuild after evict"
+    );
+    assert!(engine.cache().hits() > hits_before);
+
+    let oracle = Engine::new_dynamic(paper_graph());
+    assert_eq!(got.as_ref(), &oracle.evaluate_str("(b.c)+.c").unwrap());
+}
